@@ -1,0 +1,39 @@
+// Fig. 7(a): routing stretch of GRED vs GRED-NoCVT on the 6-switch /
+// 12-server P4 testbed prototype (Section VII-A). The paper reports
+// both variants close to the optimal stretch of 1.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "topology/presets.hpp"
+
+using namespace gred;
+
+int main() {
+  bench::print_header(
+      "Fig. 7(a)", "testbed routing stretch (6 P4 switches, 12 servers)",
+      "average stretch of GRED and GRED-NoCVT both close to 1");
+
+  Table table({"requests", "GRED stretch (90% CI)",
+               "GRED-NoCVT stretch (90% CI)"});
+
+  for (std::size_t requests : {100u, 200u, 500u, 1000u}) {
+    auto gred_sys = core::GredSystem::create(
+        topology::uniform_edge_network(topology::testbed6(), 2),
+        bench::gred_options(50));
+    auto nocvt_sys = core::GredSystem::create(
+        topology::uniform_edge_network(topology::testbed6(), 2),
+        bench::nocvt_options());
+    if (!gred_sys.ok() || !nocvt_sys.ok()) {
+      std::fprintf(stderr, "system creation failed\n");
+      return 1;
+    }
+    const Summary gred = summarize(
+        bench::gred_stretch_samples(gred_sys.value(), requests, requests));
+    const Summary nocvt = summarize(
+        bench::gred_stretch_samples(nocvt_sys.value(), requests, requests));
+    table.add_row({std::to_string(requests), bench::mean_ci_cell(gred),
+                   bench::mean_ci_cell(nocvt)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 9(a): routing stretch vs network size — Chord vs GRED vs
+// GRED-NoCVT. Waxman topologies, 10 edge servers per switch, 100 data
+// items per point, each with a random access point; error bars are 90%
+// CIs (Section VII-B/C1). Expectation: Chord > 3.5 everywhere; both
+// GRED variants < 1.5 (GRED uses < 30% of Chord's routing cost).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace gred;
+
+int main() {
+  bench::print_header(
+      "Fig. 9(a)", "routing stretch vs number of switches",
+      "Chord > 3.5 and growing; GRED and GRED-NoCVT < 1.5, flat");
+
+  Table table({"switches", "servers", "Chord", "GRED", "GRED-NoCVT"});
+  for (std::size_t n : {20u, 50u, 100u, 150u, 200u}) {
+    const topology::EdgeNetwork net =
+        bench::make_waxman_network(n, 10, 3, 1000 + n);
+
+    auto gred_sys = core::GredSystem::create(net, bench::gred_options(50));
+    auto nocvt_sys = core::GredSystem::create(net, bench::nocvt_options());
+    auto ring = chord::ChordRing::build(net);
+    if (!gred_sys.ok() || !nocvt_sys.ok() || !ring.ok()) return 1;
+
+    const Summary chord_s =
+        summarize(bench::chord_stretch_samples(ring.value(), net, 100, n));
+    const Summary gred_s =
+        summarize(bench::gred_stretch_samples(gred_sys.value(), 100, n));
+    const Summary nocvt_s = summarize(
+        bench::gred_stretch_samples(nocvt_sys.value(), 100, n + 1));
+
+    table.add_row({std::to_string(n), std::to_string(net.server_count()),
+                   bench::mean_ci_cell(chord_s), bench::mean_ci_cell(gred_s),
+                   bench::mean_ci_cell(nocvt_s)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fig. 9(b): routing stretch vs the minimal degree of switches.
+// 100 switches, 1000 edge servers, min degree 3..10 (Section VII-C2).
+// Expectation: GRED variants far below Chord; stretch decreases
+// slightly as the degree grows (greedy finds shorter paths).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace gred;
+
+int main() {
+  bench::print_header(
+      "Fig. 9(b)",
+      "routing stretch vs minimal switch degree (100 switches, 1000 servers)",
+      "GRED variants well below Chord; slight decrease with degree");
+
+  Table table({"min degree", "Chord", "GRED", "GRED-NoCVT"});
+  for (std::size_t degree = 3; degree <= 10; ++degree) {
+    const topology::EdgeNetwork net =
+        bench::make_waxman_network(100, 10, degree, 2000 + degree);
+
+    auto gred_sys = core::GredSystem::create(net, bench::gred_options(50));
+    auto nocvt_sys = core::GredSystem::create(net, bench::nocvt_options());
+    auto ring = chord::ChordRing::build(net);
+    if (!gred_sys.ok() || !nocvt_sys.ok() || !ring.ok()) return 1;
+
+    const Summary chord_s = summarize(
+        bench::chord_stretch_samples(ring.value(), net, 100, degree));
+    const Summary gred_s = summarize(
+        bench::gred_stretch_samples(gred_sys.value(), 100, degree));
+    const Summary nocvt_s = summarize(
+        bench::gred_stretch_samples(nocvt_sys.value(), 100, degree + 50));
+
+    table.add_row({std::to_string(degree), bench::mean_ci_cell(chord_s),
+                   bench::mean_ci_cell(gred_s),
+                   bench::mean_ci_cell(nocvt_s)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 9(d): average number of forwarding table entries per switch vs
+// network size, with 90% CIs (Section VII-D). Expectation: a small
+// count growing only modestly with the network size — independent of
+// the number of flows. For perspective we also print Chord's routing
+// state per server (distinct finger entries).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace gred;
+
+int main() {
+  bench::print_header(
+      "Fig. 9(d)", "forwarding table entries per switch vs network size",
+      "few entries, modest growth with network size");
+
+  Table table({"switches", "GRED entries/switch (90% CI)",
+               "GRED min..max", "Chord fingers/server (mean)"});
+  for (std::size_t n : {20u, 50u, 100u, 150u, 200u}) {
+    const topology::EdgeNetwork net =
+        bench::make_waxman_network(n, 10, 3, 4000 + n);
+    auto sys = core::GredSystem::create(net, bench::gred_options(50));
+    auto ring = chord::ChordRing::build(net);
+    if (!sys.ok() || !ring.ok()) return 1;
+
+    std::vector<double> counts;
+    for (std::size_t c : sys.value().network().table_entry_counts()) {
+      counts.push_back(static_cast<double>(c));
+    }
+    const Summary s = summarize(counts);
+
+    double chord_total = 0;
+    for (topology::ServerId srv = 0; srv < net.server_count(); ++srv) {
+      chord_total += static_cast<double>(ring.value().finger_entries(srv));
+    }
+    const double chord_mean =
+        chord_total / static_cast<double>(net.server_count());
+
+    table.add_row({std::to_string(n), bench::mean_ci_cell(s, 2),
+                   Table::fmt(s.min, 0) + ".." + Table::fmt(s.max, 0),
+                   Table::fmt(chord_mean, 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 11(a): load balance (max/avg) vs network size — Chord vs
+// GRED(T=10) vs GRED(T=50). 200..1000 edge servers (20..100 switches,
+// 10 servers each), 100,000 data items (Section VII-E1). Expectation:
+// Chord's max/avg grows with size; GRED stays nearly flat, and T=50
+// beats T=10.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace gred;
+
+int main() {
+  bench::print_header(
+      "Fig. 11(a)", "load balance max/avg vs number of edge servers",
+      "Chord grows with size; GRED(T=50) < GRED(T=10), both nearly flat");
+
+  const std::size_t items = 100000;
+  const auto ids = bench::make_ids(items, 11);
+
+  Table table({"servers", "Chord", "GRED (T=10)", "GRED (T=50)"});
+  for (std::size_t n : {20u, 40u, 60u, 80u, 100u}) {
+    const topology::EdgeNetwork net =
+        bench::make_waxman_network(n, 10, 3, 5000 + n);
+
+    auto sys10 = core::GredSystem::create(net, bench::gred_options(10));
+    auto sys50 = core::GredSystem::create(net, bench::gred_options(50));
+    auto ring = chord::ChordRing::build(net);
+    if (!sys10.ok() || !sys50.ok() || !ring.ok()) return 1;
+
+    const double chord_bal =
+        core::load_balance(bench::chord_loads(ring.value(), net, ids))
+            .max_over_avg;
+    const double g10 =
+        core::load_balance(bench::gred_loads(sys10.value(), ids))
+            .max_over_avg;
+    const double g50 =
+        core::load_balance(bench::gred_loads(sys50.value(), ids))
+            .max_over_avg;
+
+    table.add_row({std::to_string(net.server_count()),
+                   Table::fmt(chord_bal), Table::fmt(g10),
+                   Table::fmt(g50)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

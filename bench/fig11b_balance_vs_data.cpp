@@ -1,0 +1,41 @@
+// Fig. 11(b): load balance (max/avg) vs the amount of data — 100k to
+// 1M items on 1000 edge servers (Section VII-E2). Expectation: Chord's
+// max/avg above 6; GRED(T=10) below 2.5; GRED(T=50) below 2.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace gred;
+
+int main() {
+  bench::print_header(
+      "Fig. 11(b)",
+      "load balance max/avg vs amount of data (1000 edge servers)",
+      "Chord > 6; GRED(T=10) < 2.5; GRED(T=50) < 2");
+
+  const topology::EdgeNetwork net =
+      bench::make_waxman_network(100, 10, 3, 6000);
+  auto sys10 = core::GredSystem::create(net, bench::gred_options(10));
+  auto sys50 = core::GredSystem::create(net, bench::gred_options(50));
+  auto ring = chord::ChordRing::build(net);
+  if (!sys10.ok() || !sys50.ok() || !ring.ok()) return 1;
+
+  Table table({"data items", "Chord", "GRED (T=10)", "GRED (T=50)"});
+  for (std::size_t items :
+       {100000u, 250000u, 500000u, 750000u, 1000000u}) {
+    const auto ids = bench::make_ids(items, 12);
+    const double chord_bal =
+        core::load_balance(bench::chord_loads(ring.value(), net, ids))
+            .max_over_avg;
+    const double g10 =
+        core::load_balance(bench::gred_loads(sys10.value(), ids))
+            .max_over_avg;
+    const double g50 =
+        core::load_balance(bench::gred_loads(sys50.value(), ids))
+            .max_over_avg;
+    table.add_row({std::to_string(items), Table::fmt(chord_bal),
+                   Table::fmt(g10), Table::fmt(g50)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

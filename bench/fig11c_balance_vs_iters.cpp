@@ -1,0 +1,48 @@
+// Fig. 11(c): load balance (max/avg) vs the number of C-regulation
+// iterations T, with 100,000 items (Section VII-E3). Chord and
+// GRED-NoCVT are independent of T (flat lines). Expectation: GRED's
+// max/avg decreases as T grows, dropping below 2 for T >= 20 and
+// plateauing around T = 70.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace gred;
+
+int main() {
+  bench::print_header(
+      "Fig. 11(c)", "load balance max/avg vs C-regulation iterations T",
+      "GRED falls with T, < 2 beyond T=20, plateau near T=70; Chord and "
+      "GRED-NoCVT flat");
+
+  const std::size_t items = 100000;
+  const auto ids = bench::make_ids(items, 13);
+  const topology::EdgeNetwork net =
+      bench::make_waxman_network(100, 10, 3, 7000);
+
+  auto ring = chord::ChordRing::build(net);
+  auto nocvt = core::GredSystem::create(net, bench::nocvt_options());
+  if (!ring.ok() || !nocvt.ok()) return 1;
+  const double chord_bal =
+      core::load_balance(bench::chord_loads(ring.value(), net, ids))
+          .max_over_avg;
+  const double nocvt_bal =
+      core::load_balance(bench::gred_loads(nocvt.value(), ids))
+          .max_over_avg;
+
+  Table table({"T", "GRED", "GRED-NoCVT", "Chord"});
+  for (std::size_t t : {0u, 10u, 20u, 30u, 40u, 50u, 60u, 70u, 80u, 90u,
+                        100u}) {
+    core::VirtualSpaceOptions opt = bench::gred_options(t);
+    if (t == 0) opt.use_cvt = false;
+    auto sys = core::GredSystem::create(net, opt);
+    if (!sys.ok()) return 1;
+    const double bal =
+        core::load_balance(bench::gred_loads(sys.value(), ids))
+            .max_over_avg;
+    table.add_row({std::to_string(t), Table::fmt(bal),
+                   Table::fmt(nocvt_bal), Table::fmt(chord_bal)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark) for the primitive operations every
+// placement/retrieval touches: hashing, key derivation, the control
+// plane's embedding/DT pipeline, greedy routing, Chord lookups, and a
+// full data-plane walk.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "crypto/sha256.hpp"
+#include "geometry/delaunay.hpp"
+#include "linalg/mds.hpp"
+
+using namespace gred;
+
+namespace {
+
+void BM_Sha256_64B(benchmark::State& state) {
+  const std::string msg(64, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(msg));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_Sha256_4KiB(benchmark::State& state) {
+  const std::string msg(4096, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(msg));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Sha256_4KiB);
+
+void BM_DataKeyDerivation(benchmark::State& state) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    crypto::DataKey key("item-" + std::to_string(i++));
+    benchmark::DoNotOptimize(key.position());
+  }
+}
+BENCHMARK(BM_DataKeyDerivation);
+
+void BM_DelaunayBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  std::vector<geometry::Point2D> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.next_double(), rng.next_double()});
+  }
+  for (auto _ : state) {
+    auto dt = geometry::DelaunayTriangulation::build(pts);
+    benchmark::DoNotOptimize(dt);
+  }
+}
+BENCHMARK(BM_DelaunayBuild)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_ClassicalMds(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const topology::EdgeNetwork net =
+      bench::make_waxman_network(n, 1, 3, 900 + n);
+  const auto apsp = graph::all_pairs_shortest_paths(net.switches());
+  linalg::Matrix dist(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) dist(i, j) = apsp.dist(i, j);
+  }
+  for (auto _ : state) {
+    auto mds = linalg::classical_mds(dist, 2);
+    benchmark::DoNotOptimize(mds);
+  }
+}
+BENCHMARK(BM_ClassicalMds)->Arg(50)->Arg(100);
+
+void BM_ControlPlaneFull(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const topology::EdgeNetwork net =
+      bench::make_waxman_network(n, 10, 3, 910 + n);
+  for (auto _ : state) {
+    auto sys = core::GredSystem::create(net, bench::gred_options(50));
+    benchmark::DoNotOptimize(sys);
+  }
+}
+BENCHMARK(BM_ControlPlaneFull)->Arg(50)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_GredPlacementWalk(benchmark::State& state) {
+  const topology::EdgeNetwork net =
+      bench::make_waxman_network(100, 10, 3, 920);
+  auto sys = core::GredSystem::create(net, bench::gred_options(50));
+  if (!sys.ok()) state.SkipWithError("system creation failed");
+  Rng rng(5);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto r = sys.value().place("bench-" + std::to_string(i++), "",
+                               rng.next_below(100));
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_GredPlacementWalk);
+
+void BM_ChordLookup(benchmark::State& state) {
+  const topology::EdgeNetwork net =
+      bench::make_waxman_network(100, 10, 3, 930);
+  auto ring = chord::ChordRing::build(net);
+  if (!ring.ok()) state.SkipWithError("ring build failed");
+  Rng rng(6);
+  for (auto _ : state) {
+    auto trace = ring.value().lookup(rng.next_below(1000), rng.next_u64());
+    benchmark::DoNotOptimize(trace);
+  }
+}
+BENCHMARK(BM_ChordLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Edge CDN: replicate popular video chunks across the edge network and
+// serve each viewer from the replica nearest to their access point —
+// the data-copies design of Section VI. Compares read distance with
+// 1 vs 3 replicas.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/system.hpp"
+#include "topology/presets.hpp"
+
+using namespace gred;
+
+namespace {
+
+/// Mean retrieval hops across many viewers at random access points.
+double mean_read_hops(core::GredSystem& sys, unsigned copies,
+                      const std::vector<std::string>& chunks,
+                      std::size_t switches, Rng& rng) {
+  RunningStats hops;
+  for (const std::string& chunk : chunks) {
+    for (int viewer = 0; viewer < 8; ++viewer) {
+      auto r = sys.retrieve_nearest_replica(chunk, copies,
+                                            rng.next_below(switches));
+      if (!r.ok() || !r.value().route.found) {
+        std::fprintf(stderr, "read failed for %s\n", chunk.c_str());
+        std::abort();
+      }
+      hops.add(static_cast<double>(r.value().selected_hops));
+    }
+  }
+  return hops.mean();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Edge CDN on GRED: nearest-replica video delivery\n");
+  std::printf("================================================\n\n");
+
+  // A metro edge: 10x10 grid of switches, 2 cache servers each.
+  const std::size_t kSwitches = 100;
+  topology::EdgeNetwork net =
+      topology::uniform_edge_network(topology::grid(10, 10), 2);
+
+  auto built = core::GredSystem::create(net, {});
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.error().to_string().c_str());
+    return 1;
+  }
+  core::GredSystem sys1 = std::move(built).value();
+  auto built3 = core::GredSystem::create(net, {});
+  core::GredSystem sys3 = std::move(built3).value();
+
+  // A popular show: 40 video chunks.
+  std::vector<std::string> chunks;
+  for (int i = 0; i < 40; ++i) {
+    chunks.push_back("show/s01e01/chunk-" + std::to_string(i));
+  }
+
+  // Publisher ingests at switch 0; GRED scatters replicas by hashing
+  // "<chunk>#<copy>".
+  for (const std::string& chunk : chunks) {
+    if (!sys1.place_replicated(chunk, "<video bytes>", 1, 0).ok() ||
+        !sys3.place_replicated(chunk, "<video bytes>", 3, 0).ok()) {
+      std::fprintf(stderr, "ingest failed\n");
+      return 1;
+    }
+  }
+  std::printf("Ingested %zu chunks (1 copy vs 3 copies).\n\n", chunks.size());
+
+  Rng rng(99);
+  const double hops1 = mean_read_hops(sys1, 1, chunks, kSwitches, rng);
+  const double hops3 = mean_read_hops(sys3, 3, chunks, kSwitches, rng);
+
+  std::printf("Mean viewer read distance, 1 replica : %.2f hops\n", hops1);
+  std::printf("Mean viewer read distance, 3 replicas: %.2f hops\n", hops3);
+  std::printf("\nReplication cut the average read path by %.0f%%: each "
+              "viewer's switch picks the\nclosest copy directly from the "
+              "virtual-space distances — no directory lookups.\n",
+              100.0 * (1.0 - hops3 / hops1));
+
+  // Load view: replicas also spread the serving load.
+  const auto report = core::load_balance(sys3.network().server_loads());
+  std::printf("Cache load: max/avg = %.2f across %zu servers.\n",
+              report.max_over_avg, sys3.network().server_count());
+  return 0;
+}

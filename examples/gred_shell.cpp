@@ -1,0 +1,285 @@
+// gred_shell: an interactive operator console for a GRED deployment.
+// Reads commands from stdin (one per line) and prints results — handy
+// for poking at placement, retrieval, replication, range extension, and
+// dynamics without writing code. When stdin is not a TTY it runs a
+// built-in demo script so CI and `for b in ...` style runs still
+// exercise it end to end.
+//
+// Commands:
+//   place <id> <payload>         store a payload under an identifier
+//   get <id>                     retrieve it (reports route + hops)
+//   replicate <id> <k> <payload> store k hashed copies
+//   nearest <id> <k>             read the closest of k copies
+//   where <id>                   show the responsible switch/server
+//   extend <server>              delegate an overloaded server's load
+//   retract <server>             undo the delegation
+//   join <links...>              add a switch (2 servers) linked to ...
+//   leave <switch>               remove a switch
+//   stats                        loads, balance, table sizes
+//   help / quit
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "core/system.hpp"
+#include "topology/waxman.hpp"
+
+using namespace gred;
+
+namespace {
+
+void print_help() {
+  std::printf(
+      "commands:\n"
+      "  place <id> <payload>       store payload under id\n"
+      "  get <id>                   retrieve id\n"
+      "  del <id>                   remove id\n"
+      "  replicate <id> <k> <pay>   store k copies\n"
+      "  nearest <id> <k>           read nearest of k copies\n"
+      "  where <id>                 responsible switch/server\n"
+      "  extend <server>            range-extend a server\n"
+      "  retract <server>           undo extension\n"
+      "  join <sw> [sw...]          add switch linked to given switches\n"
+      "  leave <sw>                 remove switch\n"
+      "  stats                      cluster statistics\n"
+      "  help | quit\n");
+}
+
+class Shell {
+ public:
+  explicit Shell(core::GredSystem sys) : sys_(std::move(sys)), rng_(1) {}
+
+  /// Returns false when the shell should exit.
+  bool execute(const std::string& line) {
+    std::istringstream in(trim(line));
+    std::string cmd;
+    if (!(in >> cmd) || cmd.empty() || cmd[0] == '#') return true;
+
+    if (cmd == "quit" || cmd == "exit") return false;
+    if (cmd == "help") {
+      print_help();
+    } else if (cmd == "place") {
+      std::string id, payload;
+      in >> id;
+      std::getline(in, payload);
+      run_place(id, trim(payload));
+    } else if (cmd == "get") {
+      std::string id;
+      in >> id;
+      run_get(id);
+    } else if (cmd == "del") {
+      std::string id;
+      in >> id;
+      auto r = sys_.remove(id, random_ingress());
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.error().to_string().c_str());
+      } else {
+        std::printf(r.value().route.found ? "removed '%s'\n"
+                                          : "'%s' not found\n",
+                    id.c_str());
+      }
+    } else if (cmd == "replicate") {
+      std::string id, payload;
+      unsigned k = 0;
+      in >> id >> k;
+      std::getline(in, payload);
+      run_replicate(id, k, trim(payload));
+    } else if (cmd == "nearest") {
+      std::string id;
+      unsigned k = 0;
+      in >> id >> k;
+      run_nearest(id, k);
+    } else if (cmd == "where") {
+      std::string id;
+      in >> id;
+      run_where(id);
+    } else if (cmd == "extend" || cmd == "retract") {
+      std::size_t server = 0;
+      in >> server;
+      const Status s = cmd == "extend" ? sys_.extend_range(server)
+                                       : sys_.retract_range(server);
+      std::printf(s.ok() ? "ok\n" : "error: %s\n",
+                  s.ok() ? "" : s.error().to_string().c_str());
+    } else if (cmd == "join") {
+      std::vector<topology::SwitchId> links;
+      std::size_t sw = 0;
+      while (in >> sw) links.push_back(sw);
+      auto r = sys_.add_switch(links, 2);
+      if (r.ok()) {
+        std::printf("switch %zu joined; %zu items migrated\n", r.value(),
+                    sys_.controller().last_migration_count());
+      } else {
+        std::printf("error: %s\n", r.error().to_string().c_str());
+      }
+    } else if (cmd == "leave") {
+      std::size_t sw = 0;
+      in >> sw;
+      const Status s = sys_.remove_switch(sw);
+      if (s.ok()) {
+        std::printf("switch %zu left; %zu items re-homed\n", sw,
+                    sys_.controller().last_migration_count());
+      } else {
+        std::printf("error: %s\n", s.error().to_string().c_str());
+      }
+    } else if (cmd == "stats") {
+      run_stats();
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+    }
+    return true;
+  }
+
+ private:
+  topology::SwitchId random_ingress() {
+    return rng_.next_below(sys_.network().switch_count());
+  }
+
+  void run_place(const std::string& id, const std::string& payload) {
+    auto r = sys_.place(id, payload, random_ingress());
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.error().to_string().c_str());
+      return;
+    }
+    std::printf("placed '%s' -> server h%zu at switch %zu "
+                "(%zu hops, stretch %.2f)\n",
+                id.c_str(), r.value().route.delivered_to[0],
+                r.value().destination, r.value().selected_hops,
+                r.value().stretch);
+  }
+
+  void run_get(const std::string& id) {
+    auto r = sys_.retrieve(id, random_ingress());
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.error().to_string().c_str());
+      return;
+    }
+    if (!r.value().route.found) {
+      std::printf("'%s' not found\n", id.c_str());
+      return;
+    }
+    std::printf("'%s' = \"%s\" from h%zu (%zu hops)\n", id.c_str(),
+                r.value().route.payload.c_str(), r.value().route.responder,
+                r.value().selected_hops);
+  }
+
+  void run_replicate(const std::string& id, unsigned k,
+                     const std::string& payload) {
+    auto r = sys_.place_replicated(id, payload, k, random_ingress());
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.error().to_string().c_str());
+      return;
+    }
+    std::printf("placed %u copies of '%s' on servers:", k, id.c_str());
+    for (const auto& rep : r.value()) {
+      std::printf(" h%zu", rep.route.delivered_to[0]);
+    }
+    std::printf("\n");
+  }
+
+  void run_nearest(const std::string& id, unsigned k) {
+    const topology::SwitchId in = random_ingress();
+    auto r = sys_.retrieve_nearest_replica(id, k, in);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.error().to_string().c_str());
+      return;
+    }
+    std::printf("nearest copy of '%s' from switch %zu: h%zu (%zu hops)%s\n",
+                id.c_str(), in, r.value().route.responder,
+                r.value().selected_hops,
+                r.value().route.found ? "" : " [not found]");
+  }
+
+  void run_where(const std::string& id) {
+    auto p = sys_.controller().expected_placement(sys_.network(),
+                                                  crypto::DataKey(id));
+    if (!p.ok()) {
+      std::printf("error: %s\n", p.error().to_string().c_str());
+      return;
+    }
+    const auto pos = crypto::DataKey(id).position();
+    std::printf("'%s' hashes to (%.4f, %.4f) -> switch %zu, server h%zu\n",
+                id.c_str(), pos.x, pos.y, p.value().sw, p.value().server);
+  }
+
+  void run_stats() {
+    const auto loads = sys_.network().server_loads();
+    const auto report = core::load_balance(loads);
+    std::size_t total = 0;
+    for (std::size_t l : loads) total += l;
+    const auto tables = sys_.network().table_entry_counts();
+    double mean_entries = 0;
+    for (std::size_t c : tables) mean_entries += static_cast<double>(c);
+    mean_entries /= static_cast<double>(tables.size());
+    std::printf("switches: %zu   servers: %zu   items: %zu\n",
+                sys_.network().switch_count(),
+                sys_.network().server_count(), total);
+    std::printf("balance: max/avg %.2f, Jain %.2f   "
+                "flow entries/switch: %.1f\n",
+                report.max_over_avg, report.jain, mean_entries);
+    std::printf("embedding stress: %.3f   DT edges: %zu\n",
+                sys_.controller().space().embedding_stress(),
+                sys_.controller().dt().triangulation().edge_count());
+  }
+
+  core::GredSystem sys_;
+  Rng rng_;
+};
+
+const char* kDemoScript[] = {
+    "help",
+    "place video/intro.mp4 welcome-bytes",
+    "place sensor/1/t0 23.5C",
+    "where video/intro.mp4",
+    "get video/intro.mp4",
+    "replicate hot/item 3 popular-bytes",
+    "nearest hot/item 3",
+    "stats",
+    "join 0 1",
+    "get video/intro.mp4",
+    "leave 3",
+    "get sensor/1/t0",
+    "del sensor/1/t0",
+    "get sensor/1/t0",
+    "stats",
+    "quit",
+};
+
+}  // namespace
+
+int main() {
+  Rng rng(42);
+  topology::WaxmanOptions wopt;
+  wopt.node_count = 16;
+  wopt.min_degree = 3;
+  auto topo = topology::generate_waxman(wopt, rng);
+  if (!topo.ok()) return 1;
+  auto sys = core::GredSystem::create(
+      topology::uniform_edge_network(std::move(topo).value().graph, 2), {});
+  if (!sys.ok()) {
+    std::fprintf(stderr, "%s\n", sys.error().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("GRED shell — 16 switches, 32 servers. Type 'help'.\n");
+  Shell shell(std::move(sys).value());
+
+  if (isatty(fileno(stdin))) {
+    std::string line;
+    while (std::printf("gred> "), std::fflush(stdout),
+           std::getline(std::cin, line)) {
+      if (!shell.execute(line)) break;
+    }
+  } else {
+    std::printf("(no TTY: running the demo script)\n");
+    for (const char* line : kDemoScript) {
+      std::printf("gred> %s\n", line);
+      if (!shell.execute(line)) break;
+    }
+  }
+  return 0;
+}

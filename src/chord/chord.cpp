@@ -1,0 +1,165 @@
+#include "chord/chord.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace gred::chord {
+
+bool in_ring_interval(RingId a, RingId b, RingId x) {
+  // (a, b] on the 2^64 ring. When a == b the interval is the full ring.
+  const RingId span = b - a;  // modular
+  const RingId off = x - a;   // modular
+  if (span == 0) return true;
+  return off != 0 && off <= span;
+}
+
+Result<ChordRing> ChordRing::build(const topology::EdgeNetwork& net,
+                                   const ChordOptions& options) {
+  if (net.server_count() == 0) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "ChordRing: network has no servers");
+  }
+  if (options.virtual_nodes == 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "ChordRing: virtual_nodes must be >= 1");
+  }
+  if (options.finger_bits == 0 || options.finger_bits > 64) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "ChordRing: finger_bits must be in [1, 64]");
+  }
+
+  ChordRing ring;
+  ring.options_ = options;
+  ring.ring_.reserve(net.server_count() * options.virtual_nodes);
+  for (const topology::EdgeServer& s : net.all_servers()) {
+    for (unsigned v = 0; v < options.virtual_nodes; ++v) {
+      const std::string label =
+          "chord-node-" + std::to_string(s.id) + "-" + std::to_string(v);
+      RingNode node;
+      node.id = crypto::DataKey(label).prefix64();
+      node.server = s.id;
+      ring.ring_.push_back(std::move(node));
+    }
+  }
+  std::sort(ring.ring_.begin(), ring.ring_.end(),
+            [](const RingNode& a, const RingNode& b) {
+              if (a.id != b.id) return a.id < b.id;
+              return a.server < b.server;
+            });
+  // Hash collisions on 64-bit ids are astronomically unlikely; dedupe
+  // defensively so the successor function stays well defined.
+  ring.ring_.erase(std::unique(ring.ring_.begin(), ring.ring_.end(),
+                               [](const RingNode& a, const RingNode& b) {
+                                 return a.id == b.id;
+                               }),
+                   ring.ring_.end());
+
+  // Finger tables: finger[i] = successor(id + 2^i), i in [0, m).
+  for (RingNode& node : ring.ring_) {
+    node.fingers.resize(options.finger_bits);
+    for (unsigned i = 0; i < options.finger_bits; ++i) {
+      const RingId target = node.id + (RingId{1} << i);  // modular
+      node.fingers[i] = ring.successor_index(target);
+    }
+  }
+  return ring;
+}
+
+std::size_t ChordRing::successor_index(RingId key) const {
+  // First ring node with id >= key, wrapping to index 0.
+  const auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), key,
+      [](const RingNode& node, RingId k) { return node.id < k; });
+  if (it == ring_.end()) return 0;
+  return static_cast<std::size_t>(it - ring_.begin());
+}
+
+topology::ServerId ChordRing::successor_server(RingId key) const {
+  return ring_[successor_index(key)].server;
+}
+
+std::size_t ChordRing::closest_preceding(std::size_t node_idx,
+                                         RingId key) const {
+  const RingNode& node = ring_[node_idx];
+  for (std::size_t i = node.fingers.size(); i-- > 0;) {
+    const std::size_t f = node.fingers[i];
+    if (f == node_idx) continue;
+    // Finger strictly in (node.id, key).
+    if (in_ring_interval(node.id, key, ring_[f].id) && ring_[f].id != key) {
+      return f;
+    }
+  }
+  return node_idx;
+}
+
+LookupTrace ChordRing::lookup(topology::ServerId from, RingId key) const {
+  LookupTrace trace;
+  // Start at the querying server's first virtual node on the ring.
+  std::size_t cur = 0;
+  bool found_start = false;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    if (ring_[i].server == from) {
+      cur = i;
+      found_start = true;
+      break;
+    }
+  }
+  if (!found_start) {
+    // Unknown origin: answer directly (no overlay route to record).
+    trace.home = successor_server(key);
+    return trace;
+  }
+
+  // The origin may already own the key: key in (predecessor, cur].
+  {
+    const std::size_t pred = cur == 0 ? ring_.size() - 1 : cur - 1;
+    if (ring_.size() == 1 ||
+        in_ring_interval(ring_[pred].id, ring_[cur].id, key)) {
+      trace.home = ring_[cur].server;
+      return trace;
+    }
+  }
+
+  // Iterative find_successor with a defensive step bound.
+  const std::size_t max_steps = 2 * ring_.size() + 64;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const std::size_t succ =
+        cur + 1 < ring_.size() ? cur + 1 : 0;  // ring successor
+    if (in_ring_interval(ring_[cur].id, ring_[succ].id, key)) {
+      // Key owned by cur's successor: final overlay hop unless we are
+      // already there.
+      if (ring_[succ].server != ring_[cur].server) {
+        trace.hops.push_back({ring_[cur].server, ring_[succ].server});
+      }
+      trace.home = ring_[succ].server;
+      return trace;
+    }
+    std::size_t next = closest_preceding(cur, key);
+    if (next == cur) next = succ;  // no finger helps: crawl the ring
+    if (ring_[next].server != ring_[cur].server) {
+      trace.hops.push_back({ring_[cur].server, ring_[next].server});
+    }
+    cur = next;
+  }
+  // Defensive: should be unreachable with consistent finger tables.
+  trace.home = successor_server(key);
+  return trace;
+}
+
+std::size_t ChordRing::finger_entries(topology::ServerId server) const {
+  std::size_t total = 0;
+  for (const RingNode& node : ring_) {
+    if (node.server != server) continue;
+    // Distinct finger targets (the classic table stores m rows but many
+    // point at the same node; count distinct, which is what a real
+    // implementation keeps in its routing state).
+    std::vector<std::size_t> distinct = node.fingers;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    total += distinct.size();
+  }
+  return total;
+}
+
+}  // namespace gred::chord

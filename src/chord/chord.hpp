@@ -1,0 +1,86 @@
+// Chord baseline (Stoica et al., SIGCOMM'01) — the comparison system in
+// the paper's evaluation. Every edge server is a Chord peer on a 2^64
+// identifier ring; lookups walk finger tables in O(log n) overlay hops,
+// and each overlay hop is mapped onto the physical switch topology to
+// measure the routing stretch the paper reports (Fig. 9) alongside the
+// per-server key load (Fig. 11).
+//
+// Supports virtual nodes (Section II-A notes Chord can trade routing
+// state for balance); the paper's comparisons run v = 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "crypto/data_key.hpp"
+#include "topology/edge_network.hpp"
+
+namespace gred::chord {
+
+using RingId = std::uint64_t;
+
+/// True iff x lies in the half-open ring interval (a, b].
+bool in_ring_interval(RingId a, RingId b, RingId x);
+
+struct ChordOptions {
+  unsigned virtual_nodes = 1;  ///< ring points per physical server
+  unsigned finger_bits = 64;   ///< m: finger table entries per ring node
+};
+
+/// One hop of a lookup at overlay granularity.
+struct OverlayHop {
+  topology::ServerId from = topology::kNoServer;
+  topology::ServerId to = topology::kNoServer;
+};
+
+/// Result of a Chord lookup.
+struct LookupTrace {
+  topology::ServerId home = topology::kNoServer;  ///< responsible server
+  std::vector<OverlayHop> hops;                   ///< overlay transitions
+  std::size_t overlay_hop_count() const { return hops.size(); }
+};
+
+class ChordRing {
+ public:
+  /// Builds the ring over all servers of `net`. Ring ids are
+  /// SHA-256("chord-node-<server>-<vnode>") truncated to 64 bits, so
+  /// the placement is exactly the hash-based assignment Chord uses.
+  /// Fails when the network has no servers.
+  static Result<ChordRing> build(const topology::EdgeNetwork& net,
+                                 const ChordOptions& options = {});
+
+  /// Ring key of a data identifier: first 64 bits of SHA-256(id) — the
+  /// same digest GRED uses, so both systems hash identical keys.
+  static RingId key_of(const crypto::DataKey& key) { return key.prefix64(); }
+
+  /// The server responsible for `key` (successor on the ring).
+  topology::ServerId successor_server(RingId key) const;
+
+  /// Iterative finger-table lookup starting from `from`'s first virtual
+  /// node. Every node-to-node transition is recorded as an overlay hop.
+  LookupTrace lookup(topology::ServerId from, RingId key) const;
+
+  /// Number of finger-table entries a physical server stores (counting
+  /// all its virtual nodes, deduplicated per virtual node).
+  std::size_t finger_entries(topology::ServerId server) const;
+
+  std::size_t ring_size() const { return ring_.size(); }
+  unsigned virtual_nodes() const { return options_.virtual_nodes; }
+
+ private:
+  struct RingNode {
+    RingId id = 0;
+    topology::ServerId server = topology::kNoServer;
+    /// finger[i] = index into ring_ of successor(id + 2^i).
+    std::vector<std::size_t> fingers;
+  };
+
+  std::size_t successor_index(RingId key) const;
+  std::size_t closest_preceding(std::size_t node_idx, RingId key) const;
+
+  ChordOptions options_;
+  std::vector<RingNode> ring_;  ///< sorted by id ascending
+};
+
+}  // namespace gred::chord

@@ -1,0 +1,50 @@
+#include "chord/underlay.hpp"
+
+namespace gred::chord {
+
+ChordRouteReport measure_lookup(const ChordRing& ring,
+                                const topology::EdgeNetwork& net,
+                                const graph::ApspResult& apsp,
+                                topology::ServerId from, RingId key) {
+  ChordRouteReport report;
+  report.trace = ring.lookup(from, key);
+
+  auto switch_of = [&net](topology::ServerId s) {
+    return net.server(s).attached_to;
+  };
+
+  for (const OverlayHop& hop : report.trace.hops) {
+    const std::size_t hops =
+        apsp.hop_count(switch_of(hop.from), switch_of(hop.to));
+    if (hops != static_cast<std::size_t>(-1)) {
+      report.physical_hops += hops;
+    }
+  }
+  const std::size_t shortest =
+      apsp.hop_count(switch_of(from), switch_of(report.trace.home));
+  report.shortest_hops =
+      shortest == static_cast<std::size_t>(-1) ? 0 : shortest;
+
+  if (report.shortest_hops == 0) {
+    report.stretch = report.physical_hops == 0
+                         ? 1.0
+                         : static_cast<double>(report.physical_hops);
+  } else {
+    report.stretch = static_cast<double>(report.physical_hops) /
+                     static_cast<double>(report.shortest_hops);
+  }
+  return report;
+}
+
+std::vector<std::size_t> chord_key_loads(const ChordRing& ring,
+                                         const topology::EdgeNetwork& net,
+                                         const std::vector<RingId>& keys) {
+  std::vector<std::size_t> loads(net.server_count(), 0);
+  for (RingId key : keys) {
+    const topology::ServerId home = ring.successor_server(key);
+    if (home < loads.size()) ++loads[home];
+  }
+  return loads;
+}
+
+}  // namespace gred::chord

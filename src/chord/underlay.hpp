@@ -1,0 +1,36 @@
+// Maps Chord overlay lookups onto the physical switch topology — the
+// measurement the paper's Fig. 2 motivates and Fig. 9/11 quantify: each
+// overlay hop between two servers costs the physical shortest path
+// between their switches, so an O(log n)-hop lookup accumulates far
+// more link traversals than its source-to-home shortest path.
+#pragma once
+
+#include <vector>
+
+#include "chord/chord.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace gred::chord {
+
+struct ChordRouteReport {
+  LookupTrace trace;
+  std::size_t physical_hops = 0;  ///< sum over overlay hops
+  std::size_t shortest_hops = 0;  ///< source switch -> home switch
+  double stretch = 1.0;
+};
+
+/// Performs `ring.lookup(from, key)` and prices it on the physical
+/// topology using `apsp` (hop counts over net.switches()).
+ChordRouteReport measure_lookup(const ChordRing& ring,
+                                const topology::EdgeNetwork& net,
+                                const graph::ApspResult& apsp,
+                                topology::ServerId from, RingId key);
+
+/// Assigns each key to its successor server and returns per-server
+/// counts (indexed by global server id) — the Chord load vector for the
+/// max/avg comparisons.
+std::vector<std::size_t> chord_key_loads(const ChordRing& ring,
+                                         const topology::EdgeNetwork& net,
+                                         const std::vector<RingId>& keys);
+
+}  // namespace gred::chord

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Benches and examples use it for progress
+// output; library code logs only at kWarn and above. Not thread-hot:
+// GRED's simulators are single-threaded and deterministic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gred {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level (default kWarn so library use is quiet).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes one formatted line to stderr if `level` passes the filter.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define GRED_LOG(level) ::gred::detail::LogLine(level)
+#define GRED_DEBUG GRED_LOG(::gred::LogLevel::kDebug)
+#define GRED_INFO GRED_LOG(::gred::LogLevel::kInfo)
+#define GRED_WARN GRED_LOG(::gred::LogLevel::kWarn)
+#define GRED_ERROR GRED_LOG(::gred::LogLevel::kError)
+
+}  // namespace gred

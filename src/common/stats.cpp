@@ -1,0 +1,167 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace gred {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci_halfwidth(double level) const {
+  if (n_ < 2) return 0.0;
+  // Two-sided z for the common levels; default to 90%.
+  double z = 1.6448536269514722;  // 90%
+  if (level >= 0.99) {
+    z = 2.5758293035489004;
+  } else if (level >= 0.95) {
+    z = 1.959963984540054;
+  }
+  return z * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  RunningStats rs;
+  for (double x : samples) rs.add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.p50 = percentile_sorted(samples, 0.50);
+  s.p90 = percentile_sorted(samples, 0.90);
+  s.p99 = percentile_sorted(samples, 0.99);
+  s.ci90 = rs.ci_halfwidth(0.90);
+  return s;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " +/-" << ci90 << " (90% CI)"
+     << " sd=" << stddev << " min=" << min << " p50=" << p50 << " p90=" << p90
+     << " p99=" << p99 << " max=" << max;
+  return os.str();
+}
+
+double max_over_avg(const std::vector<std::size_t>& loads) {
+  if (loads.empty()) return 0.0;
+  std::size_t mx = 0;
+  std::size_t total = 0;
+  for (std::size_t x : loads) {
+    mx = std::max(mx, x);
+    total += x;
+  }
+  if (total == 0) return 0.0;
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(loads.size());
+  return static_cast<double>(mx) / avg;
+}
+
+double jain_fairness(const std::vector<std::size_t>& loads) {
+  if (loads.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t x : loads) {
+    const double v = static_cast<double>(x);
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(loads.size()) * sum_sq);
+}
+
+double coefficient_of_variation(const std::vector<std::size_t>& loads) {
+  RunningStats rs;
+  for (std::size_t x : loads) rs.add(static_cast<double>(x));
+  if (rs.mean() == 0.0) return 0.0;
+  return rs.stddev() / rs.mean();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(bins > 0 && hi > lo);
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+std::string Histogram::to_string(std::size_t width) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    os << "[" << bin_low(i) << ", " << bin_high(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gred

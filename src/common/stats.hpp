@@ -1,0 +1,96 @@
+// Statistics helpers used by the benchmark harness and the evaluation
+// metrics: summary statistics, percentiles, confidence intervals (the
+// paper reports 90% CIs on routing stretch and table sizes), and a
+// simple fixed-bin histogram.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gred {
+
+/// Streaming accumulator (Welford) for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Half-width of the two-sided confidence interval of the mean at the
+  /// given level (0.90 or 0.95), using the normal approximation (the
+  /// paper averages >= 100 samples per point, so z is appropriate).
+  double ci_halfwidth(double level = 0.90) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Summary of a finished sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double ci90 = 0.0;  ///< 90% CI half-width of the mean.
+
+  std::string to_string() const;
+};
+
+/// Computes a Summary from raw samples (copies and sorts internally).
+Summary summarize(std::vector<double> samples);
+
+/// Linear-interpolated percentile of a *sorted* sample vector, q in [0,1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// max/avg load-balance metric from per-server load counts, as used
+/// throughout the paper's Section VII-E. Returns 0 when all loads are 0.
+double max_over_avg(const std::vector<std::size_t>& loads);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2). 1 = perfectly fair.
+double jain_fairness(const std::vector<std::size_t>& loads);
+
+/// Coefficient of variation (stddev/mean) of loads; 0 when mean == 0.
+double coefficient_of_variation(const std::vector<std::size_t>& loads);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped to
+/// the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+
+  /// Multi-line ASCII rendering (for bench diagnostics).
+  std::string to_string(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace gred

@@ -1,0 +1,25 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gred {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Joins with a delimiter string.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Human-readable byte count ("1.5 KiB", "3.2 MiB").
+std::string human_bytes(std::size_t bytes);
+
+}  // namespace gred

@@ -1,0 +1,435 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "graph/properties.hpp"
+
+namespace gred::core {
+namespace {
+
+using geometry::Point2D;
+using topology::ServerId;
+using topology::SwitchId;
+
+/// Switches that join the DT: those with at least one attached server.
+std::vector<SwitchId> find_participants(const topology::EdgeNetwork& desc) {
+  std::vector<SwitchId> out;
+  for (SwitchId sw = 0; sw < desc.switch_count(); ++sw) {
+    if (!desc.servers_at(sw).empty()) out.push_back(sw);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status Controller::initialize(sden::SdenNetwork& net) {
+  const std::vector<SwitchId> participants =
+      find_participants(net.description());
+  if (participants.empty()) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "Controller: no switch has attached servers");
+  }
+
+  recompute_apsp(net);
+
+  auto space = VirtualSpace::build(participants, routing_apsp(), options_);
+  if (!space.ok()) return space.error();
+  space_ = std::move(space).value();
+
+  auto dt = MultiHopDT::build(space_.participants(), space_.positions(),
+                              net.description().switches(), routing_apsp());
+  if (!dt.ok()) return dt.error();
+  dt_ = std::move(dt).value();
+
+  const Status installed = install(net);
+  if (!installed.ok()) return installed;
+  initialized_ = true;
+  return Status::Ok();
+}
+
+Status Controller::initialize_with_positions(
+    sden::SdenNetwork& net,
+    const std::vector<SwitchId>& participants,
+    const std::vector<Point2D>& positions) {
+  const std::vector<SwitchId> expected =
+      find_participants(net.description());
+  if (participants != expected) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "initialize_with_positions: participant set does not "
+                  "match the switches with servers");
+  }
+  recompute_apsp(net);
+  auto space =
+      VirtualSpace::from_positions(participants, positions, routing_apsp());
+  if (!space.ok()) return space.error();
+  space_ = std::move(space).value();
+
+  auto dt = MultiHopDT::build(space_.participants(), space_.positions(),
+                              net.description().switches(), routing_apsp());
+  if (!dt.ok()) return dt.error();
+  dt_ = std::move(dt).value();
+
+  const Status installed = install(net);
+  if (!installed.ok()) return installed;
+  initialized_ = true;
+  return Status::Ok();
+}
+
+Status Controller::install(sden::SdenNetwork& net) {
+  // Wipe everything, then install fresh state (the controller owns all
+  // switch state; per-flow entries never exist).
+  for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+    net.switch_at(sw).reset();
+  }
+
+  const auto& participants = space_.participants();
+  const auto& positions = space_.positions();
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    const SwitchId id = participants[i];
+    sden::Switch& sw = net.switch_at(id);
+    sw.set_position(positions[i]);
+    sw.set_local_servers(net.description().servers_at(id));
+    for (const DtNeighborInfo& cand : dt_.candidates_of(id)) {
+      sden::NeighborEntry entry;
+      entry.neighbor = cand.neighbor;
+      entry.position = cand.position;
+      entry.physical = cand.physical;
+      entry.first_hop = cand.first_hop;
+      sw.table().add_neighbor(entry);
+    }
+  }
+  for (const auto& [sw_id, relays] : dt_.relay_entries()) {
+    for (const sden::RelayEntry& relay : relays) {
+      net.switch_at(sw_id).table().add_relay(relay);
+    }
+  }
+  return Status::Ok();
+}
+
+topology::SwitchId Controller::home_switch(const Point2D& p) const {
+  return space_.nearest_participant(p);
+}
+
+Result<Controller::Placement> Controller::expected_placement(
+    sden::SdenNetwork& net, const crypto::DataKey& key) const {
+  if (!initialized_) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "Controller not initialized");
+  }
+  Placement p;
+  const crypto::SpacePoint pos = key.position();
+  p.sw = home_switch({pos.x, pos.y});
+  const auto& servers = net.description().servers_at(p.sw);
+  if (servers.empty()) {
+    return Error(ErrorCode::kInternal, "home switch has no servers");
+  }
+  p.server = servers[static_cast<std::size_t>(key.mod(servers.size()))];
+  return p;
+}
+
+Status Controller::extend_range(sden::SdenNetwork& net,
+                                ServerId overloaded) {
+  if (overloaded >= net.server_count()) {
+    return Status(ErrorCode::kOutOfRange, "extend_range: unknown server");
+  }
+  const SwitchId sw = net.server(overloaded).info().attached_to;
+
+  // Pick the delegate: the server with the most remaining capacity on
+  // any physical-neighbor switch (Section V-B).
+  ServerId best = topology::kNoServer;
+  SwitchId best_via = sden::kNoSwitch;
+  std::size_t best_remaining = 0;
+  for (const graph::EdgeTo& e : net.description().switches().neighbors(sw)) {
+    for (ServerId candidate : net.description().servers_at(e.to)) {
+      const std::size_t remaining = net.server(candidate).remaining_capacity();
+      if (best == topology::kNoServer || remaining > best_remaining) {
+        best = candidate;
+        best_via = e.to;
+        best_remaining = remaining;
+      }
+    }
+  }
+  if (best == topology::kNoServer) {
+    return Status(ErrorCode::kUnavailable,
+                  "extend_range: no neighbor switch has servers");
+  }
+
+  sden::RewriteEntry rewrite;
+  rewrite.original = overloaded;
+  rewrite.replacement = best;
+  rewrite.via_switch = best_via;
+  net.switch_at(sw).table().add_rewrite(rewrite);
+  return Status::Ok();
+}
+
+Status Controller::retract_range(sden::SdenNetwork& net,
+                                 ServerId overloaded) {
+  if (overloaded >= net.server_count()) {
+    return Status(ErrorCode::kOutOfRange, "retract_range: unknown server");
+  }
+  const SwitchId sw = net.server(overloaded).info().attached_to;
+  const auto rewrite = net.switch_at(sw).table().match_rewrite(overloaded);
+  if (!rewrite.has_value()) {
+    return Status(ErrorCode::kNotFound,
+                  "retract_range: no extension active for this server");
+  }
+
+  // Pull back the items that belong to `overloaded` (Section V-B: the
+  // server "first retrieves the data which should be placed in [it]").
+  sden::ServerNode& delegate = net.server(rewrite->replacement);
+  sden::ServerNode& owner = net.server(overloaded);
+  std::vector<std::string> to_move;
+  for (const auto& [id, payload] : delegate.items()) {
+    const crypto::DataKey key(id);
+    const auto placement = expected_placement(net, key);
+    if (placement.ok() && placement.value().server == overloaded) {
+      to_move.push_back(id);
+    }
+  }
+  for (const std::string& id : to_move) {
+    if (owner.at_capacity()) {
+      return Status(ErrorCode::kUnavailable,
+                    "retract_range: owner filled up before migration "
+                    "finished; extension kept");
+    }
+    auto payload = delegate.fetch(id);
+    const Status stored = owner.store(id, std::move(*payload));
+    if (!stored.ok()) return stored;
+    delegate.erase(id);
+  }
+
+  net.switch_at(sw).table().remove_rewrite(overloaded);
+  return Status::Ok();
+}
+
+Result<std::size_t> Controller::migrate_items(sden::SdenNetwork& net) {
+  struct Move {
+    std::string id;
+    std::string payload;
+    ServerId from;
+    ServerId to;
+  };
+  std::vector<Move> moves;
+  for (ServerId s = 0; s < net.server_count(); ++s) {
+    for (const auto& [id, payload] : net.server(s).items()) {
+      const crypto::DataKey key(id);
+      const auto placement = expected_placement(net, key);
+      if (!placement.ok()) return placement.error();
+      if (placement.value().server != s) {
+        moves.push_back({id, payload, s, placement.value().server});
+      }
+    }
+  }
+  for (const Move& m : moves) {
+    net.server(m.from).erase(m.id);
+    const Status stored = net.server(m.to).store(m.id, m.payload);
+    if (!stored.ok()) return stored.error();
+  }
+  return moves.size();
+}
+
+geometry::Point2D Controller::fit_position(const sden::SdenNetwork& net,
+                                           SwitchId sw) const {
+  const graph::SsspResult sssp =
+      options_.weighted_embedding
+          ? graph::dijkstra(net.description().switches(), sw)
+          : graph::bfs(net.description().switches(), sw);
+  const auto& participants = space_.participants();
+  const auto& positions = space_.positions();
+
+  // Anchor set: existing participants with finite hop distance.
+  std::vector<Point2D> anchors;
+  std::vector<double> targets;  // desired virtual distance
+  Point2D init{0.5, 0.5};
+  double init_weight = 0.0;
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    if (participants[i] == sw) continue;
+    const double d = sssp.dist[participants[i]];
+    if (d == graph::kUnreachable) continue;
+    anchors.push_back(positions[i]);
+    targets.push_back(d * space_.scale());
+    if (d <= 1.0) {
+      init = init_weight == 0.0 ? positions[i] : init + positions[i];
+      init_weight += 1.0;
+    }
+  }
+  if (anchors.empty()) return {0.5, 0.5};
+  if (init_weight > 0.0) {
+    init = init / init_weight;
+    if (init_weight == 1.0) {
+      // Single neighbor: offset by one hop so the points are distinct.
+      init.x += space_.scale();
+    }
+  }
+
+  // Gradient descent on sum_i (|p - a_i| - t_i)^2.
+  Point2D p = init;
+  double step = 0.1;
+  for (int iter = 0; iter < 400; ++iter) {
+    Point2D grad{0.0, 0.0};
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+      const Point2D diff = p - anchors[i];
+      const double len = geometry::norm(diff);
+      if (len < 1e-12) continue;
+      const double coef = 2.0 * (len - targets[i]) / len;
+      grad = grad + diff * coef;
+    }
+    p = p - grad * (step / static_cast<double>(anchors.size()));
+    step *= 0.995;
+    p.x = std::clamp(p.x, 0.0, 1.0);
+    p.y = std::clamp(p.y, 0.0, 1.0);
+  }
+  return p;
+}
+
+void Controller::recompute_apsp(const sden::SdenNetwork& net) {
+  const graph::Graph& g = net.description().switches();
+  apsp_ = graph::all_pairs_shortest_paths(g, /*weighted=*/false);
+  apsp_weighted_ = graph::all_pairs_shortest_paths(g, /*weighted=*/true);
+}
+
+Status Controller::add_link(sden::SdenNetwork& net, SwitchId u, SwitchId v,
+                            double weight) {
+  if (!initialized_) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "Controller not initialized");
+  }
+  const Status added =
+      net.description().switches().has_edge(u, v)
+          ? Status(ErrorCode::kFailedPrecondition, "link already exists")
+          : net.mutable_description().mutable_switches().add_edge(u, v,
+                                                                  weight);
+  if (!added.ok()) return added;
+  return rebuild_and_install(net);
+}
+
+Status Controller::remove_link(sden::SdenNetwork& net, SwitchId u,
+                               SwitchId v) {
+  if (!initialized_) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "Controller not initialized");
+  }
+  if (!net.description().switches().has_edge(u, v)) {
+    return Status(ErrorCode::kNotFound, "remove_link: no such link");
+  }
+  // Pre-check: participants must stay mutually reachable without it.
+  {
+    graph::Graph probe = net.description().switches();
+    probe.remove_edge(u, v);
+    const auto& parts = space_.participants();
+    const graph::SsspResult reach = graph::bfs(probe, parts.front());
+    for (SwitchId p : parts) {
+      if (reach.dist[p] == graph::kUnreachable) {
+        return Status(ErrorCode::kFailedPrecondition,
+                      "remove_link: failure would disconnect participants");
+      }
+    }
+  }
+  net.mutable_description().mutable_switches().remove_edge(u, v);
+  return rebuild_and_install(net);
+}
+
+Status Controller::rebuild_and_install(sden::SdenNetwork& net) {
+  recompute_apsp(net);
+  auto dt = MultiHopDT::build(space_.participants(), space_.positions(),
+                              net.description().switches(), routing_apsp());
+  if (!dt.ok()) return dt.error();
+  dt_ = std::move(dt).value();
+  return install(net);
+}
+
+Result<topology::SwitchId> Controller::add_switch(
+    sden::SdenNetwork& net, const std::vector<SwitchId>& links,
+    std::size_t server_count, std::size_t capacity) {
+  if (!initialized_) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "Controller not initialized");
+  }
+  if (links.empty()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "add_switch: new switch must have at least one link");
+  }
+  auto added = net.add_switch(links);
+  if (!added.ok()) return added.error();
+  const SwitchId sw = added.value();
+  for (std::size_t k = 0; k < server_count; ++k) {
+    auto attached = net.attach_server(sw, capacity);
+    if (!attached.ok()) return attached.error();
+  }
+
+  if (server_count > 0) {
+    // The new node joins the DT; others keep their positions
+    // (Section VI: a join "only affects its neighbors").
+    space_.add_participant(sw, fit_position(net, sw));
+  }
+  const Status rebuilt = rebuild_and_install(net);
+  if (!rebuilt.ok()) return rebuilt.error();
+
+  auto migrated = migrate_items(net);
+  if (!migrated.ok()) return migrated.error();
+  last_migration_ = migrated.value();
+  return sw;
+}
+
+Status Controller::remove_switch(sden::SdenNetwork& net, SwitchId sw) {
+  if (!initialized_) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "Controller not initialized");
+  }
+  if (sw >= net.switch_count()) {
+    return Status(ErrorCode::kOutOfRange, "remove_switch: unknown switch");
+  }
+
+  // Pre-check: remaining participants must stay mutually reachable.
+  {
+    graph::Graph probe = net.description().switches();
+    probe.remove_edges_of(sw);
+    std::vector<SwitchId> remaining;
+    for (SwitchId p : space_.participants()) {
+      if (p != sw) remaining.push_back(p);
+    }
+    if (remaining.empty()) {
+      return Status(ErrorCode::kFailedPrecondition,
+                    "remove_switch: last participant cannot leave");
+    }
+    const graph::SsspResult reach = graph::bfs(probe, remaining.front());
+    for (SwitchId p : remaining) {
+      if (reach.dist[p] == graph::kUnreachable) {
+        return Status(ErrorCode::kFailedPrecondition,
+                      "remove_switch: removal disconnects participants");
+      }
+    }
+  }
+
+  // Collect the leaving switch's data for re-placement.
+  std::vector<std::pair<std::string, std::string>> orphans;
+  for (ServerId s : net.description().servers_at(sw)) {
+    for (const auto& [id, payload] : net.server(s).items()) {
+      orphans.emplace_back(id, payload);
+    }
+    net.server(s) = sden::ServerNode(net.server(s).info());
+  }
+
+  net.remove_switch_links(sw);
+  space_.remove_participant(sw);
+
+  const Status rebuilt = rebuild_and_install(net);
+  if (!rebuilt.ok()) return rebuilt;
+
+  // Existing items whose home changed migrate; orphans are re-placed.
+  auto migrated = migrate_items(net);
+  if (!migrated.ok()) return migrated.error();
+  last_migration_ = migrated.value() + orphans.size();
+  for (auto& [id, payload] : orphans) {
+    const auto placement = expected_placement(net, crypto::DataKey(id));
+    if (!placement.ok()) return placement.error();
+    const Status stored =
+        net.server(placement.value().server).store(id, std::move(payload));
+    if (!stored.ok()) return stored;
+  }
+  return Status::Ok();
+}
+
+}  // namespace gred::core

@@ -1,0 +1,143 @@
+// The GRED SDN controller (Section III "Control plane"): computes the
+// virtual space (M-position + C-regulation), builds the multi-hop DT,
+// and proactively installs all forwarding state into the switches of an
+// SdenNetwork. Also owns the control-plane halves of range extension
+// (Section V-B) and network dynamics (Section VI).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/multihop_dt.hpp"
+#include "core/virtual_space.hpp"
+#include "crypto/data_key.hpp"
+#include "graph/shortest_path.hpp"
+#include "sden/network.hpp"
+
+namespace gred::core {
+
+class Controller {
+ public:
+  explicit Controller(VirtualSpaceOptions options = {})
+      : options_(options) {}
+
+  /// Full control-plane pipeline over `net`: collect topology, compute
+  /// APSP, embed, refine, triangulate, and install all flow entries.
+  /// Participants are the switches with at least one attached server;
+  /// others act as pure transit (Section IV-C).
+  Status initialize(sden::SdenNetwork& net);
+
+  /// Variant used by snapshot restore: skips M-position/C-regulation
+  /// and adopts the given switch positions verbatim, then rebuilds the
+  /// DT and installs flow entries. `participants` must be exactly the
+  /// switches of `net` with at least one server.
+  Status initialize_with_positions(
+      sden::SdenNetwork& net,
+      const std::vector<topology::SwitchId>& participants,
+      const std::vector<geometry::Point2D>& positions);
+
+  bool initialized() const { return initialized_; }
+  const VirtualSpaceOptions& options() const { return options_; }
+  const VirtualSpace& space() const { return space_; }
+  const MultiHopDT& dt() const { return dt_; }
+  /// Hop-count (unweighted) all-pairs shortest paths — the stretch
+  /// metric's baseline.
+  const graph::ApspResult& apsp() const { return apsp_; }
+  /// Latency-weighted all-pairs shortest paths (equal to apsp() on
+  /// unit-weight topologies) — baseline for the cost/latency metrics.
+  const graph::ApspResult& apsp_latency() const { return apsp_weighted_; }
+
+  /// The switch whose position is closest to `p` — the owner of any
+  /// data hashed there. Ground truth for tests and migration.
+  topology::SwitchId home_switch(const geometry::Point2D& p) const;
+
+  /// The (switch, server) that should store `key` absent any range
+  /// extension: home switch, then serial H(d) mod s.
+  struct Placement {
+    topology::SwitchId sw = 0;
+    topology::ServerId server = topology::kNoServer;
+  };
+  Result<Placement> expected_placement(sden::SdenNetwork& net,
+                                       const crypto::DataKey& key) const;
+
+  // --- Range extension (Section V-B) ---
+
+  /// Delegates the storage load of `overloaded` to the server with the
+  /// most remaining capacity attached to a physical-neighbor switch,
+  /// installing the rewrite entry at the overloaded server's switch.
+  Status extend_range(sden::SdenNetwork& net,
+                      topology::ServerId overloaded);
+
+  /// Undoes an extension: migrates the delegated items that belong to
+  /// `overloaded` back (it has capacity again) and removes the rewrite.
+  Status retract_range(sden::SdenNetwork& net,
+                       topology::ServerId overloaded);
+
+  // --- Network dynamics (Section VI) ---
+
+  /// Joins a new switch with the given physical links and
+  /// `server_count` servers of `capacity`. Existing switch positions
+  /// are untouched (the join "only affects its neighbors"): the new
+  /// position is a local stress fit to hop distances, then the DT and
+  /// flow tables are rebuilt and affected items migrate to the new
+  /// home. Returns the new switch id.
+  Result<topology::SwitchId> add_switch(
+      sden::SdenNetwork& net, const std::vector<topology::SwitchId>& links,
+      std::size_t server_count, std::size_t capacity = 0);
+
+  /// Removes a switch (leave/failure): its items are re-placed at their
+  /// new homes, its links are torn down, and the DT is rebuilt. Fails
+  /// when removal would disconnect the remaining participants.
+  Status remove_switch(sden::SdenNetwork& net, topology::SwitchId sw);
+
+  /// Adds a physical link (new fiber between existing switches):
+  /// positions are untouched; shortest paths, relay entries, and flow
+  /// tables are recomputed. Placement is unaffected (homes depend only
+  /// on positions), so no data migrates.
+  Status add_link(sden::SdenNetwork& net, topology::SwitchId u,
+                  topology::SwitchId v, double weight = 1.0);
+
+  /// Handles a link failure: tears the link down and reroutes all
+  /// virtual links that crossed it. Fails (leaving the link up) when
+  /// the failure would disconnect the participants.
+  Status remove_link(sden::SdenNetwork& net, topology::SwitchId u,
+                     topology::SwitchId v);
+
+  /// Items moved by the last add_switch/remove_switch (diagnostics).
+  std::size_t last_migration_count() const { return last_migration_; }
+
+ private:
+  /// Recomputes APSP + DT from current participants_/space_ and
+  /// reinstalls all switch state.
+  Status rebuild_and_install(sden::SdenNetwork& net);
+
+  /// Installs positions, server lists, greedy candidates and relay
+  /// entries into every switch (wipes previous tables).
+  Status install(sden::SdenNetwork& net);
+
+  /// Moves every stored item to its current expected placement.
+  /// Returns the number of migrated items.
+  Result<std::size_t> migrate_items(sden::SdenNetwork& net);
+
+  /// Local stress-minimizing position for a joining switch.
+  geometry::Point2D fit_position(const sden::SdenNetwork& net,
+                                 topology::SwitchId sw) const;
+
+  /// APSP pair refresh from the current physical graph.
+  void recompute_apsp(const sden::SdenNetwork& net);
+  /// The APSP feeding the embedding and relay paths.
+  const graph::ApspResult& routing_apsp() const {
+    return options_.weighted_embedding ? apsp_weighted_ : apsp_;
+  }
+
+  VirtualSpaceOptions options_;
+  VirtualSpace space_;
+  MultiHopDT dt_;
+  graph::ApspResult apsp_;
+  graph::ApspResult apsp_weighted_;
+  bool initialized_ = false;
+  std::size_t last_migration_ = 0;
+};
+
+}  // namespace gred::core

@@ -1,0 +1,63 @@
+// Response-delay experiments (the measurement behind Fig. 8): replay a
+// set of retrieval requests through the discrete-event engine with
+// per-link propagation latency, a per-request service time, and FIFO
+// queueing at servers. On latency-weighted topologies the propagation
+// term uses the actual link weights; on unit-weight topologies every
+// hop costs `link_latency_ms`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/system.hpp"
+
+namespace gred::core {
+
+struct DelayModelOptions {
+  /// Per-hop propagation latency on unit-weight links; on weighted
+  /// topologies the link weights themselves are used (already in ms).
+  double link_latency_ms = 0.05;
+  /// Service time per retrieval at a server (FIFO queue).
+  double service_time_ms = 0.20;
+  /// Treat link weights as latencies (true for Waxman latency mode).
+  bool weights_are_latencies = false;
+};
+
+struct DelayExperimentResult {
+  Summary delay;              ///< response-delay statistics (ms)
+  std::size_t requests = 0;   ///< requests replayed
+  std::size_t not_found = 0;  ///< retrievals that missed (excluded)
+  double makespan_ms = 0.0;   ///< completion time of the last response
+};
+
+/// One retrieval request to replay.
+struct RetrievalRequest {
+  std::string data_id;
+  topology::SwitchId ingress = 0;
+  double at_ms = 0.0;
+};
+
+class RetrievalDelayExperiment {
+ public:
+  RetrievalDelayExperiment(GredSystem& system, DelayModelOptions options)
+      : system_(&system), options_(options) {}
+
+  /// Replays the given requests (data must already be placed).
+  Result<DelayExperimentResult> run(
+      const std::vector<RetrievalRequest>& requests);
+
+  /// Convenience: `count` retrievals of random ids from `ids`, random
+  /// ingress switches, injected `spacing_ms` apart.
+  Result<DelayExperimentResult> run_uniform(
+      const std::vector<std::string>& ids, std::size_t count,
+      double spacing_ms, Rng& rng);
+
+ private:
+  GredSystem* system_;
+  DelayModelOptions options_;
+};
+
+}  // namespace gred::core

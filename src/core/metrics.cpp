@@ -1,0 +1,39 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace gred::core {
+
+double routing_stretch(std::size_t selected_hops, std::size_t shortest_hops) {
+  if (shortest_hops == 0) {
+    return selected_hops == 0 ? 1.0 : static_cast<double>(selected_hops);
+  }
+  return static_cast<double>(selected_hops) /
+         static_cast<double>(shortest_hops);
+}
+
+void StretchCollector::add(std::size_t selected_hops,
+                           std::size_t shortest_hops) {
+  samples_.push_back(routing_stretch(selected_hops, shortest_hops));
+}
+
+void StretchCollector::add_stretch(double stretch) {
+  samples_.push_back(stretch);
+}
+
+LoadBalanceReport load_balance(const std::vector<std::size_t>& loads) {
+  LoadBalanceReport r;
+  if (loads.empty()) return r;
+  r.max_over_avg = max_over_avg(loads);
+  r.jain = jain_fairness(loads);
+  r.cov = coefficient_of_variation(loads);
+  std::size_t total = 0;
+  for (std::size_t x : loads) {
+    r.max_load = std::max(r.max_load, x);
+    total += x;
+  }
+  r.avg_load = static_cast<double>(total) / static_cast<double>(loads.size());
+  return r;
+}
+
+}  // namespace gred::core

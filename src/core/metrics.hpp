@@ -1,0 +1,45 @@
+// Evaluation metrics exactly as defined in Section VII-B:
+//   * routing stretch — selected-route hop count over shortest-route
+//     hop count between source and destination;
+//   * load balance — max/avg of per-server item counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace gred::core {
+
+/// Routing stretch of one operation. When the source and destination
+/// coincide (shortest == 0): a 0-hop route scores the optimal 1.0, and
+/// any detour is measured against a 1-hop baseline.
+double routing_stretch(std::size_t selected_hops, std::size_t shortest_hops);
+
+/// Accumulates stretch samples and reports the paper's statistics
+/// (mean with 90% confidence interval).
+class StretchCollector {
+ public:
+  void add(std::size_t selected_hops, std::size_t shortest_hops);
+  void add_stretch(double stretch);
+
+  std::size_t count() const { return samples_.size(); }
+  Summary summary() const { return summarize(samples_); }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Load-balance view of a per-server load vector.
+struct LoadBalanceReport {
+  double max_over_avg = 0.0;  ///< the paper's headline metric (1 = ideal)
+  double jain = 1.0;          ///< Jain fairness (1 = ideal)
+  double cov = 0.0;           ///< coefficient of variation
+  std::size_t max_load = 0;
+  double avg_load = 0.0;
+};
+
+LoadBalanceReport load_balance(const std::vector<std::size_t>& loads);
+
+}  // namespace gred::core

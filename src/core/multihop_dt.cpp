@@ -1,0 +1,110 @@
+#include "core/multihop_dt.hpp"
+
+namespace gred::core {
+
+Result<MultiHopDT> MultiHopDT::build(
+    const std::vector<topology::SwitchId>& participants,
+    const std::vector<geometry::Point2D>& positions,
+    const graph::Graph& physical, const graph::ApspResult& apsp) {
+  if (participants.size() != positions.size()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "MultiHopDT: participants/positions size mismatch");
+  }
+
+  MultiHopDT out;
+  out.participants_ = participants;
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    out.index_[participants[i]] = i;
+  }
+
+  auto dt = geometry::DelaunayTriangulation::build(positions);
+  if (!dt.ok()) return dt.error();
+  out.dt_ = std::move(dt).value();
+
+  out.candidates_.assign(participants.size(), {});
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    const topology::SwitchId u = participants[i];
+
+    // All DT neighbors of u; physical adjacency decides direct vs
+    // multi-hop. Physical neighbors that are NOT DT neighbors are added
+    // too when they participate in the DT (Algorithm 2 compares both
+    // neighbor kinds).
+    std::vector<bool> added(participants.size(), false);
+    for (std::size_t j : out.dt_.neighbors(i)) {
+      const topology::SwitchId v = participants[j];
+      DtNeighborInfo info;
+      info.neighbor = v;
+      info.position = positions[j];
+      info.physical = physical.has_edge(u, v);
+      if (info.physical) {
+        info.first_hop = v;
+        info.path_length = 1;
+      } else {
+        const std::vector<graph::NodeId> path = apsp.path(u, v);
+        if (path.size() < 2) {
+          return Error(ErrorCode::kFailedPrecondition,
+                       "MultiHopDT: DT neighbors " + std::to_string(u) +
+                           " and " + std::to_string(v) +
+                           " are physically disconnected");
+        }
+        info.first_hop = path[1];
+        info.path_length = path.size() - 1;
+        // Relay tuples at every intermediate switch of the virtual
+        // link u -> v. (The reverse direction is installed when the DT
+        // edge is visited from v's side.)
+        for (std::size_t k = 1; k + 1 < path.size(); ++k) {
+          sden::RelayEntry relay;
+          relay.sour = u;
+          relay.pred = path[k - 1];
+          relay.succ = path[k + 1];
+          relay.dest = v;
+          out.relays_[path[k]].push_back(relay);
+        }
+      }
+      out.candidates_[i].push_back(info);
+      added[j] = true;
+    }
+
+    // Physical neighbors that participate in the DT but are not DT
+    // neighbors of u.
+    for (const graph::EdgeTo& e : physical.neighbors(u)) {
+      const auto it = out.index_.find(e.to);
+      if (it == out.index_.end() || added[it->second]) continue;
+      DtNeighborInfo info;
+      info.neighbor = e.to;
+      info.position = positions[it->second];
+      info.physical = true;
+      info.first_hop = e.to;
+      info.path_length = 1;
+      out.candidates_[i].push_back(info);
+      added[it->second] = true;
+    }
+  }
+
+  return out;
+}
+
+const std::vector<DtNeighborInfo>& MultiHopDT::candidates_of(
+    topology::SwitchId sw) const {
+  static const std::vector<DtNeighborInfo> kEmpty;
+  const auto it = index_.find(sw);
+  if (it == index_.end()) return kEmpty;
+  return candidates_[it->second];
+}
+
+double MultiHopDT::mean_vlink_length() const {
+  std::size_t total = 0;
+  std::size_t count = 0;
+  for (const auto& list : candidates_) {
+    for (const DtNeighborInfo& info : list) {
+      if (!info.physical) {
+        total += info.path_length;
+        ++count;
+      }
+    }
+  }
+  if (count == 0) return 0.0;
+  return static_cast<double>(total) / static_cast<double>(count);
+}
+
+}  // namespace gred::core

@@ -1,0 +1,75 @@
+// Multi-hop Delaunay triangulation (Section IV-C, after Lam & Qian's
+// MDT): the DT of the switch virtual positions, where DT edges between
+// switches that are not physically adjacent are realized as physical
+// shortest paths. The structure computed here is exactly what the
+// controller installs: greedy candidate entries (with the first
+// physical hop of each virtual link) and the <sour, pred, succ, dest>
+// relay tuples at intermediate switches.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "geometry/delaunay.hpp"
+#include "graph/shortest_path.hpp"
+#include "sden/flow_table.hpp"
+#include "topology/edge_network.hpp"
+
+namespace gred::core {
+
+/// A greedy candidate of one switch, ready to install.
+struct DtNeighborInfo {
+  topology::SwitchId neighbor = 0;
+  geometry::Point2D position;
+  bool physical = false;
+  topology::SwitchId first_hop = 0;
+  /// Physical hops to reach the neighbor (1 when physical).
+  std::size_t path_length = 1;
+};
+
+class MultiHopDT {
+ public:
+  /// An empty structure; fill via build().
+  MultiHopDT() = default;
+
+  /// Builds the DT over (participants, positions) and resolves every
+  /// non-physical DT edge to the physical shortest path from `apsp`.
+  /// `physical` is the full switch graph (relays may pass through
+  /// non-participant transit switches). Fails when positions collide or
+  /// some DT edge cannot be realized (disconnected participants).
+  static Result<MultiHopDT> build(
+      const std::vector<topology::SwitchId>& participants,
+      const std::vector<geometry::Point2D>& positions,
+      const graph::Graph& physical, const graph::ApspResult& apsp);
+
+  /// Greedy candidates per participant (indexed as participants()).
+  const std::vector<DtNeighborInfo>& candidates_of(
+      topology::SwitchId sw) const;
+
+  /// Relay tuples to install, keyed by the switch that stores them.
+  const std::map<topology::SwitchId, std::vector<sden::RelayEntry>>&
+  relay_entries() const {
+    return relays_;
+  }
+
+  const geometry::DelaunayTriangulation& triangulation() const { return dt_; }
+  const std::vector<topology::SwitchId>& participants() const {
+    return participants_;
+  }
+
+  /// Mean physical path length of the virtual (multi-hop) DT edges —
+  /// diagnostics for the embedding quality.
+  double mean_vlink_length() const;
+
+ private:
+  std::vector<topology::SwitchId> participants_;
+  geometry::DelaunayTriangulation dt_;
+  /// candidates_[i] belongs to participants_[i].
+  std::vector<std::vector<DtNeighborInfo>> candidates_;
+  std::map<topology::SwitchId, std::vector<sden::RelayEntry>> relays_;
+  std::map<topology::SwitchId, std::size_t> index_;
+};
+
+}  // namespace gred::core

@@ -1,0 +1,126 @@
+#include "core/protocol.hpp"
+
+namespace gred::core {
+namespace {
+
+sden::Packet make_packet(sden::PacketType type, const std::string& data_id,
+                         std::string payload) {
+  sden::Packet pkt;
+  pkt.type = type;
+  pkt.data_id = data_id;
+  const crypto::SpacePoint pos = crypto::DataKey(data_id).position();
+  pkt.target = {pos.x, pos.y};
+  pkt.payload = std::move(payload);
+  return pkt;
+}
+
+}  // namespace
+
+Result<OpReport> GredProtocol::run(sden::Packet packet,
+                                   topology::SwitchId ingress) {
+  if (!controller_->initialized()) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "GredProtocol: controller not initialized");
+  }
+  OpReport report;
+  report.ingress = ingress;
+  report.route = net_->inject(std::move(packet), ingress);
+  if (!report.route.status.ok()) {
+    return report.route.status.error();
+  }
+  if (report.route.delivered_to.empty()) {
+    return Error(ErrorCode::kInternal, "packet was not delivered");
+  }
+  report.destination =
+      net_->server(report.route.delivered_to.front()).info().attached_to;
+  report.selected_hops = report.route.hop_count();
+  const std::size_t shortest =
+      controller_->apsp().hop_count(ingress, report.destination);
+  report.shortest_hops =
+      shortest == static_cast<std::size_t>(-1) ? 0 : shortest;
+  report.stretch = routing_stretch(report.selected_hops,
+                                   report.shortest_hops);
+
+  report.selected_cost = report.route.path_cost;
+  const double wdist =
+      controller_->apsp_latency().dist(ingress, report.destination);
+  report.shortest_cost = wdist == graph::kUnreachable ? 0.0 : wdist;
+  if (report.shortest_cost > 0.0) {
+    report.latency_stretch = report.selected_cost / report.shortest_cost;
+  } else {
+    report.latency_stretch = report.selected_cost == 0.0
+                                 ? 1.0
+                                 : report.selected_cost;
+  }
+  return report;
+}
+
+Result<OpReport> GredProtocol::place(const std::string& data_id,
+                                     const std::string& payload,
+                                     topology::SwitchId ingress) {
+  return run(make_packet(sden::PacketType::kPlacement, data_id, payload),
+             ingress);
+}
+
+Result<OpReport> GredProtocol::retrieve(const std::string& data_id,
+                                        topology::SwitchId ingress) {
+  return run(make_packet(sden::PacketType::kRetrieval, data_id, {}),
+             ingress);
+}
+
+Result<OpReport> GredProtocol::remove(const std::string& data_id,
+                                      topology::SwitchId ingress) {
+  return run(make_packet(sden::PacketType::kRemoval, data_id, {}), ingress);
+}
+
+Result<std::vector<OpReport>> GredProtocol::place_replicated(
+    const std::string& data_id, const std::string& payload, unsigned copies,
+    topology::SwitchId ingress) {
+  if (copies == 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "place_replicated: copies must be >= 1");
+  }
+  std::vector<OpReport> reports;
+  reports.reserve(copies);
+  for (unsigned c = 0; c < copies; ++c) {
+    auto r = place(crypto::replica_identifier(data_id, c), payload, ingress);
+    if (!r.ok()) return r.error();
+    reports.push_back(std::move(r).value());
+  }
+  return reports;
+}
+
+Result<OpReport> GredProtocol::retrieve_nearest_replica(
+    const std::string& data_id, unsigned copies,
+    topology::SwitchId ingress) {
+  if (copies == 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "retrieve_nearest_replica: copies must be >= 1");
+  }
+  if (!net_->switch_at(ingress).dt_participant()) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "retrieve_nearest_replica: ingress is not a DT "
+                 "participant (no virtual position)");
+  }
+  const geometry::Point2D access = net_->switch_at(ingress).position();
+
+  // Section VI: distances in the virtual space identify the closest
+  // copy, since network distance is embedded in the positions.
+  unsigned best_copy = 0;
+  double best_dist = 0.0;
+  for (unsigned c = 0; c < copies; ++c) {
+    const crypto::DataKey key(crypto::replica_identifier(data_id, c));
+    const crypto::SpacePoint pos = key.position();
+    const topology::SwitchId home =
+        controller_->home_switch({pos.x, pos.y});
+    const double d = geometry::distance(
+        access, net_->switch_at(home).position());
+    if (c == 0 || d < best_dist) {
+      best_copy = c;
+      best_dist = d;
+    }
+  }
+  return retrieve(crypto::replica_identifier(data_id, best_copy), ingress);
+}
+
+}  // namespace gred::core

@@ -1,0 +1,85 @@
+// GredProtocol: the data-plane operations of Section V as a library
+// API. Every operation builds a packet, injects it at an access switch,
+// and reports the route together with the stretch measurement used
+// throughout the evaluation. Replication (Section VI) hashes
+// "<id>#<copy>" per copy and serves reads from the replica whose home
+// is nearest to the access point in the virtual space.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/controller.hpp"
+#include "core/metrics.hpp"
+#include "crypto/data_key.hpp"
+#include "sden/network.hpp"
+
+namespace gred::core {
+
+/// Report of one placement or retrieval.
+struct OpReport {
+  sden::RouteResult route;
+  topology::SwitchId ingress = 0;
+  /// Switch of the server the packet was delivered to.
+  topology::SwitchId destination = 0;
+  std::size_t selected_hops = 0;
+  std::size_t shortest_hops = 0;
+  double stretch = 1.0;
+
+  /// Latency view (identical to the hop view on unit-weight links):
+  /// cost of the walked path, cost of the weighted shortest path, and
+  /// their ratio.
+  double selected_cost = 0.0;
+  double shortest_cost = 0.0;
+  double latency_stretch = 1.0;
+};
+
+class GredProtocol {
+ public:
+  /// Both objects must outlive the protocol; the controller must be
+  /// initialized against `net`.
+  GredProtocol(sden::SdenNetwork& net, const Controller& controller)
+      : net_(&net), controller_(&controller) {}
+
+  /// Places `payload` under `data_id`, entering the network at
+  /// `ingress` (Section V-A).
+  Result<OpReport> place(const std::string& data_id,
+                         const std::string& payload,
+                         topology::SwitchId ingress);
+
+  /// Retrieves `data_id` (Section V-C). `route.found` tells whether any
+  /// delivered server held the data.
+  Result<OpReport> retrieve(const std::string& data_id,
+                            topology::SwitchId ingress);
+
+  /// Invalidates `data_id` (Section V-B's data expiry / migration to
+  /// the cloud): routed like a retrieval; the holding server erases the
+  /// item. `route.found` tells whether anything was erased.
+  Result<OpReport> remove(const std::string& data_id,
+                          topology::SwitchId ingress);
+
+  /// Places `copies` replicas: copy c is stored under the hash of
+  /// "<data_id>#<c>" (Section VI).
+  Result<std::vector<OpReport>> place_replicated(const std::string& data_id,
+                                                 const std::string& payload,
+                                                 unsigned copies,
+                                                 topology::SwitchId ingress);
+
+  /// Reads the replica whose home switch is nearest (in the virtual
+  /// space) to the ingress switch among `copies` replicas.
+  Result<OpReport> retrieve_nearest_replica(const std::string& data_id,
+                                            unsigned copies,
+                                            topology::SwitchId ingress);
+
+  sden::SdenNetwork& network() { return *net_; }
+  const Controller& controller() const { return *controller_; }
+
+ private:
+  Result<OpReport> run(sden::Packet packet, topology::SwitchId ingress);
+
+  sden::SdenNetwork* net_;
+  const Controller* controller_;
+};
+
+}  // namespace gred::core

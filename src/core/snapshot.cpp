@@ -1,0 +1,73 @@
+#include "core/snapshot.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace gred::core {
+
+namespace {
+constexpr const char* kMagic = "gred-snapshot v1";
+}  // namespace
+
+Result<Snapshot> capture_snapshot(const Controller& controller) {
+  if (!controller.initialized()) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "capture_snapshot: controller not initialized");
+  }
+  Snapshot s;
+  s.participants = controller.space().participants();
+  s.positions = controller.space().positions();
+  return s;
+}
+
+std::string serialize_snapshot(const Snapshot& snapshot) {
+  std::ostringstream os;
+  os << kMagic << "\n" << snapshot.participants.size() << "\n";
+  char buf[96];
+  for (std::size_t i = 0; i < snapshot.participants.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%zu %.17g %.17g\n",
+                  snapshot.participants[i], snapshot.positions[i].x,
+                  snapshot.positions[i].y);
+    os << buf;
+  }
+  return os.str();
+}
+
+Result<Snapshot> parse_snapshot(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || trim(line) != kMagic) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "parse_snapshot: bad or missing header");
+  }
+  std::size_t count = 0;
+  if (!(in >> count)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "parse_snapshot: missing participant count");
+  }
+  Snapshot s;
+  s.participants.reserve(count);
+  s.positions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t sw = 0;
+    double x = 0.0, y = 0.0;
+    if (!(in >> sw >> x >> y)) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "parse_snapshot: truncated at entry " +
+                       std::to_string(i));
+    }
+    s.participants.push_back(sw);
+    s.positions.push_back({x, y});
+  }
+  return s;
+}
+
+Status restore_snapshot(Controller& controller, sden::SdenNetwork& net,
+                        const Snapshot& snapshot) {
+  return controller.initialize_with_positions(net, snapshot.participants,
+                                              snapshot.positions);
+}
+
+}  // namespace gred::core

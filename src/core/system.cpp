@@ -1,0 +1,14 @@
+#include "core/system.hpp"
+
+namespace gred::core {
+
+Result<GredSystem> GredSystem::create(topology::EdgeNetwork description,
+                                      VirtualSpaceOptions options) {
+  auto net = std::make_unique<sden::SdenNetwork>(std::move(description));
+  Controller controller(options);
+  const Status init = controller.initialize(*net);
+  if (!init.ok()) return init.error();
+  return GredSystem(std::move(net), std::move(controller));
+}
+
+}  // namespace gred::core

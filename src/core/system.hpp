@@ -1,0 +1,92 @@
+// GredSystem: the one-stop facade — build a GRED deployment from an
+// edge-network description in one call, then place/retrieve data. This
+// is the API the examples and most tests use; components remain
+// individually accessible for advanced use (benches drive Controller
+// and SdenNetwork directly).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/controller.hpp"
+#include "core/protocol.hpp"
+#include "sden/network.hpp"
+#include "topology/edge_network.hpp"
+
+namespace gred::core {
+
+class GredSystem {
+ public:
+  /// Builds the network simulator, runs the control-plane pipeline, and
+  /// installs all switch state.
+  static Result<GredSystem> create(topology::EdgeNetwork description,
+                                   VirtualSpaceOptions options = {});
+
+  GredSystem(GredSystem&&) = default;
+  GredSystem& operator=(GredSystem&&) = default;
+
+  // --- data operations (Section V) ---
+  Result<OpReport> place(const std::string& data_id,
+                         const std::string& payload,
+                         topology::SwitchId ingress) {
+    return protocol().place(data_id, payload, ingress);
+  }
+  Result<OpReport> retrieve(const std::string& data_id,
+                            topology::SwitchId ingress) {
+    return protocol().retrieve(data_id, ingress);
+  }
+  Result<OpReport> remove(const std::string& data_id,
+                          topology::SwitchId ingress) {
+    return protocol().remove(data_id, ingress);
+  }
+  Result<std::vector<OpReport>> place_replicated(
+      const std::string& data_id, const std::string& payload,
+      unsigned copies, topology::SwitchId ingress) {
+    return protocol().place_replicated(data_id, payload, copies, ingress);
+  }
+  Result<OpReport> retrieve_nearest_replica(const std::string& data_id,
+                                            unsigned copies,
+                                            topology::SwitchId ingress) {
+    return protocol().retrieve_nearest_replica(data_id, copies, ingress);
+  }
+
+  // --- management operations ---
+  Status extend_range(topology::ServerId overloaded) {
+    return controller_.extend_range(*net_, overloaded);
+  }
+  Status retract_range(topology::ServerId overloaded) {
+    return controller_.retract_range(*net_, overloaded);
+  }
+  Result<topology::SwitchId> add_switch(
+      const std::vector<topology::SwitchId>& links, std::size_t servers,
+      std::size_t capacity = 0) {
+    return controller_.add_switch(*net_, links, servers, capacity);
+  }
+  Status remove_switch(topology::SwitchId sw) {
+    return controller_.remove_switch(*net_, sw);
+  }
+  Status add_link(topology::SwitchId u, topology::SwitchId v,
+                  double weight = 1.0) {
+    return controller_.add_link(*net_, u, v, weight);
+  }
+  Status remove_link(topology::SwitchId u, topology::SwitchId v) {
+    return controller_.remove_link(*net_, u, v);
+  }
+
+  // --- component access ---
+  sden::SdenNetwork& network() { return *net_; }
+  const sden::SdenNetwork& network() const { return *net_; }
+  Controller& controller() { return controller_; }
+  const Controller& controller() const { return controller_; }
+  GredProtocol protocol() { return GredProtocol(*net_, controller_); }
+
+ private:
+  GredSystem(std::unique_ptr<sden::SdenNetwork> net, Controller controller)
+      : net_(std::move(net)), controller_(std::move(controller)) {}
+
+  std::unique_ptr<sden::SdenNetwork> net_;
+  Controller controller_;
+};
+
+}  // namespace gred::core

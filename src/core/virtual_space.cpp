@@ -1,0 +1,229 @@
+#include "core/virtual_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/vivaldi.hpp"
+#include "linalg/mds.hpp"
+
+namespace gred::core {
+namespace {
+
+using geometry::Point2D;
+
+/// Deterministically separates exactly coincident embedded points
+/// (possible for graphs with strong symmetry) so the DT has distinct
+/// sites. The nudge is far below one hop of embedded distance.
+void separate_duplicates(std::vector<Point2D>& pts) {
+  bool moved = true;
+  double eps = 1e-9;
+  while (moved) {
+    moved = false;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t j = i + 1; j < pts.size(); ++j) {
+        if (pts[i] == pts[j]) {
+          pts[j].x += eps * static_cast<double>(j + 1);
+          pts[j].y += eps * static_cast<double>(i + 1);
+          moved = true;
+        }
+      }
+    }
+    eps *= 2.0;
+  }
+}
+
+}  // namespace
+
+Result<VirtualSpace> VirtualSpace::build(
+    const std::vector<topology::SwitchId>& participants,
+    const graph::ApspResult& apsp, const VirtualSpaceOptions& options) {
+  if (participants.empty()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "VirtualSpace: no DT participants");
+  }
+  if (options.margin < 0.0 || options.margin >= 0.5) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "VirtualSpace: margin must be in [0, 0.5)");
+  }
+
+  VirtualSpace vs;
+  vs.participants_ = participants;
+  const std::size_t n = participants.size();
+
+  // Tiny networks: MDS needs m < n; place directly.
+  if (n == 1) {
+    vs.mds_positions_ = {{0.5, 0.5}};
+  } else if (n <= 3) {
+    static const Point2D kTiny[3] = {{0.25, 0.35}, {0.75, 0.35}, {0.5, 0.75}};
+    vs.mds_positions_.assign(kTiny, kTiny + n);
+    // Scale: the layout spans ~0.5 units for a 1-hop distance.
+    const double d01 = apsp.dist(participants[0], participants[1]);
+    if (d01 == graph::kUnreachable) {
+      return Error(ErrorCode::kFailedPrecondition,
+                   "VirtualSpace: participants are disconnected");
+    }
+    vs.scale_ = d01 > 0 ? 0.5 / d01 : 1.0;
+  } else {
+    // Distance sub-matrix of the participants (hop counts, or latency
+    // costs under weighted_embedding — apsp is chosen by the caller).
+    linalg::Matrix dist(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double d = apsp.dist(participants[i], participants[j]);
+        if (d == graph::kUnreachable) {
+          return Error(ErrorCode::kFailedPrecondition,
+                       "VirtualSpace: participants are disconnected");
+        }
+        dist(i, j) = d;
+      }
+    }
+
+    // Raw embedding: M-position (classical MDS) or Vivaldi.
+    std::vector<Point2D> raw(n);
+    if (options.embedding == EmbeddingAlgorithm::kMPosition) {
+      auto mds = linalg::classical_mds(dist, 2);
+      if (!mds.ok()) return mds.error();
+      vs.stress_ = mds.value().stress;
+      for (std::size_t i = 0; i < n; ++i) {
+        raw[i] = {mds.value().coordinates(i, 0),
+                  mds.value().coordinates(i, 1)};
+      }
+    } else {
+      VivaldiOptions vopt;
+      vopt.seed = options.seed ^ 0x5649u;
+      auto viv = vivaldi_embedding(dist, vopt);
+      if (!viv.ok()) return viv.error();
+      vs.stress_ = viv.value().stress;
+      raw = std::move(viv).value().coordinates;
+    }
+
+    // Normalize into the unit square, uniform scale, centered.
+    double min_x = raw[0].x, max_x = raw[0].x;
+    double min_y = raw[0].y, max_y = raw[0].y;
+    for (const Point2D& p : raw) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+      min_y = std::min(min_y, p.y);
+      max_y = std::max(max_y, p.y);
+    }
+    const double extent = std::max(max_x - min_x, max_y - min_y);
+    const double usable = 1.0 - 2.0 * options.margin;
+    const double scale = extent > 0.0 ? usable / extent : 1.0;
+    vs.scale_ = scale;
+    const double cx = 0.5 * (min_x + max_x);
+    const double cy = 0.5 * (min_y + max_y);
+    vs.mds_positions_.reserve(n);
+    for (const Point2D& p : raw) {
+      vs.mds_positions_.push_back(
+          {0.5 + (p.x - cx) * scale, 0.5 + (p.y - cy) * scale});
+    }
+  }
+
+  separate_duplicates(vs.mds_positions_);
+
+  // C-regulation (skipped for the NoCVT variant).
+  if (options.use_cvt && options.cvt_iterations > 0 && n > 1) {
+    geometry::CvtOptions cvt;
+    cvt.samples_per_iteration = options.cvt_samples;
+    cvt.max_iterations = options.cvt_iterations;
+    cvt.energy_threshold = options.cvt_energy_threshold;
+    cvt.domain = geometry::Rect{0.0, 0.0, 1.0, 1.0};
+    Rng rng(options.seed);
+    geometry::CvtResult refined =
+        geometry::c_regulation(vs.mds_positions_, cvt, rng);
+    vs.positions_ = std::move(refined.sites);
+    vs.energy_history_ = std::move(refined.energy_history);
+    separate_duplicates(vs.positions_);
+  } else {
+    vs.positions_ = vs.mds_positions_;
+  }
+
+  return vs;
+}
+
+Result<VirtualSpace> VirtualSpace::from_positions(
+    std::vector<topology::SwitchId> participants,
+    std::vector<geometry::Point2D> positions, const graph::ApspResult& apsp) {
+  if (participants.empty() || participants.size() != positions.size()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "from_positions: participants/positions size mismatch");
+  }
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Point2D& p = positions[i];
+    if (p.x < 0.0 || p.x > 1.0 || p.y < 0.0 || p.y > 1.0) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "from_positions: position outside the unit square: " +
+                       p.to_string());
+    }
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      if (positions[i] == positions[j]) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "from_positions: duplicate position " + p.to_string());
+      }
+    }
+  }
+
+  VirtualSpace vs;
+  vs.participants_ = std::move(participants);
+  vs.positions_ = std::move(positions);
+  vs.mds_positions_ = vs.positions_;
+
+  // Scale estimate: mean (virtual distance / hop distance) over pairs.
+  double ratio_sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < vs.participants_.size(); ++i) {
+    for (std::size_t j = i + 1; j < vs.participants_.size(); ++j) {
+      const double hops =
+          apsp.dist(vs.participants_[i], vs.participants_[j]);
+      if (hops == graph::kUnreachable) {
+        return Error(ErrorCode::kFailedPrecondition,
+                     "from_positions: participants are disconnected");
+      }
+      if (hops > 0.0) {
+        ratio_sum +=
+            geometry::distance(vs.positions_[i], vs.positions_[j]) / hops;
+        ++pairs;
+      }
+    }
+  }
+  vs.scale_ = pairs > 0 ? ratio_sum / static_cast<double>(pairs) : 1.0;
+  return vs;
+}
+
+std::size_t VirtualSpace::index_of(topology::SwitchId sw) const {
+  for (std::size_t i = 0; i < participants_.size(); ++i) {
+    if (participants_[i] == sw) return i;
+  }
+  return kNoIndex;
+}
+
+topology::SwitchId VirtualSpace::nearest_participant(
+    const geometry::Point2D& p) const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < positions_.size(); ++i) {
+    if (geometry::closer_to(p, positions_[i], positions_[best])) {
+      best = i;
+    }
+  }
+  return participants_[best];
+}
+
+void VirtualSpace::add_participant(topology::SwitchId sw,
+                                   const geometry::Point2D& p) {
+  participants_.push_back(sw);
+  positions_.push_back(p);
+  mds_positions_.push_back(p);
+  separate_duplicates(positions_);
+}
+
+void VirtualSpace::remove_participant(topology::SwitchId sw) {
+  const std::size_t idx = index_of(sw);
+  if (idx == kNoIndex) return;
+  participants_.erase(participants_.begin() +
+                      static_cast<std::ptrdiff_t>(idx));
+  positions_.erase(positions_.begin() + static_cast<std::ptrdiff_t>(idx));
+  mds_positions_.erase(mds_positions_.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
+}
+
+}  // namespace gred::core

@@ -1,0 +1,132 @@
+// The control plane's virtual position construction (Section IV):
+//
+//   1. M-position: embed the all-pairs shortest-path hop matrix of the
+//      DT-participating switches into 2-D by classical MDS, so virtual
+//      Euclidean distance is proportional to network distance (greedy
+//      network embedding).
+//   2. Normalize: affinely map the embedding into the unit square with
+//      a small margin, preserving the aspect ratio (data positions are
+//      hashed into [0,1]^2, so switch positions must live there too; a
+//      uniform scale keeps distances proportional).
+//   3. C-regulation: refine the positions toward a Centroidal Voronoi
+//      Tessellation so that — under the uniform hash of data ids — each
+//      switch owns an equal share of the space (Section IV-B). The
+//      GRED-NoCVT variant of the evaluation skips this step.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "geometry/cvt.hpp"
+#include "geometry/point.hpp"
+#include "graph/shortest_path.hpp"
+#include "topology/edge_network.hpp"
+
+namespace gred::core {
+
+/// Which algorithm computes the raw switch coordinates from network
+/// distances (before normalization and C-regulation).
+enum class EmbeddingAlgorithm {
+  kMPosition,  ///< classical MDS (the paper's choice)
+  kVivaldi,    ///< decentralized spring relaxation (related-work
+               ///< alternative; see core/vivaldi.hpp)
+};
+
+struct VirtualSpaceOptions {
+  /// Embedding algorithm for the M-position step.
+  EmbeddingAlgorithm embedding = EmbeddingAlgorithm::kMPosition;
+  /// C-regulation iterations T (the paper runs T = 50 by default and
+  /// sweeps T in Fig. 11(c)); 0 or use_cvt = false gives GRED-NoCVT.
+  std::size_t cvt_iterations = 50;
+  /// Sample points per C-regulation iteration (paper: 1000).
+  std::size_t cvt_samples = 1000;
+  bool use_cvt = true;
+  /// Early-stop CVT energy threshold (0 = run all T iterations).
+  double cvt_energy_threshold = 0.0;
+  /// Margin kept between the embedded switches and the unit-square
+  /// border after normalization.
+  double margin = 0.05;
+  /// Deterministic seed for the C-regulation sampling.
+  std::uint64_t seed = 0x47524544u;  // "GRED"
+
+  /// When true, the M-position embedding (and the relay-path choice)
+  /// uses latency-weighted shortest paths instead of hop counts — the
+  /// natural reading of the paper's "network distance" on topologies
+  /// with heterogeneous link latencies.
+  bool weighted_embedding = false;
+};
+
+class VirtualSpace {
+ public:
+  /// An empty space; fill via build().
+  VirtualSpace() = default;
+
+  /// Builds positions for `participants` (switch ids that join the DT)
+  /// from the hop distances in `apsp` (computed over the full physical
+  /// graph). Fails when participants is empty or any pair is
+  /// disconnected.
+  static Result<VirtualSpace> build(
+      const std::vector<topology::SwitchId>& participants,
+      const graph::ApspResult& apsp, const VirtualSpaceOptions& options);
+
+  /// Restores a space from explicit positions (snapshot load): no MDS
+  /// or CVT runs; the scale is re-estimated from `apsp` so later joins
+  /// fit consistently. Fails on size mismatch, duplicate positions, or
+  /// coordinates outside [0, 1].
+  static Result<VirtualSpace> from_positions(
+      std::vector<topology::SwitchId> participants,
+      std::vector<geometry::Point2D> positions,
+      const graph::ApspResult& apsp);
+
+  const std::vector<topology::SwitchId>& participants() const {
+    return participants_;
+  }
+  /// Final positions (CVT-refined when enabled), aligned with
+  /// participants().
+  const std::vector<geometry::Point2D>& positions() const {
+    return positions_;
+  }
+  /// Positions after M-position + normalization, before C-regulation.
+  const std::vector<geometry::Point2D>& mds_positions() const {
+    return mds_positions_;
+  }
+
+  /// Index of `sw` in participants(); kNoIndex when not a participant.
+  static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+  std::size_t index_of(topology::SwitchId sw) const;
+
+  /// Kruskal stress of the normalized M-position embedding against the
+  /// hop distances (diagnostics / ablation A2).
+  double embedding_stress() const { return stress_; }
+
+  /// Discrete CVT energy after each executed C-regulation iteration.
+  const std::vector<double>& cvt_energy_history() const {
+    return energy_history_;
+  }
+
+  /// Virtual-space units per physical hop of the normalized embedding
+  /// (used to place newly joining switches consistently).
+  double scale() const { return scale_; }
+
+  /// The participant whose position is nearest to `p` (paper tie-break).
+  topology::SwitchId nearest_participant(const geometry::Point2D& p) const;
+
+  /// Appends a participant at an explicit position (node join,
+  /// Section VI). The caller computes the position (Controller does a
+  /// local stress fit).
+  void add_participant(topology::SwitchId sw, const geometry::Point2D& p);
+
+  /// Removes a participant (node leave). No-op when absent.
+  void remove_participant(topology::SwitchId sw);
+
+ private:
+  std::vector<topology::SwitchId> participants_;
+  std::vector<geometry::Point2D> positions_;
+  std::vector<geometry::Point2D> mds_positions_;
+  std::vector<double> energy_history_;
+  double stress_ = 0.0;
+  double scale_ = 1.0;
+};
+
+}  // namespace gred::core

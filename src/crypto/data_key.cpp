@@ -1,0 +1,50 @@
+#include "crypto/data_key.hpp"
+
+namespace gred::crypto {
+namespace {
+
+std::uint32_t be32(const std::uint8_t* p) {
+  return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) |
+         (std::uint32_t(p[2]) << 8) | std::uint32_t(p[3]);
+}
+
+std::uint64_t be64(const std::uint8_t* p) {
+  return (std::uint64_t(be32(p)) << 32) | be32(p + 4);
+}
+
+}  // namespace
+
+DataKey::DataKey(std::string_view identifier) : digest_(sha256(identifier)) {
+  derive();
+}
+
+DataKey::DataKey(const Digest& digest) : digest_(digest) { derive(); }
+
+void DataKey::derive() {
+  // Last 8 bytes -> two 4-byte integers -> [0,1] coordinates.
+  const std::uint32_t xi = be32(digest_.data() + 24);
+  const std::uint32_t yi = be32(digest_.data() + 28);
+  constexpr double kMax = 4294967295.0;  // 2^32 - 1
+  position_.x = static_cast<double>(xi) / kMax;
+  position_.y = static_cast<double>(yi) / kMax;
+}
+
+std::uint64_t DataKey::mod(std::uint64_t s) const {
+  if (s == 0) return 0;
+  // The digest is a 256-bit big-endian integer D. Reduce it mod s by
+  // Horner's rule over the four 64-bit limbs using 128-bit arithmetic,
+  // so the result is exactly D mod s (not just low-bits mod s).
+  unsigned __int128 acc = 0;
+  for (int limb = 0; limb < 4; ++limb) {
+    acc = ((acc << 64) | be64(digest_.data() + 8 * limb)) % s;
+  }
+  return static_cast<std::uint64_t>(acc);
+}
+
+std::uint64_t DataKey::prefix64() const { return be64(digest_.data()); }
+
+std::string replica_identifier(std::string_view id, unsigned copy) {
+  return std::string(id) + "#" + std::to_string(copy);
+}
+
+}  // namespace gred::crypto

@@ -1,0 +1,63 @@
+// The paper's data-identifier hashing scheme (Section III):
+//
+//   * H(d) = SHA-256 of the identifier string (32 bytes).
+//   * The LAST 8 bytes of H(d) are split into two 4-byte big-endian
+//     integers x and y; the virtual-space position of the data is
+//     ( x / (2^32 - 1), y / (2^32 - 1) ) — coordinates in [0, 1].
+//   * At the terminal switch with s attached servers, the serving
+//     server index is H(d) mod s (Section V-B).
+//   * The k-th replica of identifier d hashes the concatenation of d
+//     and the copy serial number (Section VI).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+
+namespace gred::crypto {
+
+/// A position in the unit square, both coordinates in [0, 1].
+struct SpacePoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Full derived key of a data identifier: digest + virtual position.
+class DataKey {
+ public:
+  /// Hashes `identifier` with SHA-256 and derives the position.
+  explicit DataKey(std::string_view identifier);
+
+  /// Builds directly from a digest (used by tests and the Chord bridge).
+  explicit DataKey(const Digest& digest);
+
+  const Digest& digest() const { return digest_; }
+
+  /// Virtual-space position derived from the last 8 digest bytes.
+  SpacePoint position() const { return position_; }
+
+  /// Server selection at the terminal switch: H(d) mod s, using the
+  /// digest interpreted as a big-endian integer (its low 64 bits give
+  /// the same residue for any s that fits in 64 bits).
+  std::uint64_t mod(std::uint64_t s) const;
+
+  /// First 64 bits of the digest as an unsigned integer (big-endian);
+  /// this is the key used when the same identifier is placed on a Chord
+  /// ring, so both systems hash identically.
+  std::uint64_t prefix64() const;
+
+ private:
+  void derive();
+
+  Digest digest_{};
+  SpacePoint position_{};
+};
+
+/// Identifier of the k-th replica: "<id>#<k>" per Section VI (ID and
+/// serial number concatenated, then hashed).
+std::string replica_identifier(std::string_view id, unsigned copy);
+
+}  // namespace gred::crypto

@@ -1,0 +1,49 @@
+#include "crypto/hex.hpp"
+
+namespace gred::crypto {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(const std::uint8_t* data, std::size_t len) {
+  std::string out;
+  out.reserve(len * 2);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0x0f]);
+  }
+  return out;
+}
+
+std::string to_hex(const Digest& digest) {
+  return to_hex(digest.data(), digest.size());
+}
+
+Result<std::vector<std::uint8_t>> from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    return Error(ErrorCode::kInvalidArgument, "hex string has odd length");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "non-hex character in input");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace gred::crypto

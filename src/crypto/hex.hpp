@@ -1,0 +1,20 @@
+// Hex encoding/decoding for digests and identifiers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "crypto/sha256.hpp"
+
+namespace gred::crypto {
+
+/// Lowercase hex of arbitrary bytes.
+std::string to_hex(const std::uint8_t* data, std::size_t len);
+std::string to_hex(const Digest& digest);
+
+/// Parses lowercase/uppercase hex. Fails on odd length or non-hex chars.
+Result<std::vector<std::uint8_t>> from_hex(const std::string& hex);
+
+}  // namespace gred::crypto

@@ -1,0 +1,52 @@
+// SHA-256 (FIPS 180-4), implemented from scratch — the paper hashes every
+// data identifier with SHA-256 to derive its position in the virtual
+// space (Section III). Validated against the FIPS/NIST test vectors in
+// tests/crypto_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gred::crypto {
+
+/// A 32-byte SHA-256 digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+///
+///   Sha256 h;
+///   h.update("abc");
+///   Digest d = h.finish();
+///
+/// `finish()` may be called once; the object can then be `reset()`.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  /// Restores the initial state; discards all buffered input.
+  void reset();
+
+  /// Absorbs `len` bytes.
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Pads, finalizes, and returns the digest.
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_len_ = 0;       // bytes absorbed so far
+  std::uint8_t buffer_[64];           // partial block
+  std::size_t buffer_len_ = 0;
+};
+
+/// One-shot convenience.
+Digest sha256(std::string_view data);
+Digest sha256(const void* data, std::size_t len);
+
+}  // namespace gred::crypto

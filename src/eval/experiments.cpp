@@ -1,0 +1,109 @@
+#include "eval/experiments.hpp"
+
+#include "chord/underlay.hpp"
+#include "common/rng.hpp"
+
+namespace gred::eval {
+
+std::vector<std::string> workload_ids(std::size_t count,
+                                      std::uint64_t trial) {
+  std::vector<std::string> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ids.push_back("data-" + std::to_string(trial) + "-" + std::to_string(i));
+  }
+  return ids;
+}
+
+StretchResult measure_gred_stretch(core::GredSystem& system,
+                                   const StretchOptions& options) {
+  Rng rng(options.seed);
+  const std::size_t switches = system.network().switch_count();
+  std::vector<double> hop, latency, hops_walked;
+  hop.reserve(options.items);
+  for (std::size_t i = 0; i < options.items; ++i) {
+    const std::string id = "stretch-" + std::to_string(options.seed) + "-" +
+                           std::to_string(i);
+    auto r = system.place(id, "", rng.next_below(switches));
+    if (!r.ok()) continue;  // skip unroutable (cannot happen when green)
+    hop.push_back(r.value().stretch);
+    latency.push_back(r.value().latency_stretch);
+    hops_walked.push_back(static_cast<double>(r.value().selected_hops));
+  }
+  StretchResult out;
+  out.hop_stretch = summarize(std::move(hop));
+  out.latency_stretch = summarize(std::move(latency));
+  out.selected_hops = summarize(std::move(hops_walked));
+  return out;
+}
+
+StretchResult measure_chord_stretch(const chord::ChordRing& ring,
+                                    const topology::EdgeNetwork& net,
+                                    const graph::ApspResult& apsp,
+                                    const StretchOptions& options) {
+  Rng rng(options.seed ^ 0xc402d);
+  std::vector<double> hop, hops_walked;
+  hop.reserve(options.items);
+  for (std::size_t i = 0; i < options.items; ++i) {
+    const std::string id = "stretch-" + std::to_string(options.seed) + "-" +
+                           std::to_string(i);
+    const topology::ServerId origin = rng.next_below(net.server_count());
+    const chord::ChordRouteReport r = chord::measure_lookup(
+        ring, net, apsp, origin, crypto::DataKey(id).prefix64());
+    hop.push_back(r.stretch);
+    hops_walked.push_back(static_cast<double>(r.physical_hops));
+  }
+  StretchResult out;
+  out.hop_stretch = summarize(hop);
+  out.latency_stretch = summarize(hop);  // Chord runs on hop costs here
+  out.selected_hops = summarize(std::move(hops_walked));
+  return out;
+}
+
+BalanceResult measure_gred_balance(core::GredSystem& system,
+                                   const std::vector<std::string>& ids) {
+  BalanceResult out;
+  out.loads.assign(system.network().server_count(), 0);
+  for (const std::string& id : ids) {
+    const auto placement = system.controller().expected_placement(
+        system.network(), crypto::DataKey(id));
+    if (placement.ok()) ++out.loads[placement.value().server];
+  }
+  out.report = core::load_balance(out.loads);
+  return out;
+}
+
+BalanceResult measure_chord_balance(const chord::ChordRing& ring,
+                                    const topology::EdgeNetwork& net,
+                                    const std::vector<std::string>& ids) {
+  std::vector<chord::RingId> keys;
+  keys.reserve(ids.size());
+  for (const std::string& id : ids) {
+    keys.push_back(crypto::DataKey(id).prefix64());
+  }
+  BalanceResult out;
+  out.loads = chord::chord_key_loads(ring, net, keys);
+  out.report = core::load_balance(out.loads);
+  return out;
+}
+
+Summary measure_table_entries(const sden::SdenNetwork& net) {
+  std::vector<double> counts;
+  counts.reserve(net.switch_count());
+  for (std::size_t c : net.table_entry_counts()) {
+    counts.push_back(static_cast<double>(c));
+  }
+  return summarize(std::move(counts));
+}
+
+double mean_chord_fingers(const chord::ChordRing& ring,
+                          const topology::EdgeNetwork& net) {
+  if (net.server_count() == 0) return 0.0;
+  double total = 0.0;
+  for (topology::ServerId s = 0; s < net.server_count(); ++s) {
+    total += static_cast<double>(ring.finger_entries(s));
+  }
+  return total / static_cast<double>(net.server_count());
+}
+
+}  // namespace gred::eval

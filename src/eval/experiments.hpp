@@ -1,0 +1,68 @@
+// The evaluation harness as a library: the measurement procedures of
+// Section VII (routing stretch, load balance, forwarding-table size)
+// as reusable, tested functions. The per-figure bench binaries are thin
+// wrappers over these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chord/chord.hpp"
+#include "common/stats.hpp"
+#include "core/metrics.hpp"
+#include "core/system.hpp"
+#include "graph/shortest_path.hpp"
+
+namespace gred::eval {
+
+struct StretchOptions {
+  std::size_t items = 100;   ///< placements per measurement (paper: 100)
+  std::uint64_t seed = 1;    ///< drives item ids and access points
+};
+
+struct StretchResult {
+  Summary hop_stretch;       ///< the paper's routing-stretch metric
+  Summary latency_stretch;   ///< cost-based view (== hop view on unit links)
+  Summary selected_hops;
+};
+
+/// Places `items` random data ids from random access switches through
+/// the GRED data plane and summarizes the stretch samples.
+StretchResult measure_gred_stretch(core::GredSystem& system,
+                                   const StretchOptions& options);
+
+/// Same workload against Chord: each lookup starts at a random server;
+/// overlay hops are priced on the physical topology via `apsp`.
+StretchResult measure_chord_stretch(const chord::ChordRing& ring,
+                                    const topology::EdgeNetwork& net,
+                                    const graph::ApspResult& apsp,
+                                    const StretchOptions& options);
+
+struct BalanceResult {
+  core::LoadBalanceReport report;
+  std::vector<std::size_t> loads;  ///< per-server assignment counts
+};
+
+/// Assigns `ids` with GRED's placement function (home switch +
+/// H(d) mod s) and reports the per-server balance.
+BalanceResult measure_gred_balance(core::GredSystem& system,
+                                   const std::vector<std::string>& ids);
+
+/// Assigns `ids` with Chord's successor function.
+BalanceResult measure_chord_balance(const chord::ChordRing& ring,
+                                    const topology::EdgeNetwork& net,
+                                    const std::vector<std::string>& ids);
+
+/// Forwarding-table entries per switch (Fig. 9(d) metric).
+Summary measure_table_entries(const sden::SdenNetwork& net);
+
+/// Mean distinct finger entries per server for the Chord comparison.
+double mean_chord_fingers(const chord::ChordRing& ring,
+                          const topology::EdgeNetwork& net);
+
+/// Deterministic workload ids ("data-<trial>-<i>").
+std::vector<std::string> workload_ids(std::size_t count,
+                                      std::uint64_t trial);
+
+}  // namespace gred::eval

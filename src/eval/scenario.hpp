@@ -1,0 +1,40 @@
+// Scenario factory mirroring the paper's Section VII-B simulation
+// defaults: a Waxman switch graph with a min-degree knob, N servers per
+// switch, and the three protocol configurations under comparison
+// (GRED, GRED-NoCVT, Chord).
+#pragma once
+
+#include <cstdint>
+
+#include "chord/chord.hpp"
+#include "common/error.hpp"
+#include "core/system.hpp"
+#include "topology/edge_network.hpp"
+
+namespace gred::eval {
+
+struct ScenarioOptions {
+  std::size_t switches = 100;
+  std::size_t servers_per_switch = 10;  ///< the paper's default
+  std::size_t min_degree = 3;
+  std::uint64_t topology_seed = 1;
+  /// C-regulation iterations for the GRED variant (paper default 50).
+  std::size_t cvt_iterations = 50;
+  bool latency_weights = false;  ///< weighted links for latency studies
+};
+
+/// The physical substrate shared by all protocols in a comparison.
+Result<topology::EdgeNetwork> build_network(const ScenarioOptions& options);
+
+/// GRED with C-regulation (T = options.cvt_iterations).
+Result<core::GredSystem> build_gred(const topology::EdgeNetwork& net,
+                                    const ScenarioOptions& options);
+
+/// GRED-NoCVT: M-position only.
+Result<core::GredSystem> build_gred_nocvt(const topology::EdgeNetwork& net,
+                                          const ScenarioOptions& options);
+
+/// The Chord baseline on the same servers (v = 1 as in the paper).
+Result<chord::ChordRing> build_chord(const topology::EdgeNetwork& net);
+
+}  // namespace gred::eval

@@ -1,0 +1,86 @@
+#include "geometry/cvt.hpp"
+
+#include <algorithm>
+
+namespace gred::geometry {
+namespace {
+
+Point2D draw_sample(const CvtOptions& options, Rng& rng) {
+  const Rect& d = options.domain;
+  if (!options.density) {
+    return {rng.uniform(d.min_x, d.max_x), rng.uniform(d.min_y, d.max_y)};
+  }
+  // Rejection sampling against the density bound.
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    Point2D p{rng.uniform(d.min_x, d.max_x), rng.uniform(d.min_y, d.max_y)};
+    const double rho = options.density(p);
+    if (rng.next_double() * options.density_bound <= rho) return p;
+  }
+  // Density nearly zero everywhere; fall back to uniform.
+  return {rng.uniform(d.min_x, d.max_x), rng.uniform(d.min_y, d.max_y)};
+}
+
+}  // namespace
+
+double estimate_cvt_energy(const std::vector<Point2D>& sites,
+                           const Rect& domain, std::size_t samples,
+                           Rng& rng) {
+  if (sites.empty() || samples == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const Point2D p{rng.uniform(domain.min_x, domain.max_x),
+                    rng.uniform(domain.min_y, domain.max_y)};
+    const std::size_t i = nearest_site(sites, p);
+    acc += squared_distance(p, sites[i]);
+  }
+  return acc / static_cast<double>(samples);
+}
+
+CvtResult c_regulation(std::vector<Point2D> sites, const CvtOptions& options,
+                       Rng& rng) {
+  CvtResult result;
+  for (Point2D& s : sites) s = options.domain.clamp(s);
+  if (sites.empty()) {
+    result.sites = std::move(sites);
+    return result;
+  }
+
+  std::vector<Point2D> centroid_acc(sites.size());
+  std::vector<std::size_t> counts(sites.size());
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(centroid_acc.begin(), centroid_acc.end(), Point2D{});
+    std::fill(counts.begin(), counts.end(), std::size_t{0});
+    double energy = 0.0;
+
+    for (std::size_t s = 0; s < options.samples_per_iteration; ++s) {
+      const Point2D p = draw_sample(options, rng);
+      const std::size_t i = nearest_site(sites, p);
+      centroid_acc[i] = centroid_acc[i] + p;
+      ++counts[i];
+      energy += squared_distance(p, sites[i]);
+    }
+    energy /= static_cast<double>(options.samples_per_iteration);
+
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      if (counts[i] == 0) continue;  // empty cell this round: stay put
+      const Point2D centroid =
+          centroid_acc[i] / static_cast<double>(counts[i]);
+      const Point2D moved =
+          sites[i] + (centroid - sites[i]) * options.step;
+      sites[i] = options.domain.clamp(moved);
+    }
+
+    result.energy_history.push_back(energy);
+    result.iterations_run = iter + 1;
+    if (options.energy_threshold > 0.0 &&
+        energy < options.energy_threshold) {
+      break;
+    }
+  }
+
+  result.sites = std::move(sites);
+  return result;
+}
+
+}  // namespace gred::geometry

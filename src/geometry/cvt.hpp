@@ -1,0 +1,59 @@
+// The paper's C-regulation method (Section IV-B, Algorithm 1): a
+// sampling-based Centroidal Voronoi Tessellation refinement. Each
+// iteration draws sample points from the domain density (1000 by
+// default, as in the paper), assigns each to its nearest site, and
+// moves every site toward the centroid of its assigned samples. The
+// discrete CVT energy (mean squared sample-to-site distance) decreases
+// until the site set approximates a CVT, equalizing the Voronoi cell
+// sizes and hence the hash load on switches.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/point.hpp"
+#include "geometry/voronoi.hpp"
+
+namespace gred::geometry {
+
+struct CvtOptions {
+  /// Sample points drawn per iteration (the paper uses 1000; "that can
+  /// be more").
+  std::size_t samples_per_iteration = 1000;
+  /// Maximum iterations T (the paper sweeps T in Fig. 11(c)).
+  std::size_t max_iterations = 50;
+  /// Early stop when the discrete CVT energy estimate drops below this;
+  /// 0 disables the energy termination (pure iteration count).
+  double energy_threshold = 0.0;
+  /// Fractional step toward the sample centroid per iteration; 1.0 is
+  /// the classic Lloyd/MacQueen full step.
+  double step = 1.0;
+  /// Domain of the virtual space.
+  Rect domain;
+  /// Optional density rho(p) over the domain (default: uniform). Must
+  /// be bounded by `density_bound` for rejection sampling.
+  std::function<double(const Point2D&)> density;
+  double density_bound = 1.0;
+};
+
+struct CvtResult {
+  std::vector<Point2D> sites;
+  /// Discrete CVT energy estimate after each executed iteration.
+  std::vector<double> energy_history;
+  std::size_t iterations_run = 0;
+};
+
+/// Runs C-regulation on `sites`. Sites outside the domain are clamped
+/// into it first (MDS output is normalized before this is called, but
+/// the clamp keeps the function total).
+CvtResult c_regulation(std::vector<Point2D> sites, const CvtOptions& options,
+                       Rng& rng);
+
+/// Monte-Carlo estimate of the CVT energy of a site set:
+/// E = (1/S) * sum over samples r of |r - nearest_site(r)|^2.
+double estimate_cvt_energy(const std::vector<Point2D>& sites,
+                           const Rect& domain, std::size_t samples, Rng& rng);
+
+}  // namespace gred::geometry

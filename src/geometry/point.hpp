@@ -1,0 +1,73 @@
+// 2-D points in the virtual space. The paper breaks distance ties by
+// ranking the x coordinate, then the y coordinate (Section V-A), which
+// `lex_less` implements; all "closest switch" logic must use
+// `closer_to` so every component (controller, switches, simulators)
+// agrees on the unique nearest node.
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace gred::geometry {
+
+struct Point2D {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point2D() = default;
+  constexpr Point2D(double px, double py) : x(px), y(py) {}
+
+  constexpr Point2D operator+(const Point2D& o) const {
+    return {x + o.x, y + o.y};
+  }
+  constexpr Point2D operator-(const Point2D& o) const {
+    return {x - o.x, y - o.y};
+  }
+  constexpr Point2D operator*(double s) const { return {x * s, y * s}; }
+  constexpr Point2D operator/(double s) const { return {x / s, y / s}; }
+
+  constexpr bool operator==(const Point2D& o) const = default;
+
+  std::string to_string() const {
+    return "(" + std::to_string(x) + ", " + std::to_string(y) + ")";
+  }
+};
+
+inline double dot(const Point2D& a, const Point2D& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+inline double cross(const Point2D& a, const Point2D& b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+inline double squared_distance(const Point2D& a, const Point2D& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double distance(const Point2D& a, const Point2D& b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+inline double norm(const Point2D& a) { return std::sqrt(dot(a, a)); }
+
+/// Strict lexicographic order: by x, then by y (the paper's tie-break).
+inline bool lex_less(const Point2D& a, const Point2D& b) {
+  if (a.x != b.x) return a.x < b.x;
+  return a.y < b.y;
+}
+
+/// True when candidate `a` beats candidate `b` as "closest to target":
+/// strictly smaller distance, or equal distance and lexicographically
+/// smaller position. This total order makes the nearest node unique.
+inline bool closer_to(const Point2D& target, const Point2D& a,
+                      const Point2D& b) {
+  const double da = squared_distance(target, a);
+  const double db = squared_distance(target, b);
+  if (da != db) return da < db;
+  return lex_less(a, b);
+}
+
+}  // namespace gred::geometry

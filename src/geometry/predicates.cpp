@@ -1,0 +1,78 @@
+#include "geometry/predicates.hpp"
+
+#include <cmath>
+
+namespace gred::geometry {
+namespace {
+
+// Quad-precision (113-bit mantissa) determinant evaluation. The virtual
+// positions handled here live in [0,1]^2 (plus a bounding super-triangle
+// ~1e2 away), so determinant magnitudes stay far above the ~1e-34
+// relative error of __float128; the guard epsilon below only has to
+// catch *exact* degeneracies (true collinearity / cocircularity), which
+// makes the predicates deterministic without full adaptive arithmetic.
+using quad = __float128;
+
+quad qabs(quad x) { return x < 0 ? -x : x; }
+
+constexpr quad kEps = 1e-30;
+
+}  // namespace
+
+double signed_area2(const Point2D& a, const Point2D& b, const Point2D& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+Orientation orient2d(const Point2D& a, const Point2D& b, const Point2D& c) {
+  const quad det = (quad(b.x) - quad(a.x)) * (quad(c.y) - quad(a.y)) -
+                   (quad(b.y) - quad(a.y)) * (quad(c.x) - quad(a.x));
+  const quad scale = qabs(quad(b.x) - quad(a.x)) +
+                     qabs(quad(b.y) - quad(a.y)) +
+                     qabs(quad(c.x) - quad(a.x)) +
+                     qabs(quad(c.y) - quad(a.y));
+  if (qabs(det) <= kEps * scale * scale) return Orientation::kCollinear;
+  return det > 0 ? Orientation::kCounterClockwise : Orientation::kClockwise;
+}
+
+bool in_circumcircle(const Point2D& a, const Point2D& b, const Point2D& c,
+                     const Point2D& p) {
+  const quad ax = quad(a.x) - quad(p.x);
+  const quad ay = quad(a.y) - quad(p.y);
+  const quad bx = quad(b.x) - quad(p.x);
+  const quad by = quad(b.y) - quad(p.y);
+  const quad cx = quad(c.x) - quad(p.x);
+  const quad cy = quad(c.y) - quad(p.y);
+
+  const quad a2 = ax * ax + ay * ay;
+  const quad b2 = bx * bx + by * by;
+  const quad c2 = cx * cx + cy * cy;
+
+  const quad det = ax * (by * c2 - b2 * cy) - ay * (bx * c2 - b2 * cx) +
+                   a2 * (bx * cy - by * cx);
+
+  const quad scale = a2 + b2 + c2;
+  return det > kEps * scale * scale;
+}
+
+Point2D circumcenter(const Point2D& a, const Point2D& b, const Point2D& c) {
+  const double d =
+      2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+  const double a2 = a.x * a.x + a.y * a.y;
+  const double b2 = b.x * b.x + b.y * b.y;
+  const double c2 = c.x * c.x + c.y * c.y;
+  const double ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+  const double uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+  return {ux, uy};
+}
+
+bool point_in_triangle(const Point2D& a, const Point2D& b, const Point2D& c,
+                       const Point2D& p) {
+  const double d1 = signed_area2(a, b, p);
+  const double d2 = signed_area2(b, c, p);
+  const double d3 = signed_area2(c, a, p);
+  const bool has_neg = (d1 < 0) || (d2 < 0) || (d3 < 0);
+  const bool has_pos = (d1 > 0) || (d2 > 0) || (d3 > 0);
+  return !(has_neg && has_pos);
+}
+
+}  // namespace gred::geometry

@@ -1,0 +1,84 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace gred::graph {
+
+NodeId Graph::add_node() {
+  adj_.emplace_back();
+  return adj_.size() - 1;
+}
+
+Status Graph::add_edge(NodeId u, NodeId v, double weight) {
+  if (u >= adj_.size() || v >= adj_.size()) {
+    return Status(ErrorCode::kOutOfRange, "add_edge: node id out of range");
+  }
+  if (u == v) {
+    return Status(ErrorCode::kInvalidArgument, "add_edge: self-loop");
+  }
+  if (weight <= 0.0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "add_edge: weight must be positive");
+  }
+  if (has_edge(u, v)) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "add_edge: edge already exists");
+  }
+  adj_[u].push_back({v, weight});
+  adj_[v].push_back({u, weight});
+  ++edge_count_;
+  return Status::Ok();
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  if (u >= adj_.size() || v >= adj_.size() || !has_edge(u, v)) return false;
+  auto drop = [](std::vector<EdgeTo>& list, NodeId target) {
+    list.erase(std::remove_if(list.begin(), list.end(),
+                              [target](const EdgeTo& e) {
+                                return e.to == target;
+                              }),
+               list.end());
+  };
+  drop(adj_[u], v);
+  drop(adj_[v], u);
+  --edge_count_;
+  return true;
+}
+
+std::size_t Graph::remove_edges_of(NodeId u) {
+  if (u >= adj_.size()) return 0;
+  const std::vector<EdgeTo> incident = adj_[u];
+  for (const EdgeTo& e : incident) {
+    remove_edge(u, e.to);
+  }
+  return incident.size();
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= adj_.size()) return false;
+  return std::any_of(adj_[u].begin(), adj_[u].end(),
+                     [v](const EdgeTo& e) { return e.to == v; });
+}
+
+Result<double> Graph::edge_weight(NodeId u, NodeId v) const {
+  if (u >= adj_.size()) {
+    return Error(ErrorCode::kOutOfRange, "edge_weight: node out of range");
+  }
+  for (const EdgeTo& e : adj_[u]) {
+    if (e.to == v) return e.weight;
+  }
+  return Error(ErrorCode::kNotFound, "edge_weight: no such edge");
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edge_count_);
+  for (NodeId u = 0; u < adj_.size(); ++u) {
+    for (const EdgeTo& e : adj_[u]) {
+      if (u < e.to) out.emplace_back(u, e.to);
+    }
+  }
+  return out;
+}
+
+}  // namespace gred::graph

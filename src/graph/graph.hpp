@@ -1,0 +1,60 @@
+// Undirected weighted graph over dense node ids [0, n). This models the
+// switch-level physical topology: nodes are switches, edges are links,
+// weights are link costs (1.0 = hop count, or latency in ms).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gred::graph {
+
+using NodeId = std::size_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+struct EdgeTo {
+  NodeId to = kNoNode;
+  double weight = 1.0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t node_count) : adj_(node_count) {}
+
+  std::size_t node_count() const { return adj_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Appends a new node; returns its id.
+  NodeId add_node();
+
+  /// Adds an undirected edge. Fails on self-loops, out-of-range ids, or
+  /// non-positive weight. Parallel edges are rejected.
+  Status add_edge(NodeId u, NodeId v, double weight = 1.0);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Removes edge (u, v); true when it existed.
+  bool remove_edge(NodeId u, NodeId v);
+
+  /// Removes every edge incident to `u` (node leave/failure in the
+  /// dynamics of Section VI); returns how many were removed. The node
+  /// id itself stays valid so ids remain dense.
+  std::size_t remove_edges_of(NodeId u);
+
+  /// Weight of edge (u, v); error when absent.
+  Result<double> edge_weight(NodeId u, NodeId v) const;
+
+  const std::vector<EdgeTo>& neighbors(NodeId u) const { return adj_[u]; }
+  std::size_t degree(NodeId u) const { return adj_[u].size(); }
+
+  /// All edges once, with u < v.
+  std::vector<std::pair<NodeId, NodeId>> edges() const;
+
+ private:
+  std::vector<std::vector<EdgeTo>> adj_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace gred::graph

@@ -1,0 +1,69 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+
+#include "graph/shortest_path.hpp"
+
+namespace gred::graph {
+
+std::vector<std::size_t> connected_components(const Graph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> comp(n, static_cast<std::size_t>(-1));
+  std::size_t next_id = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (comp[s] != static_cast<std::size_t>(-1)) continue;
+    comp[s] = next_id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const EdgeTo& e : g.neighbors(u)) {
+        if (comp[e.to] == static_cast<std::size_t>(-1)) {
+          comp[e.to] = next_id;
+          stack.push_back(e.to);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() <= 1) return true;
+  const auto comp = connected_components(g);
+  return std::all_of(comp.begin(), comp.end(),
+                     [](std::size_t c) { return c == 0; });
+}
+
+double diameter(const Graph& g) {
+  const std::size_t n = g.node_count();
+  if (n < 2) return 0.0;
+  double diam = 0.0;
+  for (NodeId s = 0; s < n; ++s) {
+    const SsspResult r = bfs(g, s);
+    for (double d : r.dist) {
+      if (d == kUnreachable) return kUnreachable;
+      diam = std::max(diam, d);
+    }
+  }
+  return diam;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats s;
+  const std::size_t n = g.node_count();
+  if (n == 0) return s;
+  s.min = g.degree(0);
+  for (NodeId u = 0; u < n; ++u) {
+    const std::size_t d = g.degree(u);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    s.mean += static_cast<double>(d);
+  }
+  s.mean /= static_cast<double>(n);
+  return s;
+}
+
+}  // namespace gred::graph

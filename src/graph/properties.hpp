@@ -1,0 +1,30 @@
+// Structural graph properties used by the topology generator (to patch
+// up connectivity) and the evaluation harness (diameter, degree stats).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace gred::graph {
+
+/// True when the graph is connected (empty and single-node graphs are).
+bool is_connected(const Graph& g);
+
+/// Connected components; component id per node, ids are dense from 0.
+std::vector<std::size_t> connected_components(const Graph& g);
+
+/// Unweighted diameter (max BFS eccentricity); kUnreachable when
+/// disconnected; 0 for graphs with fewer than 2 nodes.
+double diameter(const Graph& g);
+
+struct DegreeStats {
+  std::size_t min = 0;
+  std::size_t max = 0;
+  double mean = 0.0;
+};
+
+DegreeStats degree_stats(const Graph& g);
+
+}  // namespace gred::graph

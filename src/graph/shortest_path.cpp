@@ -1,0 +1,110 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+namespace gred::graph {
+
+SsspResult bfs(const Graph& g, NodeId source) {
+  const std::size_t n = g.node_count();
+  SsspResult r{std::vector<double>(n, kUnreachable),
+               std::vector<NodeId>(n, kNoNode)};
+  if (source >= n) return r;
+  std::deque<NodeId> queue{source};
+  r.dist[source] = 0.0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const EdgeTo& e : g.neighbors(u)) {
+      if (r.dist[e.to] != kUnreachable) continue;
+      r.dist[e.to] = r.dist[u] + 1.0;
+      r.parent[e.to] = u;
+      queue.push_back(e.to);
+    }
+  }
+  return r;
+}
+
+SsspResult dijkstra(const Graph& g, NodeId source) {
+  const std::size_t n = g.node_count();
+  SsspResult r{std::vector<double>(n, kUnreachable),
+               std::vector<NodeId>(n, kNoNode)};
+  if (source >= n) return r;
+
+  using Item = std::pair<double, NodeId>;  // (dist, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  r.dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > r.dist[u]) continue;  // stale entry
+    for (const EdgeTo& e : g.neighbors(u)) {
+      const double nd = d + e.weight;
+      if (nd < r.dist[e.to]) {
+        r.dist[e.to] = nd;
+        r.parent[e.to] = u;
+        heap.emplace(nd, e.to);
+      }
+    }
+  }
+  return r;
+}
+
+std::vector<NodeId> reconstruct_path(const SsspResult& sssp, NodeId target) {
+  std::vector<NodeId> path;
+  if (target >= sssp.dist.size() || sssp.dist[target] == kUnreachable) {
+    return path;
+  }
+  for (NodeId v = target; v != kNoNode; v = sssp.parent[v]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<NodeId> ApspResult::path(NodeId i, NodeId j) const {
+  std::vector<NodeId> out;
+  if (i >= next.size() || j >= next.size()) return out;
+  if (dist(i, j) == kUnreachable) return out;
+  out.push_back(i);
+  NodeId cur = i;
+  while (cur != j) {
+    cur = next[cur][j];
+    if (cur == kNoNode) return {};  // inconsistent table (shouldn't happen)
+    out.push_back(cur);
+  }
+  return out;
+}
+
+std::size_t ApspResult::hop_count(NodeId i, NodeId j) const {
+  if (i == j) return 0;
+  const auto p = path(i, j);
+  if (p.empty()) return static_cast<std::size_t>(-1);
+  return p.size() - 1;
+}
+
+ApspResult all_pairs_shortest_paths(const Graph& g, bool weighted) {
+  const std::size_t n = g.node_count();
+  ApspResult r;
+  r.dist = linalg::Matrix(n, n, 0.0);
+  r.next.assign(n, std::vector<NodeId>(n, kNoNode));
+
+  for (NodeId s = 0; s < n; ++s) {
+    const SsspResult sssp = weighted ? dijkstra(g, s) : bfs(g, s);
+    for (NodeId t = 0; t < n; ++t) {
+      r.dist(s, t) = sssp.dist[t];
+      if (t == s || sssp.dist[t] == kUnreachable) continue;
+      // First hop: walk the parent chain from t back to s.
+      NodeId hop = t;
+      while (sssp.parent[hop] != s) {
+        hop = sssp.parent[hop];
+      }
+      r.next[s][t] = hop;
+    }
+  }
+  return r;
+}
+
+}  // namespace gred::graph

@@ -1,0 +1,52 @@
+// Shortest-path algorithms over the physical topology. The GRED control
+// plane needs (a) the all-pairs hop matrix L for the M-position
+// embedding, and (b) concrete shortest paths between multi-hop DT
+// neighbors to install relay entries.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/matrix.hpp"
+
+namespace gred::graph {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Single-source result: dist[v] (kUnreachable when disconnected) and
+/// parent[v] on a shortest-path tree (kNoNode for source/unreachable).
+struct SsspResult {
+  std::vector<double> dist;
+  std::vector<NodeId> parent;
+};
+
+/// Unweighted BFS distances (hop counts).
+SsspResult bfs(const Graph& g, NodeId source);
+
+/// Weighted Dijkstra (binary heap). Precondition: positive weights.
+SsspResult dijkstra(const Graph& g, NodeId source);
+
+/// Reconstructs the path source -> target from a parent array; empty
+/// when target is unreachable. The path includes both endpoints.
+std::vector<NodeId> reconstruct_path(const SsspResult& sssp, NodeId target);
+
+/// All-pairs shortest paths.
+struct ApspResult {
+  /// dist(i, j): shortest-path length; kUnreachable when disconnected.
+  linalg::Matrix dist;
+  /// next[i][j]: first hop on a shortest i -> j path (kNoNode if none).
+  std::vector<std::vector<NodeId>> next;
+
+  /// Full path i -> j including endpoints; empty if unreachable.
+  std::vector<NodeId> path(NodeId i, NodeId j) const;
+  double distance(NodeId i, NodeId j) const { return dist(i, j); }
+  /// Hop count along the stored path (path length - 1); 0 when i == j,
+  /// SIZE_MAX when unreachable.
+  std::size_t hop_count(NodeId i, NodeId j) const;
+};
+
+/// Runs Dijkstra (or BFS when `weighted` is false) from every node.
+ApspResult all_pairs_shortest_paths(const Graph& g, bool weighted = false);
+
+}  // namespace gred::graph

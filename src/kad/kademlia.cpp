@@ -1,0 +1,144 @@
+#include "kad/kademlia.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+
+namespace gred::kad {
+
+Result<KademliaNetwork> KademliaNetwork::build(
+    const topology::EdgeNetwork& net, const KademliaOptions& options) {
+  if (net.server_count() == 0) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "KademliaNetwork: network has no servers");
+  }
+  if (options.bucket_size == 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "KademliaNetwork: bucket_size must be >= 1");
+  }
+
+  KademliaNetwork kad;
+  kad.nodes_.resize(net.server_count());
+  for (const topology::EdgeServer& s : net.all_servers()) {
+    kad.nodes_[s.id].id =
+        crypto::DataKey("kad-node-" + std::to_string(s.id)).prefix64();
+    kad.nodes_[s.id].server = s.id;
+  }
+
+  // Fill k-buckets: bucket b of node n holds candidates m whose XOR
+  // distance has bit-length b+1 (i.e., 2^b <= d < 2^(b+1)); keep the
+  // `bucket_size` closest per bucket.
+  const std::size_t n = kad.nodes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::vector<std::size_t>> buckets(64);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const KadId d = xor_distance(kad.nodes_[i].id, kad.nodes_[j].id);
+      if (d == 0) continue;  // id collision: skip (astronomically rare)
+      const int bucket = 63 - std::countl_zero(d);
+      buckets[bucket].push_back(j);
+    }
+    for (auto& bucket : buckets) {
+      if (bucket.size() > options.bucket_size) {
+        std::partial_sort(
+            bucket.begin(),
+            bucket.begin() + static_cast<std::ptrdiff_t>(options.bucket_size),
+            bucket.end(), [&](std::size_t a, std::size_t b) {
+              return xor_distance(kad.nodes_[i].id, kad.nodes_[a].id) <
+                     xor_distance(kad.nodes_[i].id, kad.nodes_[b].id);
+            });
+        bucket.resize(options.bucket_size);
+      }
+      kad.nodes_[i].contacts.insert(kad.nodes_[i].contacts.end(),
+                                    bucket.begin(), bucket.end());
+    }
+  }
+  return kad;
+}
+
+std::size_t KademliaNetwork::index_closest(KadId key) const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (xor_distance(nodes_[i].id, key) <
+        xor_distance(nodes_[best].id, key)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+topology::ServerId KademliaNetwork::closest_server(KadId key) const {
+  return nodes_[index_closest(key)].server;
+}
+
+KadLookupTrace KademliaNetwork::lookup(topology::ServerId from,
+                                       KadId key) const {
+  KadLookupTrace trace;
+  if (from >= nodes_.size()) {
+    trace.home = closest_server(key);
+    return trace;
+  }
+
+  // Greedy iterative lookup: at each step, move to the best contact
+  // strictly closer to the key. Kademlia's bucket structure guarantees
+  // each hop at least halves the XOR distance, so this terminates at
+  // the global minimum.
+  std::size_t cur = from;
+  const std::size_t max_steps = 2 * 64 + 8;  // distance halves per hop
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    const KadId cur_d = xor_distance(nodes_[cur].id, key);
+    std::size_t best = cur;
+    KadId best_d = cur_d;
+    for (std::size_t contact : nodes_[cur].contacts) {
+      const KadId d = xor_distance(nodes_[contact].id, key);
+      if (d < best_d) {
+        best = contact;
+        best_d = d;
+      }
+    }
+    if (best == cur) break;  // local (== global) minimum
+    trace.overlay_path.push_back(nodes_[best].server);
+    cur = best;
+  }
+  trace.home = nodes_[cur].server;
+  return trace;
+}
+
+std::size_t KademliaNetwork::routing_entries(
+    topology::ServerId server) const {
+  if (server >= nodes_.size()) return 0;
+  return nodes_[server].contacts.size();
+}
+
+KadRouteReport KademliaNetwork::measure_lookup(
+    const topology::EdgeNetwork& net, const graph::ApspResult& apsp,
+    topology::ServerId from, KadId key) const {
+  KadRouteReport report;
+  report.trace = lookup(from, key);
+
+  auto switch_of = [&net](topology::ServerId s) {
+    return net.server(s).attached_to;
+  };
+  topology::ServerId prev = from;
+  for (topology::ServerId next : report.trace.overlay_path) {
+    const std::size_t hops =
+        apsp.hop_count(switch_of(prev), switch_of(next));
+    if (hops != static_cast<std::size_t>(-1)) report.physical_hops += hops;
+    prev = next;
+  }
+  const std::size_t shortest =
+      apsp.hop_count(switch_of(from), switch_of(report.trace.home));
+  report.shortest_hops =
+      shortest == static_cast<std::size_t>(-1) ? 0 : shortest;
+  if (report.shortest_hops == 0) {
+    report.stretch = report.physical_hops == 0
+                         ? 1.0
+                         : static_cast<double>(report.physical_hops);
+  } else {
+    report.stretch = static_cast<double>(report.physical_hops) /
+                     static_cast<double>(report.shortest_hops);
+  }
+  return report;
+}
+
+}  // namespace gred::kad

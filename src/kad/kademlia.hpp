@@ -1,0 +1,89 @@
+// Kademlia (Maymounkov & Mazières, IPTPS'02) as a second DHT baseline
+// beyond the paper's Chord comparison. Nodes and keys live on a 64-bit
+// identifier space under the XOR metric; each node keeps k-buckets of
+// contacts (one bucket per distance magnitude, up to k closest
+// contacts each), and lookups greedily step to the contact closest to
+// the key. Like Chord, every overlay hop costs a physical path between
+// the two servers' switches — the mismatch GRED eliminates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "crypto/data_key.hpp"
+#include "graph/shortest_path.hpp"
+#include "topology/edge_network.hpp"
+
+namespace gred::kad {
+
+using KadId = std::uint64_t;
+
+/// XOR distance between two identifiers.
+inline KadId xor_distance(KadId a, KadId b) { return a ^ b; }
+
+struct KademliaOptions {
+  /// Contacts per bucket (the protocol's k).
+  std::size_t bucket_size = 8;
+};
+
+struct KadLookupTrace {
+  topology::ServerId home = topology::kNoServer;  ///< XOR-closest server
+  /// Servers queried in order (excluding the origin).
+  std::vector<topology::ServerId> overlay_path;
+  std::size_t overlay_hop_count() const { return overlay_path.size(); }
+};
+
+struct KadRouteReport {
+  KadLookupTrace trace;
+  std::size_t physical_hops = 0;
+  std::size_t shortest_hops = 0;
+  double stretch = 1.0;
+};
+
+class KademliaNetwork {
+ public:
+  /// Builds the overlay across all servers of `net`. Node ids are
+  /// SHA-256("kad-node-<server>") truncated to 64 bits; buckets are
+  /// filled with the XOR-closest candidates per distance magnitude
+  /// (the steady state a healthy deployment converges to).
+  static Result<KademliaNetwork> build(const topology::EdgeNetwork& net,
+                                       const KademliaOptions& options = {});
+
+  /// Key of a data identifier (same digest as GRED/Chord).
+  static KadId key_of(const crypto::DataKey& key) { return key.prefix64(); }
+
+  /// The server whose node id is XOR-closest to `key`.
+  topology::ServerId closest_server(KadId key) const;
+
+  /// Iterative greedy lookup from `from`'s routing table; terminates at
+  /// the globally XOR-closest node.
+  KadLookupTrace lookup(topology::ServerId from, KadId key) const;
+
+  /// Routing-table entries a server stores.
+  std::size_t routing_entries(topology::ServerId server) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Prices a lookup on the physical topology (like Chord's underlay
+  /// mapping).
+  KadRouteReport measure_lookup(const topology::EdgeNetwork& net,
+                                const graph::ApspResult& apsp,
+                                topology::ServerId from, KadId key) const;
+
+ private:
+  struct Node {
+    KadId id = 0;
+    topology::ServerId server = topology::kNoServer;
+    /// Indices into nodes_, bucketed by distance magnitude; flattened
+    /// with per-bucket boundaries implicit (contacts only, sorted by
+    /// XOR distance within construction).
+    std::vector<std::size_t> contacts;
+  };
+
+  std::size_t index_closest(KadId key) const;
+
+  std::vector<Node> nodes_;              ///< one per server, by server id
+};
+
+}  // namespace gred::kad

@@ -1,0 +1,34 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+// The control plane's M-position algorithm needs the top-m eigenpairs of
+// the double-centered matrix B (n x n, n = #switches), for which Jacobi
+// is simple, robust, and plenty fast at these sizes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace gred::linalg {
+
+/// Eigen decomposition of a symmetric matrix: A = V diag(values) V^T.
+/// `values` are sorted descending; `vectors.col(j)` pairs with values[j]
+/// (vectors is column-major in the sense that column j is eigenvector j).
+struct EigenDecomposition {
+  std::vector<double> values;
+  Matrix vectors;  ///< n x n; column j is the eigenvector for values[j].
+};
+
+/// Options for the Jacobi sweep loop.
+struct JacobiOptions {
+  std::size_t max_sweeps = 64;
+  double tolerance = 1e-12;  ///< stop when off-diagonal norm is below this
+                             ///< times the Frobenius norm of the input
+};
+
+/// Computes all eigenpairs of a symmetric matrix. Precondition:
+/// a.is_symmetric(); asserts/throws otherwise.
+EigenDecomposition symmetric_eigen(const Matrix& a,
+                                   const JacobiOptions& options = {});
+
+}  // namespace gred::linalg

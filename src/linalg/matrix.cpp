@@ -1,0 +1,152 @@
+#include "linalg/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace gred::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::ones(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 1.0);
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return (*this)(r, c);
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += aik * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  Matrix out = *this;
+  out += rhs;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  Matrix out = *this;
+  out -= rhs;
+  return out;
+}
+
+Matrix Matrix::operator*(double scalar) const {
+  Matrix out = *this;
+  out *= scalar;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  assert(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix Matrix::elementwise_square() const {
+  Matrix out = *this;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(r, c) *= (*this)(r, c);
+  }
+  return out;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double mx = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    mx = std::max(mx, std::fabs(data_[i] - other.data_[i]));
+  }
+  return mx;
+}
+
+bool Matrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = r + 1; c < cols_; ++c) {
+      if (std::fabs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::string Matrix::to_string(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      os << std::setw(precision + 6) << (*this)(r, c);
+    }
+    os << (r + 1 == rows_ ? " ]" : "\n");
+  }
+  return os.str();
+}
+
+Matrix operator*(double scalar, const Matrix& m) { return m * scalar; }
+
+}  // namespace gred::linalg

@@ -1,0 +1,42 @@
+// Classical multidimensional scaling — the mathematical core of the
+// paper's M-position algorithm (Section IV-A):
+//
+//   B = -1/2 * J * L^(2) * J,   J = I - (1/n) * A   (double centering)
+//   B = Q Q^T  via eigendecomposition;  Q = E_m * Lambda_m^{1/2}
+//
+// where L is the all-pairs shortest-path (hop) matrix between switches
+// and m the embedding dimension (2 in the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "linalg/matrix.hpp"
+
+namespace gred::linalg {
+
+struct MdsResult {
+  /// n x m coordinate matrix Q; row i is the embedded point of node i.
+  Matrix coordinates;
+  /// All eigenvalues of B, descending — diagnostics for how much
+  /// distance structure the top-m dimensions capture.
+  std::vector<double> eigenvalues;
+  /// Kruskal stress-1 of the embedding against the input distances:
+  /// sqrt( sum (d_ij - dhat_ij)^2 / sum d_ij^2 ). 0 = perfect.
+  double stress = 0.0;
+};
+
+/// Embeds a symmetric non-negative distance matrix into m dimensions.
+/// Fails when `distances` is not square/symmetric, has a negative entry
+/// or nonzero diagonal, or when m is 0 or >= n.
+Result<MdsResult> classical_mds(const Matrix& distances, std::size_t m);
+
+/// Kruskal stress-1 between a distance matrix and the pairwise Euclidean
+/// distances of `coords` (n x m). Exposed for tests/ablations.
+double kruskal_stress(const Matrix& distances, const Matrix& coords);
+
+/// Pairwise Euclidean distance matrix of the rows of `coords`.
+Matrix pairwise_distances(const Matrix& coords);
+
+}  // namespace gred::linalg

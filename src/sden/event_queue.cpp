@@ -1,0 +1,34 @@
+#include "sden/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace gred::sden {
+
+void EventQueue::schedule_at(double t, Handler handler) {
+  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(handler)});
+}
+
+void EventQueue::schedule_after(double dt, Handler handler) {
+  schedule_at(now_ + dt, std::move(handler));
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the handler is moved out via a
+  // const_cast-free copy of the shared_ptr-like functor. Copy is cheap
+  // relative to simulation work and keeps the code simple.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.handler();
+  return true;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace gred::sden

@@ -1,0 +1,54 @@
+// A minimal discrete-event engine. The response-delay experiments
+// (Fig. 8) replay retrieval requests through it with per-link latency
+// and FIFO queueing at servers, which is what the testbed's wall-clock
+// measurements capture.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace gred::sden {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute time `t` (>= now; earlier times
+  /// are clamped to now to keep time monotonic).
+  void schedule_at(double t, Handler handler);
+
+  /// Schedules `handler` at now() + dt.
+  void schedule_after(double dt, Handler handler);
+
+  /// Runs the earliest event; false when the queue is empty.
+  bool step();
+
+  /// Runs until no events remain.
+  void run();
+
+  double now() const { return now_; }
+  std::size_t pending() const { return queue_.size(); }
+  std::size_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::size_t seq;  ///< FIFO tie-break for simultaneous events
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::size_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+};
+
+}  // namespace gred::sden

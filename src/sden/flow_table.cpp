@@ -1,0 +1,91 @@
+#include "sden/flow_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gred::sden {
+
+void FlowTable::add_neighbor(const NeighborEntry& entry) {
+  // Replace an existing entry for the same neighbor (controller
+  // re-installations after topology/position updates).
+  for (NeighborEntry& e : neighbors_) {
+    if (e.neighbor == entry.neighbor) {
+      e = entry;
+      return;
+    }
+  }
+  neighbors_.push_back(entry);
+}
+
+void FlowTable::add_relay(const RelayEntry& entry) {
+  for (RelayEntry& e : relays_) {
+    if (e.dest == entry.dest && e.sour == entry.sour) {
+      e = entry;
+      return;
+    }
+  }
+  relays_.push_back(entry);
+}
+
+void FlowTable::add_rewrite(const RewriteEntry& entry) {
+  for (RewriteEntry& e : rewrites_) {
+    if (e.original == entry.original) {
+      e = entry;
+      return;
+    }
+  }
+  rewrites_.push_back(entry);
+}
+
+void FlowTable::remove_rewrite(ServerId original) {
+  rewrites_.erase(
+      std::remove_if(rewrites_.begin(), rewrites_.end(),
+                     [original](const RewriteEntry& e) {
+                       return e.original == original;
+                     }),
+      rewrites_.end());
+}
+
+std::optional<RelayEntry> FlowTable::match_relay(SwitchId dest) const {
+  for (const RelayEntry& e : relays_) {
+    if (e.dest == dest) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<RewriteEntry> FlowTable::match_rewrite(ServerId original) const {
+  for (const RewriteEntry& e : rewrites_) {
+    if (e.original == original) return e;
+  }
+  return std::nullopt;
+}
+
+void FlowTable::clear() {
+  neighbors_.clear();
+  relays_.clear();
+  rewrites_.clear();
+}
+
+std::string FlowTable::to_string() const {
+  std::ostringstream os;
+  os << "greedy candidates (" << neighbors_.size() << "):\n";
+  for (const NeighborEntry& e : neighbors_) {
+    os << "  -> sw" << e.neighbor << " at (" << e.position.x << ", "
+       << e.position.y << ") "
+       << (e.physical ? "[physical]" : "[virtual link]")
+       << " first-hop sw" << e.first_hop << "\n";
+  }
+  os << "relay tuples (" << relays_.size() << "):\n";
+  for (const RelayEntry& e : relays_) {
+    os << "  <sour=" << e.sour << ", pred=" << e.pred << ", succ=" << e.succ
+       << ", dest=" << e.dest << ">\n";
+  }
+  os << "range-extension rewrites (" << rewrites_.size() << "):\n";
+  for (const RewriteEntry& e : rewrites_) {
+    os << "  h" << e.original << " -> h" << e.replacement << " via sw"
+       << e.via_switch << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gred::sden

@@ -1,0 +1,168 @@
+#include "sden/network.hpp"
+
+namespace gred::sden {
+
+SdenNetwork::SdenNetwork(topology::EdgeNetwork description)
+    : description_(std::move(description)) {
+  switches_.reserve(description_.switch_count());
+  for (SwitchId id = 0; id < description_.switch_count(); ++id) {
+    switches_.emplace_back(id);
+  }
+  servers_.reserve(description_.server_count());
+  for (const topology::EdgeServer& s : description_.all_servers()) {
+    servers_.emplace_back(s);
+  }
+}
+
+RouteResult SdenNetwork::inject(Packet pkt, SwitchId ingress) {
+  RouteResult result;
+  if (ingress >= switches_.size()) {
+    result.status =
+        Status(ErrorCode::kOutOfRange, "inject: ingress switch out of range");
+    return result;
+  }
+
+  SwitchId cur = ingress;
+  result.switch_path.push_back(cur);
+
+  // A greedy walk strictly decreases distance-to-target and each
+  // virtual link is a simple path, so 4n + 16 hops is a generous bound;
+  // exceeding it means a forwarding-table bug.
+  const std::size_t max_hops = 4 * switches_.size() + 16;
+  for (std::size_t step = 0; step < max_hops; ++step) {
+    Decision decision = switches_[cur].process(pkt);
+    switch (decision.kind) {
+      case Decision::Kind::kForward: {
+        const SwitchId next = decision.next_hop;
+        if (next >= switches_.size() ||
+            !description_.switches().has_edge(cur, next)) {
+          result.status = Status(
+              ErrorCode::kInternal,
+              "switch " + std::to_string(cur) +
+                  " forwarded over a non-existent link to switch " +
+                  std::to_string(next));
+          return result;
+        }
+        result.path_cost +=
+            description_.switches().edge_weight(cur, next).value_or(1.0);
+        cur = next;
+        result.switch_path.push_back(cur);
+        break;
+      }
+      case Decision::Kind::kDeliver: {
+        result.status = deliver_to_targets(decision, pkt, cur, result);
+        return result;
+      }
+      case Decision::Kind::kDrop: {
+        result.status = Status(
+            ErrorCode::kInternal,
+            std::string("packet dropped at switch ") + std::to_string(cur) +
+                ": " +
+                (decision.drop_reason ? decision.drop_reason : "unknown"));
+        return result;
+      }
+    }
+  }
+  result.status =
+      Status(ErrorCode::kInternal, "routing loop: hop bound exceeded");
+  return result;
+}
+
+Status SdenNetwork::deliver_to_targets(const Decision& decision,
+                                       const Packet& pkt, SwitchId terminal,
+                                       RouteResult& result) {
+  for (const Decision::DeliveryTarget& target : decision.targets) {
+    if (target.server >= servers_.size()) {
+      return Status(ErrorCode::kInternal, "delivery to unknown server");
+    }
+    // A cross-switch delivery (range extension) must use a physical
+    // link from the terminal switch (the paper's port p5 to switch 2).
+    if (target.via != terminal) {
+      if (!description_.switches().has_edge(terminal, target.via)) {
+        return Status(ErrorCode::kInternal,
+                      "range-extension handoff over non-existent link");
+      }
+      result.path_cost +=
+          description_.switches().edge_weight(terminal, target.via)
+              .value_or(1.0);
+      result.switch_path.push_back(target.via);
+    }
+    result.delivered_to.push_back(target.server);
+
+    ServerNode& node = servers_[target.server];
+    if (pkt.type == PacketType::kPlacement) {
+      const Status stored = node.store(pkt.data_id, pkt.payload);
+      if (!stored.ok()) return stored;
+    } else if (pkt.type == PacketType::kRetrieval) {
+      const auto payload = node.fetch(pkt.data_id);
+      if (payload.has_value()) {
+        result.found = true;
+        result.responder = target.server;
+        result.payload = *payload;
+        node.note_retrieval();
+      }
+    } else {  // kRemoval
+      if (node.erase(pkt.data_id)) {
+        result.found = true;
+        result.responder = target.server;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::size_t> SdenNetwork::server_loads() const {
+  std::vector<std::size_t> loads;
+  loads.reserve(servers_.size());
+  for (const ServerNode& s : servers_) loads.push_back(s.item_count());
+  return loads;
+}
+
+std::vector<std::size_t> SdenNetwork::table_entry_counts() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(switches_.size());
+  for (const Switch& sw : switches_) {
+    counts.push_back(sw.table().entry_count());
+  }
+  return counts;
+}
+
+Result<SwitchId> SdenNetwork::add_switch(
+    const std::vector<SwitchId>& links) {
+  for (SwitchId v : links) {
+    if (v >= switches_.size()) {
+      return Error(ErrorCode::kOutOfRange,
+                   "add_switch: link target out of range");
+    }
+  }
+  const SwitchId id = description_.add_switch();
+  switches_.emplace_back(id);
+  for (SwitchId v : links) {
+    const Status s = description_.mutable_switches().add_edge(id, v);
+    if (!s.ok()) return s.error();
+  }
+  return id;
+}
+
+Result<ServerId> SdenNetwork::attach_server(SwitchId sw,
+                                            std::size_t capacity) {
+  auto id = description_.attach_server(sw, capacity);
+  if (!id.ok()) return id.error();
+  servers_.emplace_back(description_.server(id.value()));
+  return id.value();
+}
+
+void SdenNetwork::remove_switch_links(SwitchId sw) {
+  if (sw >= switches_.size()) return;
+  description_.mutable_switches().remove_edges_of(sw);
+  description_.detach_servers(sw);
+  switches_[sw].reset();
+}
+
+void SdenNetwork::clear_storage() {
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    servers_[i] = ServerNode(servers_[i].info());
+  }
+}
+
+}  // namespace gred::sden

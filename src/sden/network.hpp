@@ -1,0 +1,101 @@
+// The assembled software-defined edge network (SDEN, Fig. 3): switches
+// with flow tables, edge servers, and the physical links between them.
+// `inject()` walks a packet hop by hop through switch pipelines exactly
+// as the testbed forwards frames, validating that every forwarding
+// decision uses a real physical link, and applies the storage side
+// effects at the delivering server(s).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sden/packet.hpp"
+#include "sden/server_node.hpp"
+#include "sden/switch.hpp"
+#include "topology/edge_network.hpp"
+
+namespace gred::sden {
+
+/// Outcome of routing one packet.
+struct RouteResult {
+  Status status = Status::Ok();
+  /// Physical switch path walked by the request, ingress first. When a
+  /// range-extension handoff crosses to a neighbor switch, that switch
+  /// is included.
+  std::vector<SwitchId> switch_path;
+  /// Servers the packet was delivered to (1 normally; 2 for retrieval
+  /// under range extension).
+  std::vector<ServerId> delivered_to;
+  /// For retrievals: the server that actually held the data, and the
+  /// returned payload.
+  ServerId responder = topology::kNoServer;
+  std::string payload;
+  bool found = false;
+  /// Sum of link weights along switch_path — equals hop_count() on
+  /// unit-weight topologies, propagation latency on weighted ones.
+  double path_cost = 0.0;
+
+  /// Physical link traversals of the request path.
+  std::size_t hop_count() const {
+    return switch_path.empty() ? 0 : switch_path.size() - 1;
+  }
+};
+
+class SdenNetwork {
+ public:
+  /// Builds switches and servers from the static description. Flow
+  /// tables start empty — a controller (gred::core::Controller) must
+  /// install state before packets can be routed.
+  explicit SdenNetwork(topology::EdgeNetwork description);
+
+  std::size_t switch_count() const { return switches_.size(); }
+  std::size_t server_count() const { return servers_.size(); }
+
+  Switch& switch_at(SwitchId id) { return switches_[id]; }
+  const Switch& switch_at(SwitchId id) const { return switches_[id]; }
+  ServerNode& server(ServerId id) { return servers_[id]; }
+  const ServerNode& server(ServerId id) const { return servers_[id]; }
+
+  const topology::EdgeNetwork& description() const { return description_; }
+  /// Mutable topology access for the controller's dynamics (link
+  /// add/remove); application code should go through the Controller.
+  topology::EdgeNetwork& mutable_description() { return description_; }
+
+  /// Routes `pkt` from `ingress` until delivery/drop. Placement stores
+  /// the payload; retrieval reads it (and bumps the responder's served
+  /// counter).
+  RouteResult inject(Packet pkt, SwitchId ingress);
+
+  /// Stored-item count per server, indexed by global server id — the
+  /// load vector for the max/avg metric.
+  std::vector<std::size_t> server_loads() const;
+
+  /// Flow-table entries per switch (Fig. 9(d)).
+  std::vector<std::size_t> table_entry_counts() const;
+
+  /// Drops every stored item and resets load counters (fresh trial).
+  void clear_storage();
+
+  /// Adds a new switch with physical links to `links` (dynamics,
+  /// Section VI). Returns the new switch id.
+  Result<SwitchId> add_switch(const std::vector<SwitchId>& links);
+
+  /// Attaches a fresh server to `sw`.
+  Result<ServerId> attach_server(SwitchId sw, std::size_t capacity = 0);
+
+  /// Tears down a leaving switch (dynamics): removes its physical
+  /// links and detaches its servers. The switch id stays valid as an
+  /// inert transit node so ids remain dense.
+  void remove_switch_links(SwitchId sw);
+
+ private:
+  Status deliver_to_targets(const Decision& decision, const Packet& pkt,
+                            SwitchId terminal, RouteResult& result);
+
+  topology::EdgeNetwork description_;
+  std::vector<Switch> switches_;
+  std::vector<ServerNode> servers_;
+};
+
+}  // namespace gred::sden

@@ -1,0 +1,179 @@
+#include "sden/p4_pipeline.hpp"
+
+#include <sstream>
+
+#include "geometry/point.hpp"
+
+namespace gred::sden {
+
+P4GredProgram P4GredProgram::compile(const Switch& sw) {
+  P4GredProgram prog;
+  prog.self_ = sw.id();
+  prog.self_x_ = sw.position().x;
+  prog.self_y_ = sw.position().y;
+  prog.dt_participant_ = sw.dt_participant();
+
+  for (const RelayEntry& e : sw.table().relays()) {
+    // Exact-match on dest, first-installed wins (mirrors FlowTable's
+    // match_relay which scans in insertion order).
+    prog.relay_table_.emplace(e.dest, RelayRow{e.succ});
+  }
+  for (const NeighborEntry& e : sw.table().neighbors()) {
+    prog.candidate_rows_.push_back(
+        {e.neighbor, e.position.x, e.position.y, e.physical, e.first_hop});
+  }
+  prog.server_rows_ = sw.local_servers();
+  for (const RewriteEntry& e : sw.table().rewrites()) {
+    prog.rewrite_table_.emplace(e.original,
+                                RewriteRow{e.replacement, e.via_switch});
+  }
+  return prog;
+}
+
+Decision P4GredProgram::process(Packet& pkt) const {
+  Decision decision;
+
+  // ---- stage 0: parse ----
+  // Metadata registers the later stages read/write. On the ASIC these
+  // live in the PHV; here they are locals with the same lifetimes.
+  double meta_target_x = pkt.target.x;
+  double meta_target_y = pkt.target.y;
+  bool meta_on_vlink = pkt.on_virtual_link();
+  SwitchId meta_vlink_dest = pkt.vlink_dest;
+
+  // ---- stage 1: vlink_relay ----
+  if (meta_on_vlink) {
+    if (meta_vlink_dest == self_) {
+      // Endpoint: clear the header fields and fall through to greedy.
+      pkt.clear_virtual_link();
+      meta_on_vlink = false;
+    } else {
+      const auto hit = relay_table_.find(meta_vlink_dest);
+      if (hit == relay_table_.end()) {
+        decision.kind = Decision::Kind::kDrop;
+        decision.drop_reason = "no relay entry for virtual-link destination";
+        return decision;
+      }
+      decision.kind = Decision::Kind::kForward;
+      decision.next_hop = hit->second.succ;
+      return decision;
+    }
+  }
+
+  if (!dt_participant_) {
+    decision.kind = Decision::Kind::kDrop;
+    decision.drop_reason = "greedy packet at non-DT transit switch";
+    return decision;
+  }
+
+  // ---- stages 2..k: nbr_dist (one stage per candidate row) ----
+  // Running-minimum registers, folded across the stage series. The
+  // tie-break must match geometry::closer_to: distance, then (x, y).
+  bool meta_have_best = false;
+  std::size_t meta_best_row = 0;
+  double meta_best_d2 = 0.0;
+  for (std::size_t row = 0; row < candidate_rows_.size(); ++row) {
+    const CandidateRow& cand = candidate_rows_[row];
+    const double dx = cand.x - meta_target_x;
+    const double dy = cand.y - meta_target_y;
+    const double d2 = dx * dx + dy * dy;
+    bool better = false;
+    if (!meta_have_best || d2 < meta_best_d2) {
+      better = true;
+    } else if (d2 == meta_best_d2) {
+      const CandidateRow& best = candidate_rows_[meta_best_row];
+      better = cand.x != best.x ? cand.x < best.x : cand.y < best.y;
+    }
+    if (better) {
+      meta_have_best = true;
+      meta_best_row = row;
+      meta_best_d2 = d2;
+    }
+  }
+
+  // ---- stage k+1: decide ----
+  const double self_dx = self_x_ - meta_target_x;
+  const double self_dy = self_y_ - meta_target_y;
+  const double self_d2 = self_dx * self_dx + self_dy * self_dy;
+  bool candidate_wins = false;
+  if (meta_have_best) {
+    const CandidateRow& best = candidate_rows_[meta_best_row];
+    if (meta_best_d2 < self_d2) {
+      candidate_wins = true;
+    } else if (meta_best_d2 == self_d2) {
+      candidate_wins = best.x != self_x_ ? best.x < self_x_
+                                         : best.y < self_y_;
+    }
+  }
+  if (candidate_wins) {
+    const CandidateRow& best = candidate_rows_[meta_best_row];
+    decision.kind = Decision::Kind::kForward;
+    if (best.physical) {
+      decision.next_hop = best.neighbor;
+    } else {
+      // Header rewrite: enter the virtual link.
+      pkt.vlink_dest = best.neighbor;
+      pkt.vlink_sour = self_;
+      decision.next_hop = best.first_hop;
+    }
+    return decision;
+  }
+
+  // ---- stage k+2: server_sel ----
+  if (server_rows_.empty()) {
+    decision.kind = Decision::Kind::kDrop;
+    decision.drop_reason = "terminal switch has no attached servers";
+    return decision;
+  }
+  const crypto::DataKey key(pkt.data_id);
+  const ServerId chosen = server_rows_[static_cast<std::size_t>(
+      key.mod(server_rows_.size()))];
+
+  decision.kind = Decision::Kind::kDeliver;
+  const auto rewrite = rewrite_table_.find(chosen);
+  if (rewrite == rewrite_table_.end()) {
+    decision.targets.push_back({chosen, self_});
+    return decision;
+  }
+  if (pkt.type == PacketType::kPlacement) {
+    decision.targets.push_back(
+        {rewrite->second.replacement, rewrite->second.via});
+  } else {
+    decision.targets.push_back({chosen, self_});
+    decision.targets.push_back(
+        {rewrite->second.replacement, rewrite->second.via});
+  }
+  return decision;
+}
+
+std::size_t P4GredProgram::stage_count() const {
+  // parse + vlink_relay + one per candidate + decide + server_sel.
+  return 2 + candidate_rows_.size() + 2;
+}
+
+std::size_t P4GredProgram::table_entry_count() const {
+  return relay_table_.size() + candidate_rows_.size() +
+         server_rows_.size() + rewrite_table_.size();
+}
+
+std::string P4GredProgram::describe() const {
+  std::ostringstream os;
+  os << "P4GredProgram for sw" << self_ << " at (" << self_x_ << ", "
+     << self_y_ << ")" << (dt_participant_ ? "" : " [transit]") << "\n";
+  os << "stage 1 vlink_relay: " << relay_table_.size() << " entries\n";
+  os << "stages 2.." << (1 + candidate_rows_.size())
+     << " nbr_dist: " << candidate_rows_.size() << " candidate rows\n";
+  for (const CandidateRow& c : candidate_rows_) {
+    os << "    sw" << c.neighbor << " (" << c.x << ", " << c.y << ") "
+       << (c.physical ? "physical" : "vlink via sw" + std::to_string(c.first_hop))
+       << "\n";
+  }
+  os << "stage " << (2 + candidate_rows_.size())
+     << " decide: self-distance comparison\n";
+  os << "stage " << (3 + candidate_rows_.size()) << " server_sel: "
+     << server_rows_.size() << " servers, " << rewrite_table_.size()
+     << " rewrites\n";
+  return os.str();
+}
+
+}  // namespace gred::sden

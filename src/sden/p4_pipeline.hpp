@@ -1,0 +1,95 @@
+// A table-driven model of the GRED P4 program (Section VII-A).
+//
+// The imperative `Switch::process()` is convenient for simulation, but
+// the paper's prototype is a P4 pipeline: a programmable parser feeding
+// a series of match-action stages whose ENTRIES (not code) encode the
+// forwarding state, with explicit packet metadata carried between
+// stages. `P4GredProgram` reproduces that structure:
+//
+//   stage 0  parse          packet header -> metadata registers
+//   stage 1  vlink_relay    exact match on vlink destination -> relay
+//   stage 2..k  nbr_dist    one stage per candidate: compute squared
+//                           distance to H(d), fold a running minimum
+//                           (the paper: "multiple match-action stages
+//                           are designed in series to achieve the
+//                           neighboring switch whose position is
+//                           closest to the position of the data")
+//   stage k+1  decide       compare best candidate vs self -> forward /
+//                           enter virtual link / deliver
+//   stage k+2  server_sel   H(d) mod s over the server table, then the
+//                           range-extension rewrite table
+//
+// `compile()` lowers a switch's installed FlowTable into these stage
+// tables; `process()` interprets them. The equivalence property —
+// identical decisions to Switch::process() on every packet — is
+// enforced by tests/p4_pipeline_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sden/switch.hpp"
+
+namespace gred::sden {
+
+class P4GredProgram {
+ public:
+  /// Lowers the switch's control-plane state (position, neighbor
+  /// entries, relay tuples, server list, rewrites) into pipeline
+  /// tables. The switch object is only read during compilation.
+  static P4GredProgram compile(const Switch& sw);
+
+  /// Runs the pipeline on a packet; mutates the packet's virtual-link
+  /// fields exactly like the hardware would rewrite the header.
+  Decision process(Packet& pkt) const;
+
+  /// Number of match-action stages (parse and decide included) — the
+  /// per-candidate distance stages make this data-dependent, as on the
+  /// ASIC.
+  std::size_t stage_count() const;
+
+  /// Total entries across all tables (equals the FlowTable entry count
+  /// plus the server-selection rows).
+  std::size_t table_entry_count() const;
+
+  /// Human-readable stage/table dump.
+  std::string describe() const;
+
+ private:
+  // ---- stage tables (pure data, no behavior) ----
+
+  /// vlink_relay: exact match on the virtual-link destination.
+  struct RelayRow {
+    SwitchId succ;
+  };
+  std::unordered_map<SwitchId, RelayRow> relay_table_;
+
+  /// nbr_dist: one row per greedy candidate (physical or DT neighbor).
+  struct CandidateRow {
+    SwitchId neighbor;
+    double x, y;
+    bool physical;
+    SwitchId first_hop;
+  };
+  std::vector<CandidateRow> candidate_rows_;
+
+  /// server_sel: serial-indexed server table.
+  std::vector<ServerId> server_rows_;
+
+  /// rewrite: exact match on the chosen server.
+  struct RewriteRow {
+    ServerId replacement;
+    SwitchId via;
+  };
+  std::unordered_map<ServerId, RewriteRow> rewrite_table_;
+
+  // ---- switch-local metadata ----
+  SwitchId self_ = kNoSwitch;
+  double self_x_ = 0.0;
+  double self_y_ = 0.0;
+  bool dt_participant_ = false;
+};
+
+}  // namespace gred::sden

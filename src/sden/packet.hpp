@@ -1,0 +1,51 @@
+// The packet format of the GRED data plane. Mirrors the P4 header the
+// prototype parses: a request tag (placement vs retrieval, Section V-C),
+// the data identifier and its hashed virtual-space position, and the
+// virtual-link relay fields <dest, sour, relay> of Section V-A used
+// while a packet traverses a multi-hop DT edge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geometry/point.hpp"
+#include "topology/edge_network.hpp"
+
+namespace gred::sden {
+
+using SwitchId = topology::SwitchId;
+using ServerId = topology::ServerId;
+inline constexpr SwitchId kNoSwitch = static_cast<SwitchId>(-1);
+
+enum class PacketType : std::uint8_t {
+  kPlacement,  ///< deliver payload to the responsible server
+  kRetrieval,  ///< request the data back from the responsible server
+  kRemoval,    ///< invalidate the data (Section V-B: items expire or
+               ///< migrate to the cloud); routed like a retrieval
+};
+
+struct Packet {
+  PacketType type = PacketType::kPlacement;
+
+  /// Application-level data identifier d.
+  std::string data_id;
+  /// H(d) reduced to the virtual space (Section III).
+  geometry::Point2D target;
+  /// Payload carried by a placement (empty for retrievals).
+  std::string payload;
+
+  // --- virtual-link traversal state (Section V-A) ---
+  /// End switch of the virtual link currently being traversed, or
+  /// kNoSwitch when the packet is in greedy mode.
+  SwitchId vlink_dest = kNoSwitch;
+  /// Source switch of the virtual link (diagnostics; the paper's d.sour).
+  SwitchId vlink_sour = kNoSwitch;
+
+  bool on_virtual_link() const { return vlink_dest != kNoSwitch; }
+  void clear_virtual_link() {
+    vlink_dest = kNoSwitch;
+    vlink_sour = kNoSwitch;
+  }
+};
+
+}  // namespace gred::sden

@@ -1,0 +1,31 @@
+#include "sden/server_node.hpp"
+
+#include <limits>
+
+namespace gred::sden {
+
+Status ServerNode::store(const std::string& id, std::string payload) {
+  const bool overwrite = items_.count(id) > 0;
+  if (!overwrite && at_capacity()) {
+    return Status(ErrorCode::kUnavailable,
+                  "server " + info_.name + " is at capacity");
+  }
+  items_[id] = std::move(payload);
+  ++placements_received_;
+  return Status::Ok();
+}
+
+std::optional<std::string> ServerNode::fetch(const std::string& id) const {
+  const auto it = items_.find(id);
+  if (it == items_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ServerNode::erase(const std::string& id) { return items_.erase(id) > 0; }
+
+std::size_t ServerNode::remaining_capacity() const {
+  if (info_.capacity == 0) return std::numeric_limits<std::size_t>::max();
+  return info_.capacity > items_.size() ? info_.capacity - items_.size() : 0;
+}
+
+}  // namespace gred::sden

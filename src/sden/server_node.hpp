@@ -1,0 +1,63 @@
+// An edge server in the simulator: bounded key-value storage plus the
+// load counters the evaluation reads (number of data items received —
+// the paper's per-server load for the max/avg metric).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "topology/edge_network.hpp"
+
+namespace gred::sden {
+
+class ServerNode {
+ public:
+  explicit ServerNode(const topology::EdgeServer& info) : info_(info) {}
+
+  const topology::EdgeServer& info() const { return info_; }
+
+  /// Stores (or overwrites) an item. Fails with kUnavailable when the
+  /// capacity (if bounded) is exhausted — the trigger for the range
+  /// extension in Section V-B.
+  Status store(const std::string& id, std::string payload);
+
+  /// Returns the payload if present.
+  std::optional<std::string> fetch(const std::string& id) const;
+
+  bool contains(const std::string& id) const { return items_.count(id) > 0; }
+
+  /// Removes an item; true when it existed.
+  bool erase(const std::string& id);
+
+  /// Currently stored items — the paper's load metric.
+  std::size_t item_count() const { return items_.size(); }
+  /// Cumulative placements ever received (diagnostics).
+  std::size_t placements_received() const { return placements_received_; }
+  /// Cumulative retrievals served (diagnostics).
+  std::size_t retrievals_served() const { return retrievals_served_; }
+
+  std::size_t capacity() const { return info_.capacity; }
+  bool at_capacity() const {
+    return info_.capacity != 0 && items_.size() >= info_.capacity;
+  }
+  /// Remaining capacity; SIZE_MAX when unbounded.
+  std::size_t remaining_capacity() const;
+
+  /// Records a served retrieval (called by the network walk).
+  void note_retrieval() { ++retrievals_served_; }
+
+  const std::unordered_map<std::string, std::string>& items() const {
+    return items_;
+  }
+
+ private:
+  topology::EdgeServer info_;
+  std::unordered_map<std::string, std::string> items_;
+  std::size_t placements_received_ = 0;
+  std::size_t retrievals_served_ = 0;
+};
+
+}  // namespace gred::sden

@@ -1,0 +1,104 @@
+#include "sden/switch.hpp"
+
+namespace gred::sden {
+
+Decision Switch::process(Packet& pkt) const {
+  // Stage 1: virtual-link relay (Section V-A "Transfer in a virtual
+  // link"). While d.relay != null and we are not the link endpoint, the
+  // packet moves along pre-installed relay tuples without greedy logic.
+  if (pkt.on_virtual_link()) {
+    if (pkt.vlink_dest == id_) {
+      // Endpoint reached: continue in greedy mode from here.
+      pkt.clear_virtual_link();
+    } else {
+      const auto relay = table_.match_relay(pkt.vlink_dest);
+      if (!relay.has_value()) {
+        Decision d;
+        d.kind = Decision::Kind::kDrop;
+        d.drop_reason = "no relay entry for virtual-link destination";
+        return d;
+      }
+      Decision d;
+      d.kind = Decision::Kind::kForward;
+      d.next_hop = relay->succ;
+      return d;
+    }
+  }
+
+  if (!dt_participant_) {
+    Decision d;
+    d.kind = Decision::Kind::kDrop;
+    d.drop_reason = "greedy packet at non-DT transit switch";
+    return d;
+  }
+
+  return greedy_forward(pkt);
+}
+
+Decision Switch::greedy_forward(Packet& pkt) const {
+  // Algorithm 2: across physical and DT neighbors, find v* minimizing
+  // the Euclidean distance to the data position (ties broken by the
+  // paper's (x, y) rank via closer_to).
+  const NeighborEntry* best = nullptr;
+  for (const NeighborEntry& cand : table_.neighbors()) {
+    if (best == nullptr ||
+        geometry::closer_to(pkt.target, cand.position, best->position)) {
+      best = &cand;
+    }
+  }
+
+  if (best != nullptr &&
+      geometry::closer_to(pkt.target, best->position, position_)) {
+    Decision d;
+    d.kind = Decision::Kind::kForward;
+    if (best->physical) {
+      d.next_hop = best->neighbor;
+    } else {
+      // Enter the virtual link toward the multi-hop DT neighbor.
+      pkt.vlink_dest = best->neighbor;
+      pkt.vlink_sour = id_;
+      d.next_hop = best->first_hop;
+    }
+    return d;
+  }
+
+  // No neighbor is closer: this switch is closest to H(d) among all
+  // switches (guaranteed by the DT), so it owns the data.
+  return deliver(pkt);
+}
+
+Decision Switch::deliver(const Packet& pkt) const {
+  Decision d;
+  if (local_servers_.empty()) {
+    d.kind = Decision::Kind::kDrop;
+    d.drop_reason = "terminal switch has no attached servers";
+    return d;
+  }
+
+  // Section V-B: serial number H(d) mod s.
+  const crypto::DataKey key(pkt.data_id);
+  const std::size_t idx =
+      static_cast<std::size_t>(key.mod(local_servers_.size()));
+  const ServerId chosen = local_servers_[idx];
+
+  d.kind = Decision::Kind::kDeliver;
+  const auto rewrite = table_.match_rewrite(chosen);
+  if (!rewrite.has_value()) {
+    d.targets.push_back({chosen, id_});
+    return d;
+  }
+
+  // Range extension is active for this server.
+  if (pkt.type == PacketType::kPlacement) {
+    // Placement goes only to the delegate (Table II's rewrite).
+    d.targets.push_back({rewrite->replacement, rewrite->via_switch});
+  } else {
+    // Retrieval/removal addresses both candidates simultaneously
+    // (Section V-C): whichever holds the data responds/erases.
+    d.targets.push_back({chosen, id_});
+    d.targets.push_back({rewrite->replacement, rewrite->via_switch});
+  }
+  return d;
+}
+
+}  // namespace gred::sden

@@ -1,0 +1,87 @@
+// A GRED switch: the data-plane element. `process()` is a faithful
+// C++ rendering of the P4 pipeline — it consults only local state (its
+// own virtual position, its flow table, its attached server list) and
+// the packet header, and produces a forwarding decision. All global
+// knowledge lives in the controller that installed the tables.
+#pragma once
+
+#include <vector>
+
+#include "crypto/data_key.hpp"
+#include "geometry/point.hpp"
+#include "sden/flow_table.hpp"
+#include "sden/packet.hpp"
+
+namespace gred::sden {
+
+/// Outcome of one pipeline pass. For kDeliver, `targets` lists the
+/// (server, via-switch) pairs that must receive the packet: one for the
+/// normal case; two for a retrieval under range extension (Section V-C
+/// forwards the request to both candidate servers). `via == self` means
+/// the server hangs off this switch.
+struct Decision {
+  enum class Kind { kForward, kDeliver, kDrop };
+
+  struct DeliveryTarget {
+    ServerId server = topology::kNoServer;
+    SwitchId via = kNoSwitch;
+  };
+
+  Kind kind = Kind::kDrop;
+  SwitchId next_hop = kNoSwitch;          ///< kForward
+  std::vector<DeliveryTarget> targets;    ///< kDeliver
+  const char* drop_reason = nullptr;      ///< kDrop diagnostics
+};
+
+class Switch {
+ public:
+  explicit Switch(SwitchId id) : id_(id) {}
+
+  SwitchId id() const { return id_; }
+
+  /// DT participants have a virtual position; pure transit switches
+  /// (no attached servers, Section IV-C) do not.
+  void set_position(const geometry::Point2D& p) {
+    position_ = p;
+    dt_participant_ = true;
+  }
+  const geometry::Point2D& position() const { return position_; }
+  bool dt_participant() const { return dt_participant_; }
+
+  /// Full reset to a blank transit switch (controller re-installs).
+  void reset() {
+    position_ = {};
+    dt_participant_ = false;
+    table_.clear();
+    local_servers_.clear();
+  }
+
+  FlowTable& table() { return table_; }
+  const FlowTable& table() const { return table_; }
+
+  /// Attached servers in serial-number order (the H(d) mod s range).
+  void set_local_servers(std::vector<ServerId> servers) {
+    local_servers_ = std::move(servers);
+  }
+  const std::vector<ServerId>& local_servers() const {
+    return local_servers_;
+  }
+
+  /// Runs the forwarding pipeline on `pkt`, possibly mutating its
+  /// virtual-link fields (exactly what the P4 program rewrites).
+  Decision process(Packet& pkt) const;
+
+ private:
+  /// Algorithm 2: greedy candidate selection.
+  Decision greedy_forward(Packet& pkt) const;
+  /// Terminal switch: pick the serving server(s) (Section V-B/V-C).
+  Decision deliver(const Packet& pkt) const;
+
+  SwitchId id_;
+  geometry::Point2D position_;
+  bool dt_participant_ = false;
+  FlowTable table_;
+  std::vector<ServerId> local_servers_;
+};
+
+}  // namespace gred::sden

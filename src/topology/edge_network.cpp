@@ -1,0 +1,67 @@
+#include "topology/edge_network.hpp"
+
+namespace gred::topology {
+
+EdgeNetwork::EdgeNetwork(graph::Graph switches)
+    : switches_(std::move(switches)),
+      by_switch_(switches_.node_count()) {}
+
+Result<ServerId> EdgeNetwork::attach_server(SwitchId sw,
+                                            std::size_t capacity) {
+  if (sw >= switches_.node_count()) {
+    return Error(ErrorCode::kOutOfRange,
+                 "attach_server: switch id out of range");
+  }
+  EdgeServer s;
+  s.id = servers_.size();
+  s.attached_to = sw;
+  s.local_index = by_switch_[sw].size();
+  s.capacity = capacity;
+  s.name = "h" + std::to_string(s.id);
+  by_switch_[sw].push_back(s.id);
+  servers_.push_back(std::move(s));
+  return servers_.back().id;
+}
+
+SwitchId EdgeNetwork::add_switch() {
+  const SwitchId id = switches_.add_node();
+  by_switch_.emplace_back();
+  return id;
+}
+
+void EdgeNetwork::detach_servers(SwitchId sw) {
+  if (sw >= by_switch_.size()) return;
+  by_switch_[sw].clear();
+}
+
+EdgeNetwork uniform_edge_network(graph::Graph switches,
+                                 std::size_t per_switch,
+                                 std::size_t capacity) {
+  EdgeNetwork net(std::move(switches));
+  for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+    for (std::size_t k = 0; k < per_switch; ++k) {
+      (void)net.attach_server(sw, capacity);
+    }
+  }
+  return net;
+}
+
+EdgeNetwork heterogeneous_edge_network(graph::Graph switches,
+                                       const HeterogeneousOptions& options,
+                                       Rng& rng) {
+  EdgeNetwork net(std::move(switches));
+  for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+    const auto count = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(options.min_servers_per_switch),
+        static_cast<std::int64_t>(options.max_servers_per_switch)));
+    for (std::size_t k = 0; k < count; ++k) {
+      const auto cap = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(options.min_capacity),
+          static_cast<std::int64_t>(options.max_capacity)));
+      (void)net.attach_server(sw, cap);
+    }
+  }
+  return net;
+}
+
+}  // namespace gred::topology

@@ -1,0 +1,65 @@
+#include "topology/presets.hpp"
+
+namespace gred::topology {
+
+graph::Graph testbed6() {
+  graph::Graph g(6);
+  // 6-ring...
+  for (std::size_t i = 0; i < 6; ++i) {
+    (void)g.add_edge(i, (i + 1) % 6);
+  }
+  // ...with the three diagonals, so every pair is within 2 hops.
+  (void)g.add_edge(0, 3);
+  (void)g.add_edge(1, 4);
+  (void)g.add_edge(2, 5);
+  return g;
+}
+
+graph::Graph ring(std::size_t n) {
+  graph::Graph g(n);
+  if (n < 3) return g;
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)g.add_edge(i, (i + 1) % n);
+  }
+  return g;
+}
+
+graph::Graph line(std::size_t n) {
+  graph::Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    (void)g.add_edge(i, i + 1);
+  }
+  return g;
+}
+
+graph::Graph grid(std::size_t width, std::size_t height) {
+  graph::Graph g(width * height);
+  auto id = [width](std::size_t x, std::size_t y) { return y * width + x; };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) (void)g.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < height) (void)g.add_edge(id(x, y), id(x, y + 1));
+    }
+  }
+  return g;
+}
+
+graph::Graph star(std::size_t n) {
+  graph::Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    (void)g.add_edge(0, i);
+  }
+  return g;
+}
+
+graph::Graph complete(std::size_t n) {
+  graph::Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      (void)g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+}  // namespace gred::topology

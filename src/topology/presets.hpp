@@ -1,0 +1,33 @@
+// Deterministic preset topologies: the paper's 6-switch P4 testbed
+// (Fig. 6) plus standard shapes used by tests and examples.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace gred::topology {
+
+/// The prototype testbed of Section VII-A: 6 P4 switches, each
+/// connecting 2 edge servers. The paper does not print the exact link
+/// set; we use a 6-ring with its three diagonals (0-3, 1-4, 2-5), a
+/// standard small-ISP shape with diameter 2 that matches the reported
+/// behaviour (stretch ~1 for both GRED variants).
+graph::Graph testbed6();
+
+/// Cycle of n >= 3 nodes.
+graph::Graph ring(std::size_t n);
+
+/// Path of n >= 1 nodes.
+graph::Graph line(std::size_t n);
+
+/// width x height 4-connected grid.
+graph::Graph grid(std::size_t width, std::size_t height);
+
+/// Star: node 0 is the hub of n-1 leaves.
+graph::Graph star(std::size_t n);
+
+/// Complete graph on n nodes.
+graph::Graph complete(std::size_t n);
+
+}  // namespace gred::topology

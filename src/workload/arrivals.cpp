@@ -1,0 +1,42 @@
+#include "workload/arrivals.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace gred::workload {
+
+std::vector<double> poisson_arrivals(std::size_t count, double rate_per_ms,
+                                     Rng& rng) {
+  assert(rate_per_ms > 0.0);
+  std::vector<double> times;
+  times.reserve(count);
+  double now = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    now += -std::log(1.0 - rng.next_double()) / rate_per_ms;
+    times.push_back(now);
+  }
+  return times;
+}
+
+std::vector<double> uniform_arrivals(std::size_t count, double spacing_ms) {
+  std::vector<double> times;
+  times.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    times.push_back(static_cast<double>(i) * spacing_ms);
+  }
+  return times;
+}
+
+std::vector<double> bursty_arrivals(std::size_t batches,
+                                    std::size_t per_batch, double gap_ms) {
+  std::vector<double> times;
+  times.reserve(batches * per_batch);
+  for (std::size_t b = 0; b < batches; ++b) {
+    for (std::size_t i = 0; i < per_batch; ++i) {
+      times.push_back(static_cast<double>(b) * gap_ms);
+    }
+  }
+  return times;
+}
+
+}  // namespace gred::workload

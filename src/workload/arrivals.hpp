@@ -1,0 +1,24 @@
+// Arrival-process helpers for the delay experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gred::workload {
+
+/// `count` Poisson arrival times with the given rate (events/ms),
+/// starting at t = 0, strictly increasing.
+std::vector<double> poisson_arrivals(std::size_t count, double rate_per_ms,
+                                     Rng& rng);
+
+/// `count` evenly spaced arrivals.
+std::vector<double> uniform_arrivals(std::size_t count, double spacing_ms);
+
+/// A batched ("thundering herd") arrival pattern: `batches` groups of
+/// `per_batch` simultaneous arrivals, `gap_ms` apart.
+std::vector<double> bursty_arrivals(std::size_t batches,
+                                    std::size_t per_batch, double gap_ms);
+
+}  // namespace gred::workload

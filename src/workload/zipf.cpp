@@ -1,0 +1,33 @@
+#include "workload/zipf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gred::workload {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  assert(n >= 1);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::probability(std::size_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  const double lo = k == 0 ? 0.0 : cdf_[k - 1];
+  return cdf_[k] - lo;
+}
+
+}  // namespace gred::workload

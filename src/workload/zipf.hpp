@@ -1,0 +1,34 @@
+// Zipf-distributed sampling. Edge workloads are heavily skewed (a few
+// hot objects dominate retrievals); the evaluation's uniform hashing
+// balances *placement*, while Zipf retrieval traffic stresses the
+// replication and range-extension machinery.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gred::workload {
+
+/// Samples ranks 0..n-1 with P(k) proportional to 1/(k+1)^s.
+/// Precomputes the CDF once; sampling is a binary search (O(log n)).
+class ZipfSampler {
+ public:
+  /// n >= 1; s >= 0 (s == 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+
+  /// Theoretical probability of rank k.
+  double probability(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;  ///< cumulative, cdf_.back() == 1
+  double s_;
+};
+
+}  // namespace gred::workload

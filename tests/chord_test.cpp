@@ -1,0 +1,285 @@
+// Chord baseline: ring intervals, successor correctness against brute
+// force, finger-table lookups, virtual nodes, and the underlay bridge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "chord/chord.hpp"
+#include "chord/underlay.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "graph/shortest_path.hpp"
+#include "topology/presets.hpp"
+
+namespace gred::chord {
+namespace {
+
+using topology::EdgeNetwork;
+using topology::ServerId;
+
+EdgeNetwork small_net() {
+  return topology::uniform_edge_network(topology::ring(6), 2);
+}
+
+// ---------- ring interval ----------
+
+TEST(RingIntervalTest, NoWrap) {
+  EXPECT_TRUE(in_ring_interval(10, 20, 15));
+  EXPECT_TRUE(in_ring_interval(10, 20, 20));   // right-closed
+  EXPECT_FALSE(in_ring_interval(10, 20, 10));  // left-open
+  EXPECT_FALSE(in_ring_interval(10, 20, 25));
+  EXPECT_FALSE(in_ring_interval(10, 20, 5));
+}
+
+TEST(RingIntervalTest, Wrapping) {
+  const RingId near_max = ~RingId{0} - 5;
+  EXPECT_TRUE(in_ring_interval(near_max, 10, 3));
+  EXPECT_TRUE(in_ring_interval(near_max, 10, ~RingId{0}));
+  EXPECT_TRUE(in_ring_interval(near_max, 10, 10));
+  EXPECT_FALSE(in_ring_interval(near_max, 10, 100));
+  EXPECT_FALSE(in_ring_interval(near_max, 10, near_max));
+}
+
+TEST(RingIntervalTest, FullRingWhenEqual) {
+  EXPECT_TRUE(in_ring_interval(7, 7, 0));
+  EXPECT_TRUE(in_ring_interval(7, 7, 7));
+  EXPECT_TRUE(in_ring_interval(7, 7, 12345));
+}
+
+// ---------- construction ----------
+
+TEST(ChordBuildTest, RejectsEmptyNetwork) {
+  EdgeNetwork empty(topology::ring(3));
+  EXPECT_FALSE(ChordRing::build(empty).ok());
+}
+
+TEST(ChordBuildTest, RejectsBadOptions) {
+  const EdgeNetwork net = small_net();
+  ChordOptions opt;
+  opt.virtual_nodes = 0;
+  EXPECT_FALSE(ChordRing::build(net, opt).ok());
+  opt.virtual_nodes = 1;
+  opt.finger_bits = 0;
+  EXPECT_FALSE(ChordRing::build(net, opt).ok());
+  opt.finger_bits = 65;
+  EXPECT_FALSE(ChordRing::build(net, opt).ok());
+}
+
+TEST(ChordBuildTest, RingSizeMatchesVirtualNodes) {
+  const EdgeNetwork net = small_net();  // 12 servers
+  auto r1 = ChordRing::build(net);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().ring_size(), 12u);
+
+  ChordOptions opt;
+  opt.virtual_nodes = 4;
+  auto r4 = ChordRing::build(net, opt);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r4.value().ring_size(), 48u);
+}
+
+// ---------- successor correctness ----------
+
+TEST(ChordSuccessorTest, MatchesBruteForce) {
+  const EdgeNetwork net =
+      topology::uniform_edge_network(topology::grid(4, 4), 3);
+  auto built = ChordRing::build(net);
+  ASSERT_TRUE(built.ok());
+  const ChordRing& ring = built.value();
+
+  // Brute force: recompute every server's ring id and find the
+  // successor by scanning.
+  std::map<RingId, ServerId> ids;
+  for (const auto& s : net.all_servers()) {
+    const RingId id =
+        crypto::DataKey("chord-node-" + std::to_string(s.id) + "-0")
+            .prefix64();
+    ids[id] = s.id;
+  }
+  auto brute_successor = [&ids](RingId key) {
+    auto it = ids.lower_bound(key);
+    if (it == ids.end()) it = ids.begin();
+    return it->second;
+  };
+
+  Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    const RingId key = rng.next_u64();
+    EXPECT_EQ(ring.successor_server(key), brute_successor(key));
+  }
+}
+
+TEST(ChordSuccessorTest, OwnIdMapsToSelf) {
+  const EdgeNetwork net = small_net();
+  auto built = ChordRing::build(net);
+  ASSERT_TRUE(built.ok());
+  for (const auto& s : net.all_servers()) {
+    const RingId id =
+        crypto::DataKey("chord-node-" + std::to_string(s.id) + "-0")
+            .prefix64();
+    EXPECT_EQ(built.value().successor_server(id), s.id);
+  }
+}
+
+// ---------- lookup ----------
+
+class ChordLookupTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChordLookupTest, LookupFindsSuccessorFromAnyOrigin) {
+  const std::size_t switches = GetParam();
+  const EdgeNetwork net =
+      topology::uniform_edge_network(topology::ring(switches), 5);
+  auto built = ChordRing::build(net);
+  ASSERT_TRUE(built.ok());
+  const ChordRing& ring = built.value();
+
+  Rng rng(23 + switches);
+  for (int trial = 0; trial < 200; ++trial) {
+    const RingId key = rng.next_u64();
+    const ServerId origin = rng.next_below(net.server_count());
+    const LookupTrace trace = ring.lookup(origin, key);
+    EXPECT_EQ(trace.home, ring.successor_server(key));
+    // Hop chain must be consistent.
+    ServerId cur = origin;
+    for (const OverlayHop& hop : trace.hops) {
+      EXPECT_EQ(hop.from, cur);
+      cur = hop.to;
+    }
+    EXPECT_EQ(cur, trace.home);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChordLookupTest,
+                         ::testing::Values(3, 6, 12, 20));
+
+TEST(ChordLookupHopsTest, LogarithmicOverlayHops) {
+  // With n ring nodes, lookups take O(log n) overlay hops; check the
+  // average is well under log2(n) + a small constant.
+  const EdgeNetwork net =
+      topology::uniform_edge_network(topology::ring(50), 10);  // 500 peers
+  auto built = ChordRing::build(net);
+  ASSERT_TRUE(built.ok());
+  Rng rng(31);
+  double total_hops = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const LookupTrace trace = built.value().lookup(
+        rng.next_below(net.server_count()), rng.next_u64());
+    total_hops += static_cast<double>(trace.overlay_hop_count());
+  }
+  const double avg = total_hops / trials;
+  EXPECT_LT(avg, 12.0);  // log2(500) ~ 9
+  EXPECT_GT(avg, 2.0);   // and it is genuinely multi-hop
+}
+
+TEST(ChordLookupTest, KeyOwnedByOriginNeedsNoHops) {
+  const EdgeNetwork net = small_net();
+  auto built = ChordRing::build(net);
+  ASSERT_TRUE(built.ok());
+  // Pick a key exactly equal to some node's ring id: its successor is
+  // that node; looking it up *from* that node should need no hops.
+  const ServerId server = 3;
+  const RingId id =
+      crypto::DataKey("chord-node-3-0").prefix64();
+  const LookupTrace trace = built.value().lookup(server, id);
+  EXPECT_EQ(trace.home, server);
+  EXPECT_EQ(trace.overlay_hop_count(), 0u);
+}
+
+TEST(ChordLookupTest, UnknownOriginStillAnswers) {
+  const EdgeNetwork net = small_net();
+  auto built = ChordRing::build(net);
+  ASSERT_TRUE(built.ok());
+  const LookupTrace trace =
+      built.value().lookup(/*from=*/9999, /*key=*/42);
+  EXPECT_EQ(trace.home, built.value().successor_server(42));
+  EXPECT_EQ(trace.overlay_hop_count(), 0u);
+}
+
+// ---------- virtual nodes & balance ----------
+
+TEST(ChordBalanceTest, VirtualNodesImproveBalance) {
+  const EdgeNetwork net =
+      topology::uniform_edge_network(topology::ring(10), 10);  // 100 servers
+  ChordOptions v1;
+  ChordOptions v8;
+  v8.virtual_nodes = 8;
+  auto r1 = ChordRing::build(net, v1);
+  auto r8 = ChordRing::build(net, v8);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r8.ok());
+
+  std::vector<RingId> keys;
+  Rng rng(41);
+  for (int i = 0; i < 50000; ++i) keys.push_back(rng.next_u64());
+
+  const auto loads1 = chord_key_loads(r1.value(), net, keys);
+  const auto loads8 = chord_key_loads(r8.value(), net, keys);
+  EXPECT_LT(max_over_avg(loads8), max_over_avg(loads1));
+}
+
+TEST(ChordBalanceTest, AllKeysAssigned) {
+  const EdgeNetwork net = small_net();
+  auto built = ChordRing::build(net);
+  ASSERT_TRUE(built.ok());
+  std::vector<RingId> keys;
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) keys.push_back(rng.next_u64());
+  const auto loads = chord_key_loads(built.value(), net, keys);
+  std::size_t total = 0;
+  for (std::size_t l : loads) total += l;
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(ChordFingerTest, EntriesAreLogarithmic) {
+  const EdgeNetwork net =
+      topology::uniform_edge_network(topology::ring(40), 10);  // 400 peers
+  auto built = ChordRing::build(net);
+  ASSERT_TRUE(built.ok());
+  // Distinct finger targets per node ~ log2(400) ~ 8.6.
+  const std::size_t entries = built.value().finger_entries(0);
+  EXPECT_GE(entries, 4u);
+  EXPECT_LE(entries, 16u);
+}
+
+// ---------- underlay bridge ----------
+
+TEST(ChordUnderlayTest, PhysicalHopsAtLeastShortest) {
+  const EdgeNetwork net =
+      topology::uniform_edge_network(topology::ring(12), 4);
+  const auto apsp = graph::all_pairs_shortest_paths(net.switches());
+  auto built = ChordRing::build(net);
+  ASSERT_TRUE(built.ok());
+  Rng rng(51);
+  for (int trial = 0; trial < 200; ++trial) {
+    const ServerId origin = rng.next_below(net.server_count());
+    const ChordRouteReport r =
+        measure_lookup(built.value(), net, apsp, origin, rng.next_u64());
+    EXPECT_GE(r.physical_hops, r.shortest_hops);
+    EXPECT_GE(r.stretch, 1.0 - 1e-9);
+  }
+}
+
+TEST(ChordUnderlayTest, StretchExceedsOneOnAverage) {
+  const EdgeNetwork net =
+      topology::uniform_edge_network(topology::ring(20), 10);
+  const auto apsp = graph::all_pairs_shortest_paths(net.switches());
+  auto built = ChordRing::build(net);
+  ASSERT_TRUE(built.ok());
+  Rng rng(52);
+  double total = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    total += measure_lookup(built.value(), net, apsp,
+                            rng.next_below(net.server_count()),
+                            rng.next_u64())
+                 .stretch;
+  }
+  // The paper reports Chord stretch > 3.5; on a 20-ring it is clearly
+  // above 1.5 already.
+  EXPECT_GT(total / trials, 1.5);
+}
+
+}  // namespace
+}  // namespace gred::chord

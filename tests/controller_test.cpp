@@ -1,0 +1,375 @@
+// Controller: full control-plane pipeline, installed state invariants,
+// range extension, and network dynamics (join/leave with migration).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/controller.hpp"
+#include "core/protocol.hpp"
+#include "topology/presets.hpp"
+#include "topology/waxman.hpp"
+
+namespace gred::core {
+namespace {
+
+using sden::SdenNetwork;
+using topology::ServerId;
+using topology::SwitchId;
+
+SdenNetwork make_net(graph::Graph g, std::size_t per_switch,
+                     std::size_t capacity = 0) {
+  return SdenNetwork(
+      topology::uniform_edge_network(std::move(g), per_switch, capacity));
+}
+
+TEST(ControllerTest, RequiresServers) {
+  SdenNetwork net{topology::EdgeNetwork(topology::ring(4))};
+  Controller ctrl;
+  EXPECT_FALSE(ctrl.initialize(net).ok());
+  EXPECT_FALSE(ctrl.initialized());
+}
+
+TEST(ControllerTest, InitializeInstallsEverything) {
+  SdenNetwork net = make_net(topology::testbed6(), 2);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  EXPECT_TRUE(ctrl.initialized());
+
+  for (SwitchId sw = 0; sw < 6; ++sw) {
+    const sden::Switch& s = net.switch_at(sw);
+    EXPECT_TRUE(s.dt_participant());
+    EXPECT_EQ(s.local_servers().size(), 2u);
+    EXPECT_FALSE(s.table().neighbors().empty());
+  }
+}
+
+TEST(ControllerTest, TransitSwitchesStayNonParticipant) {
+  // Middle switch of a line has no servers.
+  topology::EdgeNetwork desc{topology::line(3)};
+  (void)desc.attach_server(0);
+  (void)desc.attach_server(2);
+  SdenNetwork net{std::move(desc)};
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  EXPECT_TRUE(net.switch_at(0).dt_participant());
+  EXPECT_FALSE(net.switch_at(1).dt_participant());
+  EXPECT_TRUE(net.switch_at(2).dt_participant());
+  // ...but it relays the 0<->2 virtual link.
+  EXPECT_FALSE(net.switch_at(1).table().relays().empty());
+}
+
+TEST(ControllerTest, HomeSwitchMatchesNearestPosition) {
+  SdenNetwork net = make_net(topology::grid(4, 4), 3);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  Rng rng(61);
+  for (int t = 0; t < 100; ++t) {
+    const geometry::Point2D p{rng.next_double(), rng.next_double()};
+    const SwitchId home = ctrl.home_switch(p);
+    // No other participant may be strictly closer.
+    for (SwitchId sw : ctrl.space().participants()) {
+      EXPECT_FALSE(geometry::closer_to(p, net.switch_at(sw).position(),
+                                       net.switch_at(home).position()) &&
+                   sw != home);
+    }
+  }
+}
+
+TEST(ControllerTest, ExpectedPlacementConsistentWithRouting) {
+  SdenNetwork net = make_net(topology::grid(3, 3), 4);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  GredProtocol proto(net, ctrl);
+  for (int i = 0; i < 60; ++i) {
+    const std::string id = "item-" + std::to_string(i);
+    const auto expected = ctrl.expected_placement(net, crypto::DataKey(id));
+    ASSERT_TRUE(expected.ok());
+    auto placed = proto.place(id, "v", i % 9);
+    ASSERT_TRUE(placed.ok()) << placed.error().to_string();
+    ASSERT_EQ(placed.value().route.delivered_to.size(), 1u);
+    EXPECT_EQ(placed.value().route.delivered_to[0],
+              expected.value().server);
+    EXPECT_EQ(placed.value().destination, expected.value().sw);
+  }
+}
+
+// ---------- range extension ----------
+
+TEST(RangeExtensionTest, DelegatesToNeighborWithMostCapacity) {
+  // Switch 0's server is tiny; neighbors have room.
+  topology::EdgeNetwork desc{topology::ring(4)};
+  (void)desc.attach_server(0, 2);    // server 0: capacity 2
+  (void)desc.attach_server(1, 100);  // server 1: big
+  (void)desc.attach_server(2, 50);
+  (void)desc.attach_server(3, 10);   // server 3: neighbor of 0, small
+  SdenNetwork net{std::move(desc)};
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+
+  ASSERT_TRUE(ctrl.extend_range(net, 0).ok());
+  const auto rewrite = net.switch_at(0).table().match_rewrite(0);
+  ASSERT_TRUE(rewrite.has_value());
+  // Neighbors of switch 0 on the ring: 1 and 3; server 1 has the most
+  // remaining capacity.
+  EXPECT_EQ(rewrite->replacement, 1u);
+  EXPECT_EQ(rewrite->via_switch, 1u);
+}
+
+TEST(RangeExtensionTest, InvalidServerRejected) {
+  SdenNetwork net = make_net(topology::ring(3), 1);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  EXPECT_FALSE(ctrl.extend_range(net, 999).ok());
+  EXPECT_FALSE(ctrl.retract_range(net, 999).ok());
+}
+
+TEST(RangeExtensionTest, RetractWithoutExtensionFails) {
+  SdenNetwork net = make_net(topology::ring(3), 1);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  const Status s = ctrl.retract_range(net, 0);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kNotFound);
+}
+
+TEST(RangeExtensionTest, EndToEndExtendPlaceRetrieveRetract) {
+  SdenNetwork net = make_net(topology::ring(4), 1, /*capacity=*/1000);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  GredProtocol proto(net, ctrl);
+
+  // Find data ids owned by server 0 (switch 0's only server).
+  std::vector<std::string> owned;
+  for (int i = 0; owned.size() < 5 && i < 3000; ++i) {
+    const std::string id = "ext-" + std::to_string(i);
+    const auto p = ctrl.expected_placement(net, crypto::DataKey(id));
+    ASSERT_TRUE(p.ok());
+    if (p.value().server == 0) owned.push_back(id);
+  }
+  ASSERT_EQ(owned.size(), 5u);
+
+  ASSERT_TRUE(ctrl.extend_range(net, 0).ok());
+  const ServerId delegate =
+      net.switch_at(0).table().match_rewrite(0)->replacement;
+
+  for (const std::string& id : owned) {
+    auto r = proto.place(id, "payload:" + id, 2);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().route.delivered_to[0], delegate);
+  }
+  EXPECT_EQ(net.server(0).item_count(), 0u);
+  EXPECT_EQ(net.server(delegate).item_count(), 5u);
+
+  // Retrieval finds the data on the delegate.
+  for (const std::string& id : owned) {
+    auto r = proto.retrieve(id, 1);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().route.found);
+    EXPECT_EQ(r.value().route.responder, delegate);
+    EXPECT_EQ(r.value().route.payload, "payload:" + id);
+  }
+
+  // Retract: items migrate home, rewrite removed, retrieval still works.
+  ASSERT_TRUE(ctrl.retract_range(net, 0).ok());
+  EXPECT_FALSE(net.switch_at(0).table().match_rewrite(0).has_value());
+  EXPECT_EQ(net.server(0).item_count(), 5u);
+  EXPECT_EQ(net.server(delegate).item_count(), 0u);
+  for (const std::string& id : owned) {
+    auto r = proto.retrieve(id, 3);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().route.found);
+    EXPECT_EQ(r.value().route.responder, 0u);
+  }
+}
+
+// ---------- dynamics ----------
+
+TEST(DynamicsTest, AddSwitchJoinsAndMigrates) {
+  SdenNetwork net = make_net(topology::ring(5), 2);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  GredProtocol proto(net, ctrl);
+
+  // Preload data.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(proto.place("dyn-" + std::to_string(i), "v", i % 5).ok());
+  }
+  const auto loads_before = net.server_loads();
+  std::size_t total_before = 0;
+  for (std::size_t l : loads_before) total_before += l;
+  EXPECT_EQ(total_before, 200u);
+
+  auto added = ctrl.add_switch(net, {0, 2}, 2);
+  ASSERT_TRUE(added.ok()) << added.error().to_string();
+  const SwitchId sw = added.value();
+  EXPECT_EQ(net.switch_count(), 6u);
+  EXPECT_TRUE(net.switch_at(sw).dt_participant());
+
+  // No data lost; the new switch's servers took over some items.
+  const auto loads_after = net.server_loads();
+  std::size_t total_after = 0;
+  for (std::size_t l : loads_after) total_after += l;
+  EXPECT_EQ(total_after, 200u);
+  std::size_t new_items = 0;
+  for (ServerId s : net.description().servers_at(sw)) {
+    new_items += net.server(s).item_count();
+  }
+  EXPECT_GT(new_items, 0u);
+  EXPECT_EQ(ctrl.last_migration_count(), new_items);
+
+  // Every item is still retrievable through the data plane.
+  for (int i = 0; i < 200; ++i) {
+    auto r = proto.retrieve("dyn-" + std::to_string(i), i % 6);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().route.found) << i;
+  }
+}
+
+TEST(DynamicsTest, AddSwitchValidation) {
+  SdenNetwork net = make_net(topology::ring(3), 1);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  EXPECT_FALSE(ctrl.add_switch(net, {}, 1).ok());         // no links
+  EXPECT_FALSE(ctrl.add_switch(net, {42}, 1).ok());       // bad link
+  Controller uninit;
+  EXPECT_FALSE(uninit.add_switch(net, {0}, 1).ok());
+}
+
+TEST(DynamicsTest, RemoveSwitchRehomesData) {
+  SdenNetwork net = make_net(topology::complete(5), 2);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  GredProtocol proto(net, ctrl);
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(proto.place("rm-" + std::to_string(i), "v", i % 5).ok());
+  }
+
+  ASSERT_TRUE(ctrl.remove_switch(net, 2).ok());
+  EXPECT_FALSE(net.switch_at(2).dt_participant());
+  EXPECT_EQ(ctrl.space().participants().size(), 4u);
+
+  // All 150 items survive on the remaining servers and are reachable.
+  std::size_t total = 0;
+  for (std::size_t l : net.server_loads()) total += l;
+  EXPECT_EQ(total, 150u);
+  for (ServerId s : {4u, 5u}) {  // switch 2's servers (ids 4, 5)
+    EXPECT_EQ(net.server(s).item_count(), 0u);
+  }
+  for (int i = 0; i < 150; ++i) {
+    auto r = proto.retrieve("rm-" + std::to_string(i), (i % 4 == 2) ? 3 : i % 4);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().route.found) << i;
+  }
+}
+
+TEST(DynamicsTest, RemoveCutVertexRejected) {
+  // Line 0-1-2: removing the middle disconnects the ends.
+  SdenNetwork net = make_net(topology::line(3), 1);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  const Status s = ctrl.remove_switch(net, 1);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kFailedPrecondition);
+  // Network unchanged.
+  EXPECT_TRUE(net.description().switches().has_edge(0, 1));
+}
+
+TEST(DynamicsTest, RemoveLastParticipantRejected) {
+  SdenNetwork net = make_net(graph::Graph(1), 1);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  EXPECT_FALSE(ctrl.remove_switch(net, 0).ok());
+}
+
+TEST(LinkDynamicsTest, RemoveLinkReroutesVirtualLinks) {
+  // Ring of 8: virtual links exist; kill a physical link carrying one
+  // and verify every item stays reachable over the rerouted paths.
+  SdenNetwork net = make_net(topology::ring(8), 1);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  GredProtocol proto(net, ctrl);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(proto.place("lnk-" + std::to_string(i), "v", i % 8).ok());
+  }
+  const auto loads_before = net.server_loads();
+
+  ASSERT_TRUE(ctrl.remove_link(net, 0, 1).ok());
+  EXPECT_FALSE(net.description().switches().has_edge(0, 1));
+  // Placement function unchanged -> no data moved.
+  EXPECT_EQ(net.server_loads(), loads_before);
+  for (int i = 0; i < 100; ++i) {
+    auto r = proto.retrieve("lnk-" + std::to_string(i), (i * 3) % 8);
+    ASSERT_TRUE(r.ok()) << r.error().to_string();
+    EXPECT_TRUE(r.value().route.found) << i;
+  }
+}
+
+TEST(LinkDynamicsTest, RemoveBridgeLinkRejected) {
+  SdenNetwork net = make_net(topology::line(4), 1);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  const Status s = ctrl.remove_link(net, 1, 2);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(net.description().switches().has_edge(1, 2));
+}
+
+TEST(LinkDynamicsTest, RemoveMissingLinkNotFound) {
+  SdenNetwork net = make_net(topology::ring(5), 1);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  EXPECT_EQ(ctrl.remove_link(net, 0, 2).error().code, ErrorCode::kNotFound);
+}
+
+TEST(LinkDynamicsTest, AddLinkShortensRoutes) {
+  // Long ring: adding a chord across it must not break anything and
+  // should reduce the mean placement hops.
+  SdenNetwork net = make_net(topology::ring(12), 1);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  GredProtocol proto(net, ctrl);
+
+  auto mean_hops = [&]() {
+    Rng rng(9);
+    double total = 0;
+    for (int i = 0; i < 100; ++i) {
+      auto r = proto.place("al-" + std::to_string(i), "v",
+                           rng.next_below(12));
+      EXPECT_TRUE(r.ok());
+      total += static_cast<double>(r.value().selected_hops);
+    }
+    return total / 100.0;
+  };
+  const double before = mean_hops();
+  ASSERT_TRUE(ctrl.add_link(net, 0, 6).ok());
+  ASSERT_TRUE(ctrl.add_link(net, 3, 9).ok());
+  const double after = mean_hops();
+  EXPECT_LE(after, before);
+  EXPECT_FALSE(ctrl.add_link(net, 0, 6).ok());  // duplicate rejected
+}
+
+TEST(DynamicsTest, JoinThenLeaveRoundTrip) {
+  SdenNetwork net = make_net(topology::complete(4), 2);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  GredProtocol proto(net, ctrl);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(proto.place("rt-" + std::to_string(i), "v", i % 4).ok());
+  }
+  auto sw = ctrl.add_switch(net, {0, 1, 2, 3}, 2);
+  ASSERT_TRUE(sw.ok());
+  ASSERT_TRUE(ctrl.remove_switch(net, sw.value()).ok());
+  std::size_t total = 0;
+  for (std::size_t l : net.server_loads()) total += l;
+  EXPECT_EQ(total, 100u);
+  for (int i = 0; i < 100; ++i) {
+    auto r = proto.retrieve("rt-" + std::to_string(i), i % 4);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().route.found);
+  }
+}
+
+}  // namespace
+}  // namespace gred::core

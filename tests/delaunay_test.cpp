@@ -1,0 +1,340 @@
+// Delaunay triangulation: structural validity, the empty-circumcircle
+// property, and the guaranteed-delivery property of greedy routing that
+// GRED's correctness rests on (Section II-B). Includes parameterized
+// random sweeps over point-set sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+#include "geometry/convex_hull.hpp"
+#include "geometry/delaunay.hpp"
+
+namespace gred::geometry {
+namespace {
+
+std::vector<Point2D> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2D> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.next_double(), rng.next_double()});
+  }
+  return pts;
+}
+
+// ---------- structural tests ----------
+
+TEST(DelaunayTest, EmptyAndSingle) {
+  auto d0 = DelaunayTriangulation::build({});
+  ASSERT_TRUE(d0.ok());
+  EXPECT_EQ(d0.value().size(), 0u);
+  EXPECT_EQ(d0.value().edge_count(), 0u);
+
+  auto d1 = DelaunayTriangulation::build({{0.5, 0.5}});
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(d1.value().size(), 1u);
+  EXPECT_TRUE(d1.value().neighbors(0).empty());
+  EXPECT_EQ(d1.value().nearest_site({0.0, 0.0}), 0u);
+}
+
+TEST(DelaunayTest, TwoPointsAreNeighbors) {
+  auto d = DelaunayTriangulation::build({{0.0, 0.0}, {1.0, 1.0}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().are_neighbors(0, 1));
+  EXPECT_EQ(d.value().edge_count(), 1u);
+}
+
+TEST(DelaunayTest, TriangleIsItsOwnDT) {
+  auto d = DelaunayTriangulation::build({{0.0, 0.0}, {1.0, 0.0}, {0.5, 1.0}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().triangles().size(), 1u);
+  EXPECT_EQ(d.value().edge_count(), 3u);
+  EXPECT_TRUE(d.value().is_valid_delaunay());
+}
+
+TEST(DelaunayTest, SquareHasTwoTriangles) {
+  auto d = DelaunayTriangulation::build(
+      {{0.0, 0.0}, {1.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().triangles().size(), 2u);
+  EXPECT_EQ(d.value().edge_count(), 5u);
+  EXPECT_TRUE(d.value().is_valid_delaunay());
+}
+
+TEST(DelaunayTest, DuplicatePointsRejected) {
+  auto d = DelaunayTriangulation::build({{0.1, 0.2}, {0.1, 0.2}, {0.5, 0.5}});
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(DelaunayTest, CollinearDegeneratesToChain) {
+  auto d = DelaunayTriangulation::build(
+      {{0.0, 0.0}, {3.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().triangles().empty());
+  // Chain along x: 0 - 2 - 3 - 1 (sorted by x).
+  EXPECT_TRUE(d.value().are_neighbors(0, 2));
+  EXPECT_TRUE(d.value().are_neighbors(2, 3));
+  EXPECT_TRUE(d.value().are_neighbors(3, 1));
+  EXPECT_FALSE(d.value().are_neighbors(0, 1));
+  EXPECT_EQ(d.value().edge_count(), 3u);
+}
+
+TEST(DelaunayTest, KnownFlipCase) {
+  // Four points where the naive triangulation of insertion order would
+  // violate the empty-circle property; the DT must pick the other
+  // diagonal. Quad: (0,0), (10,0), (10.5,1), (0.5,1) — thin.
+  auto d = DelaunayTriangulation::build(
+      {{0.0, 0.0}, {10.0, 0.0}, {10.5, 1.0}, {0.5, 1.0}});
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().is_valid_delaunay());
+  EXPECT_EQ(d.value().triangles().size(), 2u);
+}
+
+TEST(DelaunayTest, GridWithCocircularPoints) {
+  // A 4x4 grid has many cocircular quadruples; the builder must still
+  // produce a valid triangulation (some diagonal choice).
+  std::vector<Point2D> pts;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      pts.push_back({static_cast<double>(i), static_cast<double>(j)});
+    }
+  }
+  auto d = DelaunayTriangulation::build(pts);
+  ASSERT_TRUE(d.ok());
+  // Euler: for n points with h on the hull, triangles = 2n - h - 2.
+  EXPECT_EQ(d.value().triangles().size(), 2u * 16 - 12 - 2);
+  // Every point must have at least 2 neighbors.
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_GE(d.value().neighbors(i).size(), 2u);
+  }
+}
+
+TEST(DelaunayTest, DeterministicWithExplicitRng) {
+  const auto pts = random_points(40, 123);
+  Rng r1(7), r2(7);
+  auto a = DelaunayTriangulation::build(pts, &r1);
+  auto b = DelaunayTriangulation::build(pts, &r2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().edge_count(), b.value().edge_count());
+  for (std::size_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(a.value().neighbors(i), b.value().neighbors(i));
+  }
+}
+
+TEST(DelaunayTest, InsertionOrderInvariance) {
+  // The DT of a generic point set is unique, so different randomized
+  // insertion orders must give identical adjacency.
+  const auto pts = random_points(30, 99);
+  Rng r1(1), r2(424242);
+  auto a = DelaunayTriangulation::build(pts, &r1);
+  auto b = DelaunayTriangulation::build(pts, &r2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(a.value().neighbors(i), b.value().neighbors(i)) << i;
+  }
+}
+
+// ---------- parameterized property sweep ----------
+
+class DelaunayPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+ protected:
+  void SetUp() override {
+    const auto [n, seed] = GetParam();
+    auto built = DelaunayTriangulation::build(random_points(n, seed));
+    ASSERT_TRUE(built.ok()) << built.error().to_string();
+    dt_ = std::move(built).value();
+  }
+  DelaunayTriangulation dt_;
+};
+
+TEST_P(DelaunayPropertyTest, EmptyCircumcircles) {
+  EXPECT_TRUE(dt_.is_valid_delaunay());
+}
+
+TEST_P(DelaunayPropertyTest, EulerFormula) {
+  // triangles = 2n - h - 2, edges = 3n - h - 3 (n >= 3, generic).
+  const auto hull = convex_hull(dt_.points());
+  const std::size_t n = dt_.size();
+  const std::size_t h = hull.size();
+  EXPECT_EQ(dt_.triangles().size(), 2 * n - h - 2);
+  EXPECT_EQ(dt_.edge_count(), 3 * n - h - 3);
+}
+
+TEST_P(DelaunayPropertyTest, AdjacencySymmetric) {
+  for (std::size_t i = 0; i < dt_.size(); ++i) {
+    for (std::size_t j : dt_.neighbors(i)) {
+      EXPECT_TRUE(dt_.are_neighbors(j, i));
+      EXPECT_NE(i, j);
+    }
+  }
+}
+
+TEST_P(DelaunayPropertyTest, GreedyAlwaysReachesNearestSite) {
+  // THE property GRED relies on: from any start, greedy routing toward
+  // any target point terminates at the globally nearest site.
+  Rng rng(std::get<1>(GetParam()) ^ 0xabcdef);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point2D target{rng.next_double(), rng.next_double()};
+    const std::size_t start = rng.next_below(dt_.size());
+    const auto path = dt_.greedy_route(start, target);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), start);
+    EXPECT_EQ(path.back(), dt_.nearest_site(target));
+  }
+}
+
+TEST_P(DelaunayPropertyTest, GreedyPathStrictlyApproaches) {
+  Rng rng(std::get<1>(GetParam()) ^ 0x123456);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point2D target{rng.next_double(), rng.next_double()};
+    const std::size_t start = rng.next_below(dt_.size());
+    const auto path = dt_.greedy_route(start, target);
+    for (std::size_t k = 1; k < path.size(); ++k) {
+      EXPECT_TRUE(closer_to(target, dt_.points()[path[k]],
+                            dt_.points()[path[k - 1]]));
+    }
+    // No repeated sites.
+    std::set<std::size_t> unique(path.begin(), path.end());
+    EXPECT_EQ(unique.size(), path.size());
+  }
+}
+
+TEST_P(DelaunayPropertyTest, GreedyFromNearestIsNoop) {
+  Rng rng(std::get<1>(GetParam()) ^ 0x777);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point2D target{rng.next_double(), rng.next_double()};
+    const std::size_t home = dt_.nearest_site(target);
+    EXPECT_EQ(dt_.greedy_next(home, target), kNoSite);
+    const auto path = dt_.greedy_route(home, target);
+    EXPECT_EQ(path.size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPointSets, DelaunayPropertyTest,
+    ::testing::Values(std::make_tuple(4, 11ull), std::make_tuple(8, 22ull),
+                      std::make_tuple(16, 33ull), std::make_tuple(32, 44ull),
+                      std::make_tuple(64, 55ull), std::make_tuple(128, 66ull),
+                      std::make_tuple(200, 77ull)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------- clustered (adversarial) distributions ----------
+
+TEST(DelaunayStressTest, TwoTightClusters) {
+  Rng rng(88);
+  std::vector<Point2D> pts;
+  for (int i = 0; i < 25; ++i) {
+    pts.push_back({0.1 + 0.01 * rng.next_double(),
+                   0.1 + 0.01 * rng.next_double()});
+    pts.push_back({0.9 + 0.01 * rng.next_double(),
+                   0.9 + 0.01 * rng.next_double()});
+  }
+  auto d = DelaunayTriangulation::build(pts);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d.value().is_valid_delaunay());
+  // Greedy still delivers across the gap.
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point2D target{rng.next_double(), rng.next_double()};
+    const std::size_t start = rng.next_below(pts.size());
+    const auto path = d.value().greedy_route(start, target);
+    EXPECT_EQ(path.back(), d.value().nearest_site(target));
+  }
+}
+
+// ---------- incremental insertion (Section VI node join) ----------
+
+TEST(DelaunayInsertTest, MatchesFromScratchBuild) {
+  // Insert points one by one; after every insertion the adjacency must
+  // equal the DT built from scratch on the same prefix.
+  const auto pts = random_points(40, 4242);
+  auto incr = DelaunayTriangulation::build(
+      std::vector<Point2D>(pts.begin(), pts.begin() + 4));
+  ASSERT_TRUE(incr.ok());
+  DelaunayTriangulation dt = std::move(incr).value();
+
+  for (std::size_t n = 4; n < pts.size(); ++n) {
+    auto idx = dt.insert(pts[n]);
+    ASSERT_TRUE(idx.ok()) << idx.error().to_string();
+    EXPECT_EQ(idx.value(), n);
+
+    auto fresh = DelaunayTriangulation::build(
+        std::vector<Point2D>(pts.begin(), pts.begin() + n + 1));
+    ASSERT_TRUE(fresh.ok());
+    for (std::size_t i = 0; i <= n; ++i) {
+      EXPECT_EQ(dt.neighbors(i), fresh.value().neighbors(i))
+          << "after inserting point " << n << ", site " << i;
+    }
+  }
+  EXPECT_TRUE(dt.is_valid_delaunay());
+}
+
+TEST(DelaunayInsertTest, DuplicateRejected) {
+  auto built = DelaunayTriangulation::build(random_points(10, 1));
+  ASSERT_TRUE(built.ok());
+  DelaunayTriangulation dt = std::move(built).value();
+  const Point2D existing = dt.points()[3];
+  auto r = dt.insert(existing);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(dt.size(), 10u);  // unchanged
+}
+
+TEST(DelaunayInsertTest, GrowsFromDegenerateStates) {
+  // Start empty-ish and grow through every degenerate regime.
+  auto built = DelaunayTriangulation::build({{0.0, 0.0}});
+  ASSERT_TRUE(built.ok());
+  DelaunayTriangulation dt = std::move(built).value();
+
+  ASSERT_TRUE(dt.insert({1.0, 0.0}).ok());   // 2 points
+  EXPECT_TRUE(dt.are_neighbors(0, 1));
+  ASSERT_TRUE(dt.insert({2.0, 0.0}).ok());   // collinear chain
+  EXPECT_TRUE(dt.triangles().empty());
+  EXPECT_TRUE(dt.are_neighbors(1, 2));
+  ASSERT_TRUE(dt.insert({1.0, 1.0}).ok());   // first real triangle(s)
+  EXPECT_FALSE(dt.triangles().empty());
+  EXPECT_TRUE(dt.is_valid_delaunay());
+  ASSERT_TRUE(dt.insert({0.5, -2.0}).ok());  // below the chain
+  EXPECT_TRUE(dt.is_valid_delaunay());
+  EXPECT_EQ(dt.size(), 5u);
+}
+
+TEST(DelaunayInsertTest, GreedyDeliveryHoldsAfterInsertions) {
+  auto built = DelaunayTriangulation::build(random_points(20, 77));
+  ASSERT_TRUE(built.ok());
+  DelaunayTriangulation dt = std::move(built).value();
+  Rng rng(78);
+  for (int round = 0; round < 30; ++round) {
+    ASSERT_TRUE(dt.insert({rng.next_double(), rng.next_double()}).ok());
+    const Point2D target{rng.next_double(), rng.next_double()};
+    const std::size_t start = rng.next_below(dt.size());
+    EXPECT_EQ(dt.greedy_route(start, target).back(),
+              dt.nearest_site(target));
+  }
+}
+
+TEST(DelaunayStressTest, NearCollinearBand) {
+  Rng rng(89);
+  std::vector<Point2D> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({rng.next_double(), 0.5 + 1e-5 * rng.next_double()});
+  }
+  auto d = DelaunayTriangulation::build(pts);
+  ASSERT_TRUE(d.ok());
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point2D target{rng.next_double(), rng.next_double()};
+    const std::size_t start = rng.next_below(pts.size());
+    const auto path = d.value().greedy_route(start, target);
+    EXPECT_EQ(path.back(), d.value().nearest_site(target));
+  }
+}
+
+}  // namespace
+}  // namespace gred::geometry

@@ -1,0 +1,271 @@
+// Graph container, BFS/Dijkstra/APSP, and structural properties.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+#include "graph/properties.hpp"
+#include "graph/shortest_path.hpp"
+#include "topology/presets.hpp"
+
+namespace gred::graph {
+namespace {
+
+Graph diamond() {
+  // 0 - 1 - 3, 0 - 2 - 3, plus slow direct 0-3 (weight 10).
+  Graph g(4);
+  EXPECT_TRUE(g.add_edge(0, 1, 1.0).ok());
+  EXPECT_TRUE(g.add_edge(1, 3, 1.0).ok());
+  EXPECT_TRUE(g.add_edge(0, 2, 2.0).ok());
+  EXPECT_TRUE(g.add_edge(2, 3, 2.0).ok());
+  EXPECT_TRUE(g.add_edge(0, 3, 10.0).ok());
+  return g;
+}
+
+// ---------- Graph container ----------
+
+TEST(GraphTest, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_TRUE(g.add_edge(0, 1).ok());
+  EXPECT_TRUE(g.add_edge(1, 2, 2.5).ok());
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));  // undirected
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.add_node(), 3u);
+  EXPECT_EQ(g.node_count(), 4u);
+}
+
+TEST(GraphTest, EdgeWeight) {
+  Graph g(2);
+  ASSERT_TRUE(g.add_edge(0, 1, 3.5).ok());
+  auto w = g.edge_weight(0, 1);
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(w.value(), 3.5);
+  EXPECT_FALSE(g.edge_weight(1, 1).ok());
+  EXPECT_FALSE(g.edge_weight(5, 0).ok());
+}
+
+TEST(GraphTest, RejectsBadEdges) {
+  Graph g(3);
+  EXPECT_FALSE(g.add_edge(0, 0).ok());        // self loop
+  EXPECT_FALSE(g.add_edge(0, 5).ok());        // out of range
+  EXPECT_FALSE(g.add_edge(0, 1, 0.0).ok());   // non-positive weight
+  EXPECT_FALSE(g.add_edge(0, 1, -1.0).ok());
+  ASSERT_TRUE(g.add_edge(0, 1).ok());
+  EXPECT_FALSE(g.add_edge(0, 1).ok());        // parallel edge
+  EXPECT_FALSE(g.add_edge(1, 0).ok());        // parallel reversed
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g(3);
+  ASSERT_TRUE(g.add_edge(0, 1).ok());
+  ASSERT_TRUE(g.add_edge(1, 2).ok());
+  EXPECT_TRUE(g.remove_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.remove_edge(0, 1));  // already gone
+}
+
+TEST(GraphTest, RemoveEdgesOf) {
+  Graph g = topology::star(5);
+  EXPECT_EQ(g.remove_edges_of(0), 4u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(GraphTest, EdgesListedOnce) {
+  Graph g = topology::ring(5);
+  const auto edges = g.edges();
+  EXPECT_EQ(edges.size(), 5u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(GraphTest, DegreeAndNeighbors) {
+  Graph g = topology::star(4);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.neighbors(1).size(), 1u);
+  EXPECT_EQ(g.neighbors(1)[0].to, 0u);
+}
+
+// ---------- BFS ----------
+
+TEST(BfsTest, HopDistancesOnRing) {
+  const Graph g = topology::ring(6);
+  const SsspResult r = bfs(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(r.dist[3], 3.0);
+  EXPECT_DOUBLE_EQ(r.dist[5], 1.0);
+}
+
+TEST(BfsTest, DisconnectedIsUnreachable) {
+  Graph g(4);
+  ASSERT_TRUE(g.add_edge(0, 1).ok());
+  const SsspResult r = bfs(g, 0);
+  EXPECT_EQ(r.dist[2], kUnreachable);
+  EXPECT_EQ(r.parent[2], kNoNode);
+}
+
+TEST(BfsTest, IgnoresWeights) {
+  const Graph g = diamond();
+  const SsspResult r = bfs(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[3], 1.0);  // the weight-10 edge is 1 hop
+}
+
+TEST(BfsTest, PathReconstruction) {
+  const Graph g = topology::line(5);
+  const SsspResult r = bfs(g, 0);
+  const auto path = reconstruct_path(r, 4);
+  EXPECT_EQ(path, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(reconstruct_path(r, 0), (std::vector<NodeId>{0}));
+}
+
+// ---------- Dijkstra ----------
+
+TEST(DijkstraTest, PrefersLightPath) {
+  const Graph g = diamond();
+  const SsspResult r = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(r.dist[3], 2.0);  // 0-1-3
+  const auto path = reconstruct_path(r, 3);
+  EXPECT_EQ(path, (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(DijkstraTest, MatchesBfsOnUnitWeights) {
+  Rng rng(5);
+  Graph g(30);
+  for (int i = 0; i < 70; ++i) {
+    const NodeId u = rng.next_below(30);
+    const NodeId v = rng.next_below(30);
+    if (u != v && !g.has_edge(u, v)) (void)g.add_edge(u, v, 1.0);
+  }
+  for (NodeId s = 0; s < 30; s += 7) {
+    const SsspResult b = bfs(g, s);
+    const SsspResult d = dijkstra(g, s);
+    for (NodeId t = 0; t < 30; ++t) {
+      EXPECT_DOUBLE_EQ(b.dist[t], d.dist[t]) << s << "->" << t;
+    }
+  }
+}
+
+TEST(DijkstraTest, UnreachableNode) {
+  Graph g(3);
+  ASSERT_TRUE(g.add_edge(0, 1, 1.0).ok());
+  const SsspResult r = dijkstra(g, 0);
+  EXPECT_EQ(r.dist[2], kUnreachable);
+  EXPECT_TRUE(reconstruct_path(r, 2).empty());
+}
+
+// ---------- APSP ----------
+
+TEST(ApspTest, SymmetricDistances) {
+  const Graph g = topology::grid(4, 3);
+  const ApspResult r = all_pairs_shortest_paths(g);
+  for (NodeId i = 0; i < g.node_count(); ++i) {
+    for (NodeId j = 0; j < g.node_count(); ++j) {
+      EXPECT_DOUBLE_EQ(r.dist(i, j), r.dist(j, i));
+    }
+    EXPECT_DOUBLE_EQ(r.dist(i, i), 0.0);
+  }
+}
+
+TEST(ApspTest, PathsAreValidAndShortest) {
+  const Graph g = topology::grid(5, 5);
+  const ApspResult r = all_pairs_shortest_paths(g);
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    const NodeId i = rng.next_below(25);
+    const NodeId j = rng.next_below(25);
+    const auto path = r.path(i, j);
+    if (i == j) {
+      EXPECT_EQ(path, std::vector<NodeId>{i});
+      continue;
+    }
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), i);
+    EXPECT_EQ(path.back(), j);
+    EXPECT_EQ(path.size() - 1, static_cast<std::size_t>(r.dist(i, j)));
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      EXPECT_TRUE(g.has_edge(path[k], path[k + 1]));
+    }
+  }
+}
+
+TEST(ApspTest, HopCount) {
+  const Graph g = topology::line(4);
+  const ApspResult r = all_pairs_shortest_paths(g);
+  EXPECT_EQ(r.hop_count(0, 3), 3u);
+  EXPECT_EQ(r.hop_count(2, 2), 0u);
+}
+
+TEST(ApspTest, WeightedMode) {
+  const Graph g = diamond();
+  const ApspResult r = all_pairs_shortest_paths(g, /*weighted=*/true);
+  EXPECT_DOUBLE_EQ(r.dist(0, 3), 2.0);
+  EXPECT_EQ(r.path(0, 3), (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(ApspTest, TriangleInequality) {
+  Rng rng(9);
+  Graph g(20);
+  for (int i = 0; i < 19; ++i) (void)g.add_edge(i, i + 1);
+  for (int i = 0; i < 15; ++i) {
+    const NodeId u = rng.next_below(20);
+    const NodeId v = rng.next_below(20);
+    if (u != v && !g.has_edge(u, v)) (void)g.add_edge(u, v);
+  }
+  const ApspResult r = all_pairs_shortest_paths(g);
+  for (NodeId i = 0; i < 20; ++i) {
+    for (NodeId j = 0; j < 20; ++j) {
+      for (NodeId k = 0; k < 20; k += 3) {
+        EXPECT_LE(r.dist(i, j), r.dist(i, k) + r.dist(k, j) + 1e-9);
+      }
+    }
+  }
+}
+
+// ---------- properties ----------
+
+TEST(PropertiesTest, Connectivity) {
+  EXPECT_TRUE(is_connected(topology::ring(5)));
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_TRUE(is_connected(Graph(0)));
+  Graph g(4);
+  (void)g.add_edge(0, 1);
+  (void)g.add_edge(2, 3);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(PropertiesTest, ConnectedComponents) {
+  Graph g(5);
+  (void)g.add_edge(0, 1);
+  (void)g.add_edge(2, 3);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[0]);
+  EXPECT_NE(comp[4], comp[2]);
+}
+
+TEST(PropertiesTest, Diameter) {
+  EXPECT_DOUBLE_EQ(diameter(topology::line(5)), 4.0);
+  EXPECT_DOUBLE_EQ(diameter(topology::ring(6)), 3.0);
+  EXPECT_DOUBLE_EQ(diameter(topology::complete(5)), 1.0);
+  EXPECT_DOUBLE_EQ(diameter(Graph(1)), 0.0);
+  Graph g(2);
+  EXPECT_EQ(diameter(g), kUnreachable);
+}
+
+TEST(PropertiesTest, DegreeStats) {
+  const Graph g = topology::star(5);
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 8.0 / 5.0);
+}
+
+}  // namespace
+}  // namespace gred::graph

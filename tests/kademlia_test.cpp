@@ -1,0 +1,138 @@
+// Kademlia baseline: bucket structure, lookup convergence to the
+// XOR-closest node, and underlay pricing.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "kad/kademlia.hpp"
+#include "topology/presets.hpp"
+
+namespace gred::kad {
+namespace {
+
+using topology::EdgeNetwork;
+using topology::ServerId;
+
+EdgeNetwork mid_net() {
+  return topology::uniform_edge_network(topology::ring(20), 5);  // 100 peers
+}
+
+TEST(KademliaTest, XorDistanceBasics) {
+  EXPECT_EQ(xor_distance(5, 5), 0u);
+  EXPECT_EQ(xor_distance(0b1010, 0b0110), 0b1100u);
+  EXPECT_EQ(xor_distance(1, 2), xor_distance(2, 1));
+}
+
+TEST(KademliaTest, BuildValidation) {
+  EdgeNetwork empty(topology::ring(3));
+  EXPECT_FALSE(KademliaNetwork::build(empty).ok());
+  KademliaOptions zero;
+  zero.bucket_size = 0;
+  EXPECT_FALSE(KademliaNetwork::build(mid_net(), zero).ok());
+}
+
+TEST(KademliaTest, ClosestServerMatchesBruteForce) {
+  const EdgeNetwork net = mid_net();
+  auto built = KademliaNetwork::build(net);
+  ASSERT_TRUE(built.ok());
+
+  Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    const KadId key = rng.next_u64();
+    // Brute force over recomputed node ids.
+    ServerId best = 0;
+    KadId best_d = ~KadId{0};
+    for (const auto& s : net.all_servers()) {
+      const KadId id =
+          crypto::DataKey("kad-node-" + std::to_string(s.id)).prefix64();
+      if (xor_distance(id, key) < best_d) {
+        best_d = xor_distance(id, key);
+        best = s.id;
+      }
+    }
+    EXPECT_EQ(built.value().closest_server(key), best);
+  }
+}
+
+TEST(KademliaTest, LookupAlwaysConverges) {
+  const EdgeNetwork net = mid_net();
+  auto built = KademliaNetwork::build(net);
+  ASSERT_TRUE(built.ok());
+  Rng rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    const KadId key = rng.next_u64();
+    const ServerId origin = rng.next_below(net.server_count());
+    const KadLookupTrace trace = built.value().lookup(origin, key);
+    EXPECT_EQ(trace.home, built.value().closest_server(key));
+  }
+}
+
+TEST(KademliaTest, LookupHopsLogarithmic) {
+  const EdgeNetwork net =
+      topology::uniform_edge_network(topology::ring(50), 10);  // 500 peers
+  auto built = KademliaNetwork::build(net);
+  ASSERT_TRUE(built.ok());
+  Rng rng(5);
+  RunningStats hops;
+  for (int t = 0; t < 300; ++t) {
+    hops.add(static_cast<double>(
+        built.value()
+            .lookup(rng.next_below(500), rng.next_u64())
+            .overlay_hop_count()));
+  }
+  EXPECT_LT(hops.mean(), 8.0);  // log2(500)/... with k=8 buckets
+  EXPECT_GT(hops.mean(), 1.0);
+}
+
+TEST(KademliaTest, LargerBucketsShortenLookups) {
+  const EdgeNetwork net = mid_net();
+  KademliaOptions k1;
+  k1.bucket_size = 1;
+  KademliaOptions k16;
+  k16.bucket_size = 16;
+  auto small = KademliaNetwork::build(net, k1);
+  auto large = KademliaNetwork::build(net, k16);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  Rng rng(6);
+  double hops_small = 0, hops_large = 0;
+  for (int t = 0; t < 300; ++t) {
+    const KadId key = rng.next_u64();
+    const ServerId origin = rng.next_below(net.server_count());
+    hops_small += static_cast<double>(
+        small.value().lookup(origin, key).overlay_hop_count());
+    hops_large += static_cast<double>(
+        large.value().lookup(origin, key).overlay_hop_count());
+  }
+  EXPECT_LE(hops_large, hops_small);
+  EXPECT_GT(large.value().routing_entries(0),
+            small.value().routing_entries(0));
+}
+
+TEST(KademliaTest, UnderlayStretchAtLeastOne) {
+  const EdgeNetwork net = mid_net();
+  auto built = KademliaNetwork::build(net);
+  ASSERT_TRUE(built.ok());
+  const auto apsp = graph::all_pairs_shortest_paths(net.switches());
+  Rng rng(7);
+  for (int t = 0; t < 200; ++t) {
+    const KadRouteReport r = built.value().measure_lookup(
+        net, apsp, rng.next_below(net.server_count()), rng.next_u64());
+    EXPECT_GE(r.physical_hops, r.shortest_hops);
+    EXPECT_GE(r.stretch, 1.0 - 1e-9);
+  }
+}
+
+TEST(KademliaTest, KeyOwnedLocallyNeedsNoHops) {
+  const EdgeNetwork net = mid_net();
+  auto built = KademliaNetwork::build(net);
+  ASSERT_TRUE(built.ok());
+  // Look up a key equal to some node's own id, from that node.
+  const KadId own = crypto::DataKey("kad-node-13").prefix64();
+  const KadLookupTrace trace = built.value().lookup(13, own);
+  EXPECT_EQ(trace.home, 13u);
+  EXPECT_EQ(trace.overlay_hop_count(), 0u);
+}
+
+}  // namespace
+}  // namespace gred::kad

@@ -1,0 +1,132 @@
+// Snapshot capture / serialize / parse / restore round trips.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/snapshot.hpp"
+#include "core/system.hpp"
+#include "topology/presets.hpp"
+#include "topology/waxman.hpp"
+
+namespace gred::core {
+namespace {
+
+sden::SdenNetwork fresh_net(std::uint64_t seed) {
+  Rng rng(seed);
+  topology::WaxmanOptions wopt;
+  wopt.node_count = 25;
+  wopt.min_degree = 3;
+  auto topo = topology::generate_waxman(wopt, rng);
+  EXPECT_TRUE(topo.ok());
+  return sden::SdenNetwork(topology::uniform_edge_network(
+      std::move(topo).value().graph, 3));
+}
+
+TEST(SnapshotTest, CaptureRequiresInitialized) {
+  Controller ctrl;
+  EXPECT_FALSE(capture_snapshot(ctrl).ok());
+}
+
+TEST(SnapshotTest, TextRoundTripIsExact) {
+  sden::SdenNetwork net = fresh_net(1);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  auto snap = capture_snapshot(ctrl);
+  ASSERT_TRUE(snap.ok());
+
+  const std::string text = serialize_snapshot(snap.value());
+  auto parsed = parse_snapshot(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().participants, snap.value().participants);
+  // %.17g round-trips doubles exactly.
+  EXPECT_EQ(parsed.value().positions, snap.value().positions);
+}
+
+TEST(SnapshotTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_snapshot("").ok());
+  EXPECT_FALSE(parse_snapshot("not a snapshot\n3\n").ok());
+  EXPECT_FALSE(parse_snapshot("gred-snapshot v1\n2\n0 0.5 0.5\n").ok());
+  EXPECT_FALSE(parse_snapshot("gred-snapshot v1\nxyz\n").ok());
+}
+
+TEST(SnapshotTest, RestoreReproducesPlacementExactly) {
+  // Controller A initializes normally; controller B restores A's
+  // snapshot on an identical network. Every placement decision must
+  // agree, even though B never ran MDS/CVT.
+  sden::SdenNetwork net_a = fresh_net(2);
+  sden::SdenNetwork net_b = fresh_net(2);
+  Controller a;
+  ASSERT_TRUE(a.initialize(net_a).ok());
+  auto snap = capture_snapshot(a);
+  ASSERT_TRUE(snap.ok());
+
+  Controller b;
+  ASSERT_TRUE(
+      restore_snapshot(b, net_b, snap.value()).ok());
+  EXPECT_TRUE(b.initialized());
+
+  GredProtocol proto_a(net_a, a);
+  GredProtocol proto_b(net_b, b);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const std::string id = "snap-" + std::to_string(i);
+    const topology::SwitchId ingress = rng.next_below(25);
+    auto ra = proto_a.place(id, "v", ingress);
+    auto rb = proto_b.place(id, "v", ingress);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(ra.value().route.delivered_to, rb.value().route.delivered_to);
+    EXPECT_EQ(ra.value().route.switch_path, rb.value().route.switch_path);
+  }
+}
+
+TEST(SnapshotTest, RestoreRejectsMismatchedNetwork) {
+  sden::SdenNetwork net = fresh_net(4);
+  Controller ctrl;
+  ASSERT_TRUE(ctrl.initialize(net).ok());
+  auto snap = capture_snapshot(ctrl);
+  ASSERT_TRUE(snap.ok());
+
+  // A different network (different participant set) must be refused.
+  sden::SdenNetwork other(
+      topology::uniform_edge_network(topology::ring(5), 1));
+  Controller fresh;
+  EXPECT_FALSE(restore_snapshot(fresh, other, snap.value()).ok());
+}
+
+TEST(SnapshotTest, RestoreRejectsBadPositions) {
+  sden::SdenNetwork net(
+      topology::uniform_edge_network(topology::ring(3), 1));
+  Controller ctrl;
+  Snapshot bad;
+  bad.participants = {0, 1, 2};
+  bad.positions = {{0.1, 0.1}, {0.1, 0.1}, {0.5, 0.5}};  // duplicate
+  EXPECT_FALSE(restore_snapshot(ctrl, net, bad).ok());
+  bad.positions = {{0.1, 0.1}, {2.0, 0.1}, {0.5, 0.5}};  // out of range
+  EXPECT_FALSE(restore_snapshot(ctrl, net, bad).ok());
+}
+
+TEST(SnapshotTest, RestoredControllerSupportsDynamics) {
+  sden::SdenNetwork net_a = fresh_net(5);
+  sden::SdenNetwork net_b = fresh_net(5);
+  Controller a;
+  ASSERT_TRUE(a.initialize(net_a).ok());
+  auto snap = capture_snapshot(a);
+  ASSERT_TRUE(snap.ok());
+  Controller b;
+  ASSERT_TRUE(restore_snapshot(b, net_b, snap.value()).ok());
+
+  GredProtocol proto(net_b, b);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(proto.place("d-" + std::to_string(i), "v", i % 25).ok());
+  }
+  auto sw = b.add_switch(net_b, {0, 1}, 2);
+  ASSERT_TRUE(sw.ok()) << sw.error().to_string();
+  for (int i = 0; i < 50; ++i) {
+    auto r = proto.retrieve("d-" + std::to_string(i), i % 25);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().route.found);
+  }
+}
+
+}  // namespace
+}  // namespace gred::core

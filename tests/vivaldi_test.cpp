@@ -1,0 +1,154 @@
+// Vivaldi embedding: convergence on Euclidean inputs, comparison with
+// the M-position embedding, and end-to-end use as GRED's virtual space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/system.hpp"
+#include "core/vivaldi.hpp"
+#include "graph/shortest_path.hpp"
+#include "linalg/mds.hpp"
+#include "topology/presets.hpp"
+#include "topology/waxman.hpp"
+
+namespace gred::core {
+namespace {
+
+linalg::Matrix euclidean_distances(const std::vector<geometry::Point2D>& pts) {
+  const std::size_t n = pts.size();
+  linalg::Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      d(i, j) = geometry::distance(pts[i], pts[j]);
+    }
+  }
+  return d;
+}
+
+TEST(VivaldiTest, RejectsBadInput) {
+  EXPECT_FALSE(vivaldi_embedding(linalg::Matrix(0, 0)).ok());
+  EXPECT_FALSE(vivaldi_embedding(linalg::Matrix(2, 3)).ok());
+  linalg::Matrix asym(2, 2);
+  asym(0, 1) = 1.0;
+  asym(1, 0) = 2.0;
+  EXPECT_FALSE(vivaldi_embedding(asym).ok());
+}
+
+TEST(VivaldiTest, SingleNodeTrivial) {
+  auto r = vivaldi_embedding(linalg::Matrix(1, 1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().coordinates.size(), 1u);
+}
+
+TEST(VivaldiTest, ConvergesOnPlanarInput) {
+  // Genuinely 2-D distances: Vivaldi should reach low stress.
+  Rng rng(7);
+  std::vector<geometry::Point2D> pts;
+  for (int i = 0; i < 15; ++i) {
+    pts.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+  }
+  auto r = vivaldi_embedding(euclidean_distances(pts));
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.value().stress, 0.12);
+  EXPECT_LT(r.value().mean_error, 0.5);
+}
+
+TEST(VivaldiTest, MoreRoundsNoWorse) {
+  Rng rng(8);
+  std::vector<geometry::Point2D> pts;
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back({rng.uniform(0.0, 5.0), rng.uniform(0.0, 5.0)});
+  }
+  const linalg::Matrix d = euclidean_distances(pts);
+  VivaldiOptions few;
+  few.rounds = 300;
+  VivaldiOptions many;
+  many.rounds = 40000;
+  auto rf = vivaldi_embedding(d, few);
+  auto rm = vivaldi_embedding(d, many);
+  ASSERT_TRUE(rf.ok());
+  ASSERT_TRUE(rm.ok());
+  EXPECT_LT(rm.value().stress, rf.value().stress + 0.02);
+}
+
+TEST(VivaldiTest, DeterministicForSeed) {
+  const graph::Graph g = topology::grid(4, 4);
+  const auto apsp = graph::all_pairs_shortest_paths(g);
+  linalg::Matrix d(16, 16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) d(i, j) = apsp.dist(i, j);
+  }
+  auto a = vivaldi_embedding(d);
+  auto b = vivaldi_embedding(d);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.value().coordinates[i], b.value().coordinates[i]);
+  }
+}
+
+TEST(VivaldiTest, MPositionBeatsVivaldiOnPlanarInputs) {
+  // On genuinely planar distances, classical MDS recovers the exact
+  // configuration (stress ~ 0) while the stochastic spring relaxation
+  // only approximates it. (On strongly non-Euclidean hop matrices the
+  // two objectives differ — MDS minimizes strain, not stress — so no
+  // ordering is asserted there; see the ablation bench for numbers.)
+  Rng rng(9);
+  std::vector<geometry::Point2D> pts;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+  }
+  const linalg::Matrix d = euclidean_distances(pts);
+  auto mds = linalg::classical_mds(d, 2);
+  auto viv = vivaldi_embedding(d);
+  ASSERT_TRUE(mds.ok());
+  ASSERT_TRUE(viv.ok());
+  EXPECT_LT(mds.value().stress, 1e-6);
+  EXPECT_LT(mds.value().stress, viv.value().stress);
+}
+
+TEST(VivaldiTest, BothEmbeddingsBoundedOnHopMatrices) {
+  Rng rng(19);
+  topology::WaxmanOptions wopt;
+  wopt.node_count = 60;
+  auto topo = topology::generate_waxman(wopt, rng);
+  ASSERT_TRUE(topo.ok());
+  const auto apsp = graph::all_pairs_shortest_paths(topo.value().graph);
+  linalg::Matrix d(60, 60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    for (std::size_t j = 0; j < 60; ++j) d(i, j) = apsp.dist(i, j);
+  }
+  auto mds = linalg::classical_mds(d, 2);
+  auto viv = vivaldi_embedding(d);
+  ASSERT_TRUE(mds.ok());
+  ASSERT_TRUE(viv.ok());
+  EXPECT_LT(mds.value().stress, 0.7);
+  EXPECT_LT(viv.value().stress, 0.7);
+}
+
+TEST(VivaldiVirtualSpaceTest, EndToEndPlacementWorks) {
+  Rng rng(10);
+  topology::WaxmanOptions wopt;
+  wopt.node_count = 30;
+  wopt.min_degree = 3;
+  auto topo = topology::generate_waxman(wopt, rng);
+  ASSERT_TRUE(topo.ok());
+  VirtualSpaceOptions opt;
+  opt.embedding = EmbeddingAlgorithm::kVivaldi;
+  auto sys = GredSystem::create(
+      topology::uniform_edge_network(std::move(topo).value().graph, 3),
+      opt);
+  ASSERT_TRUE(sys.ok()) << sys.error().to_string();
+
+  for (int i = 0; i < 100; ++i) {
+    const std::string id = "viv-" + std::to_string(i);
+    ASSERT_TRUE(sys.value().place(id, "v", i % 30).ok());
+    auto r = sys.value().retrieve(id, (i * 7) % 30);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().route.found);
+  }
+}
+
+}  // namespace
+}  // namespace gred::core

@@ -1,0 +1,168 @@
+// Workload substrate: Zipf sampling, trace generation, arrival
+// processes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "workload/arrivals.hpp"
+#include "workload/generators.hpp"
+#include "workload/zipf.hpp"
+
+namespace gred::workload {
+namespace {
+
+// ---------- ZipfSampler ----------
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  const ZipfSampler z(100, 1.2);
+  double total = 0.0;
+  for (std::size_t k = 0; k < 100; ++k) total += z.probability(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(z.probability(1000), 0.0);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  const ZipfSampler z(10, 0.0);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(z.probability(k), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfTest, MonotoneDecreasingProbabilities) {
+  const ZipfSampler z(50, 0.9);
+  for (std::size_t k = 1; k < 50; ++k) {
+    EXPECT_GE(z.probability(k - 1), z.probability(k));
+  }
+}
+
+TEST(ZipfTest, EmpiricalMatchesTheoretical) {
+  const ZipfSampler z(20, 1.0);
+  Rng rng(5);
+  std::vector<int> counts(20, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[z.sample(rng)];
+  for (std::size_t k = 0; k < 20; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / draws, z.probability(k),
+                0.01)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  const ZipfSampler z(7, 2.0);
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.sample(rng), 7u);
+  }
+}
+
+TEST(ZipfTest, SingleElement) {
+  const ZipfSampler z(1, 1.5);
+  Rng rng(7);
+  EXPECT_EQ(z.sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(z.probability(0), 1.0);
+}
+
+TEST(ZipfTest, HigherExponentMoreSkew) {
+  const ZipfSampler mild(100, 0.5);
+  const ZipfSampler steep(100, 2.0);
+  EXPECT_GT(steep.probability(0), mild.probability(0));
+  EXPECT_LT(steep.probability(99), mild.probability(99));
+}
+
+// ---------- trace generation ----------
+
+TEST(TraceTest, IdentifierUniverse) {
+  const auto ids = identifier_universe("x", 3);
+  EXPECT_EQ(ids, (std::vector<std::string>{"x/0", "x/1", "x/2"}));
+}
+
+TEST(TraceTest, StructureInvariants) {
+  Rng rng(8);
+  TraceOptions opt;
+  opt.switches = 5;
+  opt.universe = 30;
+  opt.zipf_exponent = 1.0;
+  opt.place_fraction = 0.3;
+  const auto trace = generate_trace(500, opt, rng);
+  ASSERT_EQ(trace.size(), 500u);
+
+  EXPECT_EQ(trace.front().kind, Op::Kind::kPlace);
+  std::set<std::string> placed;
+  double prev_time = -1.0;
+  for (const Op& op : trace) {
+    EXPECT_LT(op.access_switch, 5u);
+    EXPECT_GT(op.at_ms, prev_time);
+    prev_time = op.at_ms;
+    if (op.kind == Op::Kind::kPlace) {
+      placed.insert(op.data_id);
+    } else {
+      // Every retrieval targets an already-placed identifier.
+      EXPECT_TRUE(placed.count(op.data_id)) << op.data_id;
+    }
+  }
+}
+
+TEST(TraceTest, PlaceFractionRoughlyHonored) {
+  Rng rng(9);
+  TraceOptions opt;
+  opt.universe = 1000;
+  opt.place_fraction = 0.25;
+  const auto trace = generate_trace(4000, opt, rng);
+  std::size_t places = 0;
+  for (const Op& op : trace) places += (op.kind == Op::Kind::kPlace);
+  EXPECT_NEAR(static_cast<double>(places) / trace.size(), 0.25, 0.03);
+}
+
+TEST(TraceTest, ZipfSkewShowsInRetrievals) {
+  Rng rng(10);
+  TraceOptions opt;
+  opt.universe = 100;
+  opt.zipf_exponent = 1.5;
+  opt.place_fraction = 0.05;
+  const auto trace = generate_trace(5000, opt, rng);
+  std::map<std::string, int> hits;
+  for (const Op& op : trace) {
+    if (op.kind == Op::Kind::kRetrieve) ++hits[op.data_id];
+  }
+  // The hottest object dominates.
+  int max_hits = 0, total = 0;
+  for (const auto& [id, c] : hits) {
+    max_hits = std::max(max_hits, c);
+    total += c;
+  }
+  EXPECT_GT(static_cast<double>(max_hits) / total, 0.15);
+}
+
+// ---------- arrivals ----------
+
+TEST(ArrivalsTest, PoissonMeanRate) {
+  Rng rng(11);
+  const auto times = poisson_arrivals(20000, 2.0, rng);
+  ASSERT_EQ(times.size(), 20000u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GT(times[i], times[i - 1]);
+  }
+  // Mean inter-arrival = 1/rate = 0.5 ms.
+  EXPECT_NEAR(times.back() / 20000.0, 0.5, 0.02);
+}
+
+TEST(ArrivalsTest, Uniform) {
+  const auto times = uniform_arrivals(4, 2.5);
+  EXPECT_EQ(times, (std::vector<double>{0.0, 2.5, 5.0, 7.5}));
+}
+
+TEST(ArrivalsTest, Bursty) {
+  const auto times = bursty_arrivals(2, 3, 10.0);
+  ASSERT_EQ(times.size(), 6u);
+  EXPECT_DOUBLE_EQ(times[0], 0.0);
+  EXPECT_DOUBLE_EQ(times[2], 0.0);
+  EXPECT_DOUBLE_EQ(times[3], 10.0);
+  EXPECT_DOUBLE_EQ(times[5], 10.0);
+}
+
+}  // namespace
+}  // namespace gred::workload
