@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07a_testbed_stretch.dir/fig07a_testbed_stretch.cpp.o"
+  "CMakeFiles/fig07a_testbed_stretch.dir/fig07a_testbed_stretch.cpp.o.d"
+  "fig07a_testbed_stretch"
+  "fig07a_testbed_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07a_testbed_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07b_testbed_balance.dir/fig07b_testbed_balance.cpp.o"
+  "CMakeFiles/fig07b_testbed_balance.dir/fig07b_testbed_balance.cpp.o.d"
+  "fig07b_testbed_balance"
+  "fig07b_testbed_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07b_testbed_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09a_stretch_vs_size.dir/fig09a_stretch_vs_size.cpp.o"
+  "CMakeFiles/fig09a_stretch_vs_size.dir/fig09a_stretch_vs_size.cpp.o.d"
+  "fig09a_stretch_vs_size"
+  "fig09a_stretch_vs_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09a_stretch_vs_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_stretch_vs_degree.dir/fig09b_stretch_vs_degree.cpp.o"
+  "CMakeFiles/fig09b_stretch_vs_degree.dir/fig09b_stretch_vs_degree.cpp.o.d"
+  "fig09b_stretch_vs_degree"
+  "fig09b_stretch_vs_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_stretch_vs_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

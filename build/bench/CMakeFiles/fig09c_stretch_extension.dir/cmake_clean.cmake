@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09c_stretch_extension.dir/fig09c_stretch_extension.cpp.o"
+  "CMakeFiles/fig09c_stretch_extension.dir/fig09c_stretch_extension.cpp.o.d"
+  "fig09c_stretch_extension"
+  "fig09c_stretch_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09c_stretch_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

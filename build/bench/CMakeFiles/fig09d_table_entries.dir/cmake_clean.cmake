@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09d_table_entries.dir/fig09d_table_entries.cpp.o"
+  "CMakeFiles/fig09d_table_entries.dir/fig09d_table_entries.cpp.o.d"
+  "fig09d_table_entries"
+  "fig09d_table_entries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09d_table_entries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

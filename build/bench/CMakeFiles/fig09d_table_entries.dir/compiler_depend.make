@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09d_table_entries.
+# This may be replaced when dependencies are built.

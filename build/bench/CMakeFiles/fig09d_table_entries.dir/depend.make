@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09d_table_entries.
+# This may be replaced when dependencies are built.

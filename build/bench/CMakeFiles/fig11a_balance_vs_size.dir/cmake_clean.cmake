@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_balance_vs_size.dir/fig11a_balance_vs_size.cpp.o"
+  "CMakeFiles/fig11a_balance_vs_size.dir/fig11a_balance_vs_size.cpp.o.d"
+  "fig11a_balance_vs_size"
+  "fig11a_balance_vs_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_balance_vs_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

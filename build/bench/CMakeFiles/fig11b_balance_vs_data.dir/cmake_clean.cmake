@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_balance_vs_data.dir/fig11b_balance_vs_data.cpp.o"
+  "CMakeFiles/fig11b_balance_vs_data.dir/fig11b_balance_vs_data.cpp.o.d"
+  "fig11b_balance_vs_data"
+  "fig11b_balance_vs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_balance_vs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11c_balance_vs_iters.cpp" "bench/CMakeFiles/fig11c_balance_vs_iters.dir/fig11c_balance_vs_iters.cpp.o" "gcc" "bench/CMakeFiles/fig11c_balance_vs_iters.dir/fig11c_balance_vs_iters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gred_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/gred_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gred_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/gred_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/kad/CMakeFiles/gred_kad.dir/DependInfo.cmake"
+  "/root/repo/build/src/sden/CMakeFiles/gred_sden.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gred_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/gred_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gred_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gred_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gred_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gred_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

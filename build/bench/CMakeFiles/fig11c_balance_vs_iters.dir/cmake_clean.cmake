@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11c_balance_vs_iters.dir/fig11c_balance_vs_iters.cpp.o"
+  "CMakeFiles/fig11c_balance_vs_iters.dir/fig11c_balance_vs_iters.cpp.o.d"
+  "fig11c_balance_vs_iters"
+  "fig11c_balance_vs_iters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11c_balance_vs_iters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/gred_bench_util.dir/bench_util.cpp.o.d"
+  "libgred_bench_util.a"
+  "libgred_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_cdn.dir/edge_cdn.cpp.o"
+  "CMakeFiles/edge_cdn.dir/edge_cdn.cpp.o.d"
+  "edge_cdn"
+  "edge_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

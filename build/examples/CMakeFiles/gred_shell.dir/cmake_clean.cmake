@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_shell.dir/gred_shell.cpp.o"
+  "CMakeFiles/gred_shell.dir/gred_shell.cpp.o.d"
+  "gred_shell"
+  "gred_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

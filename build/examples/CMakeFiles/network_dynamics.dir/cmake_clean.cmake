@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_dynamics.dir/network_dynamics.cpp.o"
+  "CMakeFiles/network_dynamics.dir/network_dynamics.cpp.o.d"
+  "network_dynamics"
+  "network_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

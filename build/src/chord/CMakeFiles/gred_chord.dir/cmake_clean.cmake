@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_chord.dir/chord.cpp.o"
+  "CMakeFiles/gred_chord.dir/chord.cpp.o.d"
+  "CMakeFiles/gred_chord.dir/underlay.cpp.o"
+  "CMakeFiles/gred_chord.dir/underlay.cpp.o.d"
+  "libgred_chord.a"
+  "libgred_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

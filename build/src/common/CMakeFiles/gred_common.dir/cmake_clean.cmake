@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_common.dir/log.cpp.o"
+  "CMakeFiles/gred_common.dir/log.cpp.o.d"
+  "CMakeFiles/gred_common.dir/rng.cpp.o"
+  "CMakeFiles/gred_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gred_common.dir/stats.cpp.o"
+  "CMakeFiles/gred_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gred_common.dir/strings.cpp.o"
+  "CMakeFiles/gred_common.dir/strings.cpp.o.d"
+  "CMakeFiles/gred_common.dir/table.cpp.o"
+  "CMakeFiles/gred_common.dir/table.cpp.o.d"
+  "libgred_common.a"
+  "libgred_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgred_common.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/gred_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/gred_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/delay_experiment.cpp" "src/core/CMakeFiles/gred_core.dir/delay_experiment.cpp.o" "gcc" "src/core/CMakeFiles/gred_core.dir/delay_experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/gred_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/gred_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/multihop_dt.cpp" "src/core/CMakeFiles/gred_core.dir/multihop_dt.cpp.o" "gcc" "src/core/CMakeFiles/gred_core.dir/multihop_dt.cpp.o.d"
+  "/root/repo/src/core/protocol.cpp" "src/core/CMakeFiles/gred_core.dir/protocol.cpp.o" "gcc" "src/core/CMakeFiles/gred_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/core/snapshot.cpp" "src/core/CMakeFiles/gred_core.dir/snapshot.cpp.o" "gcc" "src/core/CMakeFiles/gred_core.dir/snapshot.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/gred_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/gred_core.dir/system.cpp.o.d"
+  "/root/repo/src/core/virtual_space.cpp" "src/core/CMakeFiles/gred_core.dir/virtual_space.cpp.o" "gcc" "src/core/CMakeFiles/gred_core.dir/virtual_space.cpp.o.d"
+  "/root/repo/src/core/vivaldi.cpp" "src/core/CMakeFiles/gred_core.dir/vivaldi.cpp.o" "gcc" "src/core/CMakeFiles/gred_core.dir/vivaldi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sden/CMakeFiles/gred_sden.dir/DependInfo.cmake"
+  "/root/repo/build/src/chord/CMakeFiles/gred_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gred_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/gred_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gred_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gred_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gred_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_core.dir/controller.cpp.o"
+  "CMakeFiles/gred_core.dir/controller.cpp.o.d"
+  "CMakeFiles/gred_core.dir/delay_experiment.cpp.o"
+  "CMakeFiles/gred_core.dir/delay_experiment.cpp.o.d"
+  "CMakeFiles/gred_core.dir/metrics.cpp.o"
+  "CMakeFiles/gred_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/gred_core.dir/multihop_dt.cpp.o"
+  "CMakeFiles/gred_core.dir/multihop_dt.cpp.o.d"
+  "CMakeFiles/gred_core.dir/protocol.cpp.o"
+  "CMakeFiles/gred_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/gred_core.dir/snapshot.cpp.o"
+  "CMakeFiles/gred_core.dir/snapshot.cpp.o.d"
+  "CMakeFiles/gred_core.dir/system.cpp.o"
+  "CMakeFiles/gred_core.dir/system.cpp.o.d"
+  "CMakeFiles/gred_core.dir/virtual_space.cpp.o"
+  "CMakeFiles/gred_core.dir/virtual_space.cpp.o.d"
+  "CMakeFiles/gred_core.dir/vivaldi.cpp.o"
+  "CMakeFiles/gred_core.dir/vivaldi.cpp.o.d"
+  "libgred_core.a"
+  "libgred_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_crypto.dir/data_key.cpp.o"
+  "CMakeFiles/gred_crypto.dir/data_key.cpp.o.d"
+  "CMakeFiles/gred_crypto.dir/hex.cpp.o"
+  "CMakeFiles/gred_crypto.dir/hex.cpp.o.d"
+  "CMakeFiles/gred_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/gred_crypto.dir/sha256.cpp.o.d"
+  "libgred_crypto.a"
+  "libgred_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

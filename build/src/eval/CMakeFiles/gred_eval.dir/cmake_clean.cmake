@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_eval.dir/experiments.cpp.o"
+  "CMakeFiles/gred_eval.dir/experiments.cpp.o.d"
+  "CMakeFiles/gred_eval.dir/scenario.cpp.o"
+  "CMakeFiles/gred_eval.dir/scenario.cpp.o.d"
+  "libgred_eval.a"
+  "libgred_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/convex_hull.cpp" "src/geometry/CMakeFiles/gred_geometry.dir/convex_hull.cpp.o" "gcc" "src/geometry/CMakeFiles/gred_geometry.dir/convex_hull.cpp.o.d"
+  "/root/repo/src/geometry/cvt.cpp" "src/geometry/CMakeFiles/gred_geometry.dir/cvt.cpp.o" "gcc" "src/geometry/CMakeFiles/gred_geometry.dir/cvt.cpp.o.d"
+  "/root/repo/src/geometry/delaunay.cpp" "src/geometry/CMakeFiles/gred_geometry.dir/delaunay.cpp.o" "gcc" "src/geometry/CMakeFiles/gred_geometry.dir/delaunay.cpp.o.d"
+  "/root/repo/src/geometry/predicates.cpp" "src/geometry/CMakeFiles/gred_geometry.dir/predicates.cpp.o" "gcc" "src/geometry/CMakeFiles/gred_geometry.dir/predicates.cpp.o.d"
+  "/root/repo/src/geometry/voronoi.cpp" "src/geometry/CMakeFiles/gred_geometry.dir/voronoi.cpp.o" "gcc" "src/geometry/CMakeFiles/gred_geometry.dir/voronoi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

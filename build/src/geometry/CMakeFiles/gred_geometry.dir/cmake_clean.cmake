@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_geometry.dir/convex_hull.cpp.o"
+  "CMakeFiles/gred_geometry.dir/convex_hull.cpp.o.d"
+  "CMakeFiles/gred_geometry.dir/cvt.cpp.o"
+  "CMakeFiles/gred_geometry.dir/cvt.cpp.o.d"
+  "CMakeFiles/gred_geometry.dir/delaunay.cpp.o"
+  "CMakeFiles/gred_geometry.dir/delaunay.cpp.o.d"
+  "CMakeFiles/gred_geometry.dir/predicates.cpp.o"
+  "CMakeFiles/gred_geometry.dir/predicates.cpp.o.d"
+  "CMakeFiles/gred_geometry.dir/voronoi.cpp.o"
+  "CMakeFiles/gred_geometry.dir/voronoi.cpp.o.d"
+  "libgred_geometry.a"
+  "libgred_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/gred_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/gred_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/properties.cpp" "src/graph/CMakeFiles/gred_graph.dir/properties.cpp.o" "gcc" "src/graph/CMakeFiles/gred_graph.dir/properties.cpp.o.d"
+  "/root/repo/src/graph/shortest_path.cpp" "src/graph/CMakeFiles/gred_graph.dir/shortest_path.cpp.o" "gcc" "src/graph/CMakeFiles/gred_graph.dir/shortest_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gred_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gred_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_graph.dir/graph.cpp.o"
+  "CMakeFiles/gred_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/gred_graph.dir/properties.cpp.o"
+  "CMakeFiles/gred_graph.dir/properties.cpp.o.d"
+  "CMakeFiles/gred_graph.dir/shortest_path.cpp.o"
+  "CMakeFiles/gred_graph.dir/shortest_path.cpp.o.d"
+  "libgred_graph.a"
+  "libgred_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_kad.dir/kademlia.cpp.o"
+  "CMakeFiles/gred_kad.dir/kademlia.cpp.o.d"
+  "libgred_kad.a"
+  "libgred_kad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_kad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/gred_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/gred_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/gred_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/gred_linalg.dir/mds.cpp.o"
+  "CMakeFiles/gred_linalg.dir/mds.cpp.o.d"
+  "libgred_linalg.a"
+  "libgred_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

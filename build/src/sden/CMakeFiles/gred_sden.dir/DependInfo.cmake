@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sden/event_queue.cpp" "src/sden/CMakeFiles/gred_sden.dir/event_queue.cpp.o" "gcc" "src/sden/CMakeFiles/gred_sden.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sden/flow_table.cpp" "src/sden/CMakeFiles/gred_sden.dir/flow_table.cpp.o" "gcc" "src/sden/CMakeFiles/gred_sden.dir/flow_table.cpp.o.d"
+  "/root/repo/src/sden/network.cpp" "src/sden/CMakeFiles/gred_sden.dir/network.cpp.o" "gcc" "src/sden/CMakeFiles/gred_sden.dir/network.cpp.o.d"
+  "/root/repo/src/sden/p4_pipeline.cpp" "src/sden/CMakeFiles/gred_sden.dir/p4_pipeline.cpp.o" "gcc" "src/sden/CMakeFiles/gred_sden.dir/p4_pipeline.cpp.o.d"
+  "/root/repo/src/sden/server_node.cpp" "src/sden/CMakeFiles/gred_sden.dir/server_node.cpp.o" "gcc" "src/sden/CMakeFiles/gred_sden.dir/server_node.cpp.o.d"
+  "/root/repo/src/sden/switch.cpp" "src/sden/CMakeFiles/gred_sden.dir/switch.cpp.o" "gcc" "src/sden/CMakeFiles/gred_sden.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/gred_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/gred_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/gred_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gred_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gred_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_sden.dir/event_queue.cpp.o"
+  "CMakeFiles/gred_sden.dir/event_queue.cpp.o.d"
+  "CMakeFiles/gred_sden.dir/flow_table.cpp.o"
+  "CMakeFiles/gred_sden.dir/flow_table.cpp.o.d"
+  "CMakeFiles/gred_sden.dir/network.cpp.o"
+  "CMakeFiles/gred_sden.dir/network.cpp.o.d"
+  "CMakeFiles/gred_sden.dir/p4_pipeline.cpp.o"
+  "CMakeFiles/gred_sden.dir/p4_pipeline.cpp.o.d"
+  "CMakeFiles/gred_sden.dir/server_node.cpp.o"
+  "CMakeFiles/gred_sden.dir/server_node.cpp.o.d"
+  "CMakeFiles/gred_sden.dir/switch.cpp.o"
+  "CMakeFiles/gred_sden.dir/switch.cpp.o.d"
+  "libgred_sden.a"
+  "libgred_sden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_sden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/edge_network.cpp" "src/topology/CMakeFiles/gred_topology.dir/edge_network.cpp.o" "gcc" "src/topology/CMakeFiles/gred_topology.dir/edge_network.cpp.o.d"
+  "/root/repo/src/topology/presets.cpp" "src/topology/CMakeFiles/gred_topology.dir/presets.cpp.o" "gcc" "src/topology/CMakeFiles/gred_topology.dir/presets.cpp.o.d"
+  "/root/repo/src/topology/waxman.cpp" "src/topology/CMakeFiles/gred_topology.dir/waxman.cpp.o" "gcc" "src/topology/CMakeFiles/gred_topology.dir/waxman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gred_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/gred_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/gred_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_topology.dir/edge_network.cpp.o"
+  "CMakeFiles/gred_topology.dir/edge_network.cpp.o.d"
+  "CMakeFiles/gred_topology.dir/presets.cpp.o"
+  "CMakeFiles/gred_topology.dir/presets.cpp.o.d"
+  "CMakeFiles/gred_topology.dir/waxman.cpp.o"
+  "CMakeFiles/gred_topology.dir/waxman.cpp.o.d"
+  "libgred_topology.a"
+  "libgred_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrivals.cpp" "src/workload/CMakeFiles/gred_workload.dir/arrivals.cpp.o" "gcc" "src/workload/CMakeFiles/gred_workload.dir/arrivals.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/workload/CMakeFiles/gred_workload.dir/generators.cpp.o" "gcc" "src/workload/CMakeFiles/gred_workload.dir/generators.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "src/workload/CMakeFiles/gred_workload.dir/zipf.cpp.o" "gcc" "src/workload/CMakeFiles/gred_workload.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gred_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

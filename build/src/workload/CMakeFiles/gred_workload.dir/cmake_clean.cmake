@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gred_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/gred_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/gred_workload.dir/generators.cpp.o"
+  "CMakeFiles/gred_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/gred_workload.dir/zipf.cpp.o"
+  "CMakeFiles/gred_workload.dir/zipf.cpp.o.d"
+  "libgred_workload.a"
+  "libgred_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gred_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

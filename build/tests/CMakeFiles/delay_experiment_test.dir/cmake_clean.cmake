@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_experiment_test.dir/delay_experiment_test.cpp.o"
+  "CMakeFiles/delay_experiment_test.dir/delay_experiment_test.cpp.o.d"
+  "delay_experiment_test"
+  "delay_experiment_test.pdb"
+  "delay_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kademlia_test.dir/kademlia_test.cpp.o"
+  "CMakeFiles/kademlia_test.dir/kademlia_test.cpp.o.d"
+  "kademlia_test"
+  "kademlia_test.pdb"
+  "kademlia_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kademlia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

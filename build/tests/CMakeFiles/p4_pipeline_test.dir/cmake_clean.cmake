@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4_pipeline_test.dir/p4_pipeline_test.cpp.o"
+  "CMakeFiles/p4_pipeline_test.dir/p4_pipeline_test.cpp.o.d"
+  "p4_pipeline_test"
+  "p4_pipeline_test.pdb"
+  "p4_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

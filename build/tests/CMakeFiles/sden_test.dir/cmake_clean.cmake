@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sden_test.dir/sden_test.cpp.o"
+  "CMakeFiles/sden_test.dir/sden_test.cpp.o.d"
+  "sden_test"
+  "sden_test.pdb"
+  "sden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

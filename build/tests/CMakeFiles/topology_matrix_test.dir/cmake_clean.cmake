@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_matrix_test.dir/topology_matrix_test.cpp.o"
+  "CMakeFiles/topology_matrix_test.dir/topology_matrix_test.cpp.o.d"
+  "topology_matrix_test"
+  "topology_matrix_test.pdb"
+  "topology_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

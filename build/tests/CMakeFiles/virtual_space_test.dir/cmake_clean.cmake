@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_space_test.dir/virtual_space_test.cpp.o"
+  "CMakeFiles/virtual_space_test.dir/virtual_space_test.cpp.o.d"
+  "virtual_space_test"
+  "virtual_space_test.pdb"
+  "virtual_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vivaldi_test.dir/vivaldi_test.cpp.o"
+  "CMakeFiles/vivaldi_test.dir/vivaldi_test.cpp.o.d"
+  "vivaldi_test"
+  "vivaldi_test.pdb"
+  "vivaldi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vivaldi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
