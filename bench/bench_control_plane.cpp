@@ -1,0 +1,146 @@
+// Control-plane scaling bench: wall-clock for the three parallelized
+// hot paths — APSP (weighted + unweighted, as Controller::recompute_apsp
+// runs them), the C-regulation loop, and the nearest-site lookup — at
+// threads=1 vs the configured pool (GRED_THREADS, default: all cores).
+// Emits BENCH_control_plane.json so CI can track the speedups. The
+// parallel runs are checked bit-identical to the serial ones before any
+// number is reported.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "geometry/site_grid.hpp"
+
+using namespace gred;
+
+namespace {
+
+/// Best-of-3 wall-clock milliseconds.
+double time_ms(const std::function<void()>& fn) {
+  double best = 0.0;
+  for (int run = 0; run < 3; ++run) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (run == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "determinism check failed: %s\n", what);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+int main() {
+  ThreadPool serial(1);
+  ThreadPool& pool = global_pool();
+  const auto threads = static_cast<double>(pool.thread_count());
+
+  bench::print_header(
+      "Control plane", "APSP / C-regulation / nearest-site scaling",
+      "parallel output identical to serial; speedup bounded by cores");
+  std::printf("pool threads: %zu (GRED_THREADS or hardware)\n\n",
+              pool.thread_count());
+
+  // --- APSP: 400-switch Waxman, both tables like recompute_apsp. ---
+  const topology::EdgeNetwork net = bench::make_waxman_network(400, 1, 3, 424);
+  const graph::Graph& g = net.switches();
+  graph::ApspResult serial_hops, serial_lat, pool_hops, pool_lat;
+  const double apsp_serial_ms = time_ms([&] {
+    serial_hops = graph::all_pairs_shortest_paths(g, false, &serial);
+    serial_lat = graph::all_pairs_shortest_paths(g, true, &serial);
+  });
+  const double apsp_pool_ms = time_ms([&] {
+    pool_hops = graph::all_pairs_shortest_paths(g, false, &pool);
+    pool_lat = graph::all_pairs_shortest_paths(g, true, &pool);
+  });
+  require(serial_hops.dist == pool_hops.dist &&
+              serial_hops.next == pool_hops.next,
+          "unweighted APSP");
+  require(serial_lat.dist == pool_lat.dist && serial_lat.next == pool_lat.next,
+          "weighted APSP");
+  const double apsp_speedup = apsp_serial_ms / apsp_pool_ms;
+  std::printf("APSP (400 switches, both tables): %.1f ms serial, %.1f ms "
+              "pooled, speedup %.2fx\n",
+              apsp_serial_ms, apsp_pool_ms, apsp_speedup);
+
+  // --- C-regulation: 400 sites, 20 iterations, 20k samples/iter. ---
+  Rng site_rng(77);
+  std::vector<geometry::Point2D> sites;
+  for (int i = 0; i < 400; ++i) {
+    sites.push_back({site_rng.next_double(), site_rng.next_double()});
+  }
+  geometry::CvtOptions cvt;
+  cvt.samples_per_iteration = 20000;
+  cvt.max_iterations = 20;
+  geometry::CvtResult serial_cvt, pool_cvt;
+  cvt.pool = &serial;
+  const double cvt_serial_ms = time_ms([&] {
+    Rng rng(7);
+    serial_cvt = geometry::c_regulation(sites, cvt, rng);
+  });
+  cvt.pool = &pool;
+  const double cvt_pool_ms = time_ms([&] {
+    Rng rng(7);
+    pool_cvt = geometry::c_regulation(sites, cvt, rng);
+  });
+  require(serial_cvt.sites == pool_cvt.sites &&
+              serial_cvt.energy_history == pool_cvt.energy_history,
+          "C-regulation");
+  const double cvt_speedup = cvt_serial_ms / cvt_pool_ms;
+  std::printf("C-regulation (400 sites, 20 iters): %.2f ms/iter serial, "
+              "%.2f ms/iter pooled, speedup %.2fx\n",
+              cvt_serial_ms / 20.0, cvt_pool_ms / 20.0, cvt_speedup);
+
+  // --- Nearest-site: grid index vs brute-force scan. ---
+  const geometry::Rect domain;
+  const geometry::SiteGrid grid(serial_cvt.sites, domain);
+  const std::size_t queries = 200000;
+  Rng qrng(13);
+  std::vector<geometry::Point2D> pts;
+  pts.reserve(queries);
+  for (std::size_t i = 0; i < queries; ++i) {
+    pts.push_back({qrng.next_double(), qrng.next_double()});
+  }
+  std::size_t sink_grid = 0, sink_brute = 0;
+  const double grid_ms = time_ms([&] {
+    std::size_t acc = 0;
+    for (const auto& p : pts) acc += grid.nearest(p);
+    sink_grid = acc;
+  });
+  const double brute_ms = time_ms([&] {
+    std::size_t acc = 0;
+    for (const auto& p : pts) acc += geometry::nearest_site(serial_cvt.sites, p);
+    sink_brute = acc;
+  });
+  require(sink_grid == sink_brute, "nearest-site lookup");
+  const double grid_qps = static_cast<double>(queries) / (grid_ms / 1000.0);
+  const double brute_qps = static_cast<double>(queries) / (brute_ms / 1000.0);
+  std::printf("nearest-site (400 sites, 200k queries): %.2fM/s grid, "
+              "%.2fM/s brute force, speedup %.1fx\n",
+              grid_qps / 1e6, brute_qps / 1e6, grid_qps / brute_qps);
+
+  bench::write_json(
+      "BENCH_control_plane.json",
+      {{"threads", threads},
+       {"apsp_ms_threads1", apsp_serial_ms},
+       {"apsp_ms", apsp_pool_ms},
+       {"apsp_speedup", apsp_speedup},
+       {"cvt_ms_per_iter_threads1", cvt_serial_ms / 20.0},
+       {"cvt_ms_per_iter", cvt_pool_ms / 20.0},
+       {"cvt_speedup", cvt_speedup},
+       {"grid_lookups_per_sec", grid_qps},
+       {"brute_lookups_per_sec", brute_qps},
+       {"lookup_speedup", grid_qps / brute_qps}});
+  std::printf("\nwrote BENCH_control_plane.json\n");
+  return 0;
+}

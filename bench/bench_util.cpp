@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/thread_pool.hpp"
+
 namespace gred::bench {
 
 topology::EdgeNetwork make_waxman_network(std::size_t switches,
@@ -106,6 +108,30 @@ std::vector<std::size_t> chord_loads(const chord::ChordRing& ring,
     keys.push_back(crypto::DataKey(id).prefix64());
   }
   return chord::chord_key_loads(ring, net, keys);
+}
+
+void parallel_trials(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+  global_pool().parallel_for(0, count, 1,
+                             [&](std::size_t lo, std::size_t hi) {
+                               for (std::size_t i = lo; i < hi; ++i) fn(i);
+                             });
+}
+
+void write_json(const std::string& path,
+                const std::vector<std::pair<std::string, double>>& fields) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.6g%s\n", fields[i].first.c_str(),
+                 fields[i].second, i + 1 < fields.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
 }
 
 std::string mean_ci_cell(const Summary& s, int precision) {

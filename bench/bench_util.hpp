@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chord/chord.hpp"
@@ -58,6 +60,18 @@ std::vector<std::size_t> gred_loads(core::GredSystem& sys,
 std::vector<std::size_t> chord_loads(const chord::ChordRing& ring,
                                      const topology::EdgeNetwork& net,
                                      const std::vector<std::string>& ids);
+
+/// Fans `count` independent trial bodies across the global thread pool
+/// (GRED_THREADS). fn(i) must write its result into a per-trial slot;
+/// the caller assembles output in trial order afterwards, so tables
+/// print identically for any thread count.
+void parallel_trials(std::size_t count,
+                     const std::function<void(std::size_t)>& fn);
+
+/// Writes a flat JSON object of numeric fields (the machine-readable
+/// bench outputs, e.g. BENCH_control_plane.json).
+void write_json(const std::string& path,
+                const std::vector<std::pair<std::string, double>>& fields);
 
 /// "mean +/- ci" cell for the tables.
 std::string mean_ci_cell(const Summary& s, int precision = 3);

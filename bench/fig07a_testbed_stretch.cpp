@@ -2,6 +2,7 @@
 // 12-server P4 testbed prototype (Section VII-A). The paper reports
 // both variants close to the optimal stretch of 1.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hpp"
 #include "topology/presets.hpp"
@@ -16,7 +17,10 @@ int main() {
   Table table({"requests", "GRED stretch (90% CI)",
                "GRED-NoCVT stretch (90% CI)"});
 
-  for (std::size_t requests : {100u, 200u, 500u, 1000u}) {
+  const std::vector<std::size_t> request_counts = {100, 200, 500, 1000};
+  std::vector<std::vector<std::string>> rows(request_counts.size());
+  bench::parallel_trials(request_counts.size(), [&](std::size_t k) {
+    const std::size_t requests = request_counts[k];
     auto gred_sys = core::GredSystem::create(
         topology::uniform_edge_network(topology::testbed6(), 2),
         bench::gred_options(50));
@@ -25,15 +29,16 @@ int main() {
         bench::nocvt_options());
     if (!gred_sys.ok() || !nocvt_sys.ok()) {
       std::fprintf(stderr, "system creation failed\n");
-      return 1;
+      std::abort();
     }
     const Summary gred = summarize(
         bench::gred_stretch_samples(gred_sys.value(), requests, requests));
     const Summary nocvt = summarize(
         bench::gred_stretch_samples(nocvt_sys.value(), requests, requests));
-    table.add_row({std::to_string(requests), bench::mean_ci_cell(gred),
-                   bench::mean_ci_cell(nocvt)});
-  }
+    rows[k] = {std::to_string(requests), bench::mean_ci_cell(gred),
+               bench::mean_ci_cell(nocvt)};
+  });
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s", table.to_string().c_str());
   return 0;
 }

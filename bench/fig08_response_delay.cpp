@@ -6,6 +6,7 @@
 // of concurrent retrieval requests, and the two GRED variants are
 // similar.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hpp"
 #include "core/delay_experiment.hpp"
@@ -39,21 +40,29 @@ int main() {
       "low delay; modest change as the number of requests grows; both "
       "GRED variants similar");
 
-  auto gred_sys = core::GredSystem::create(
-      topology::uniform_edge_network(topology::testbed6(), 2),
-      bench::gred_options(50));
-  auto nocvt_sys = core::GredSystem::create(
-      topology::uniform_edge_network(topology::testbed6(), 2),
-      bench::nocvt_options());
-  if (!gred_sys.ok() || !nocvt_sys.ok()) return 1;
-
   Table table({"retrieval requests", "GRED avg delay (ms)",
                "GRED-NoCVT avg delay (ms)"});
-  for (std::size_t requests : {100u, 250u, 500u, 750u, 1000u}) {
+  // mean_delay preloads data into the system, so each row gets its own
+  // pair of systems and the rows fan out independently.
+  const std::vector<std::size_t> request_counts = {100, 250, 500, 750, 1000};
+  std::vector<std::vector<std::string>> rows(request_counts.size());
+  bench::parallel_trials(request_counts.size(), [&](std::size_t k) {
+    const std::size_t requests = request_counts[k];
+    auto gred_sys = core::GredSystem::create(
+        topology::uniform_edge_network(topology::testbed6(), 2),
+        bench::gred_options(50));
+    auto nocvt_sys = core::GredSystem::create(
+        topology::uniform_edge_network(topology::testbed6(), 2),
+        bench::nocvt_options());
+    if (!gred_sys.ok() || !nocvt_sys.ok()) {
+      std::fprintf(stderr, "system creation failed\n");
+      std::abort();
+    }
     const double g = mean_delay(gred_sys.value(), requests, requests);
     const double n = mean_delay(nocvt_sys.value(), requests, requests);
-    table.add_row({std::to_string(requests), Table::fmt(g), Table::fmt(n)});
-  }
+    rows[k] = {std::to_string(requests), Table::fmt(g), Table::fmt(n)};
+  });
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s", table.to_string().c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 // CIs (Section VII-B/C1). Expectation: Chord > 3.5 everywhere; both
 // GRED variants < 1.5 (GRED uses < 30% of Chord's routing cost).
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hpp"
 
@@ -15,14 +16,17 @@ int main() {
       "Chord > 3.5 and growing; GRED and GRED-NoCVT < 1.5, flat");
 
   Table table({"switches", "servers", "Chord", "GRED", "GRED-NoCVT"});
-  for (std::size_t n : {20u, 50u, 100u, 150u, 200u}) {
+  const std::vector<std::size_t> sizes = {20, 50, 100, 150, 200};
+  std::vector<std::vector<std::string>> rows(sizes.size());
+  bench::parallel_trials(sizes.size(), [&](std::size_t k) {
+    const std::size_t n = sizes[k];
     const topology::EdgeNetwork net =
         bench::make_waxman_network(n, 10, 3, 1000 + n);
 
     auto gred_sys = core::GredSystem::create(net, bench::gred_options(50));
     auto nocvt_sys = core::GredSystem::create(net, bench::nocvt_options());
     auto ring = chord::ChordRing::build(net);
-    if (!gred_sys.ok() || !nocvt_sys.ok() || !ring.ok()) return 1;
+    if (!gred_sys.ok() || !nocvt_sys.ok() || !ring.ok()) std::abort();
 
     const Summary chord_s =
         summarize(bench::chord_stretch_samples(ring.value(), net, 100, n));
@@ -31,10 +35,11 @@ int main() {
     const Summary nocvt_s = summarize(
         bench::gred_stretch_samples(nocvt_sys.value(), 100, n + 1));
 
-    table.add_row({std::to_string(n), std::to_string(net.server_count()),
-                   bench::mean_ci_cell(chord_s), bench::mean_ci_cell(gred_s),
-                   bench::mean_ci_cell(nocvt_s)});
-  }
+    rows[k] = {std::to_string(n), std::to_string(net.server_count()),
+               bench::mean_ci_cell(chord_s), bench::mean_ci_cell(gred_s),
+               bench::mean_ci_cell(nocvt_s)};
+  });
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s", table.to_string().c_str());
   return 0;
 }

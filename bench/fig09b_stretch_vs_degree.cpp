@@ -3,6 +3,7 @@
 // Expectation: GRED variants far below Chord; stretch decreases
 // slightly as the degree grows (greedy finds shorter paths).
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hpp"
 
@@ -15,14 +16,17 @@ int main() {
       "GRED variants well below Chord; slight decrease with degree");
 
   Table table({"min degree", "Chord", "GRED", "GRED-NoCVT"});
-  for (std::size_t degree = 3; degree <= 10; ++degree) {
+  const std::size_t first_degree = 3, last_degree = 10;
+  std::vector<std::vector<std::string>> rows(last_degree - first_degree + 1);
+  bench::parallel_trials(rows.size(), [&](std::size_t k) {
+    const std::size_t degree = first_degree + k;
     const topology::EdgeNetwork net =
         bench::make_waxman_network(100, 10, degree, 2000 + degree);
 
     auto gred_sys = core::GredSystem::create(net, bench::gred_options(50));
     auto nocvt_sys = core::GredSystem::create(net, bench::nocvt_options());
     auto ring = chord::ChordRing::build(net);
-    if (!gred_sys.ok() || !nocvt_sys.ok() || !ring.ok()) return 1;
+    if (!gred_sys.ok() || !nocvt_sys.ok() || !ring.ok()) std::abort();
 
     const Summary chord_s = summarize(
         bench::chord_stretch_samples(ring.value(), net, 100, degree));
@@ -31,10 +35,10 @@ int main() {
     const Summary nocvt_s = summarize(
         bench::gred_stretch_samples(nocvt_sys.value(), 100, degree + 50));
 
-    table.add_row({std::to_string(degree), bench::mean_ci_cell(chord_s),
-                   bench::mean_ci_cell(gred_s),
-                   bench::mean_ci_cell(nocvt_s)});
-  }
+    rows[k] = {std::to_string(degree), bench::mean_ci_cell(chord_s),
+               bench::mean_ci_cell(gred_s), bench::mean_ci_cell(nocvt_s)};
+  });
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s", table.to_string().c_str());
   return 0;
 }

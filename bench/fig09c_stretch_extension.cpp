@@ -51,14 +51,17 @@ int main() {
       "extended-GRED slightly above GRED, both far below Chord");
 
   Table table({"switches", "Chord", "GRED", "extended-GRED"});
-  for (std::size_t n : {20u, 50u, 100u, 150u, 200u}) {
+  const std::vector<std::size_t> sizes = {20, 50, 100, 150, 200};
+  std::vector<std::vector<std::string>> rows(sizes.size());
+  bench::parallel_trials(sizes.size(), [&](std::size_t k) {
+    const std::size_t n = sizes[k];
     const topology::EdgeNetwork net =
         bench::make_waxman_network(n, 10, 3, 3000 + n);
 
     auto gred_sys = core::GredSystem::create(net, bench::gred_options(50));
     auto ext_sys = core::GredSystem::create(net, bench::gred_options(50));
     auto ring = chord::ChordRing::build(net);
-    if (!gred_sys.ok() || !ext_sys.ok() || !ring.ok()) return 1;
+    if (!gred_sys.ok() || !ext_sys.ok() || !ring.ok()) std::abort();
 
     const Summary chord_s =
         summarize(bench::chord_stretch_samples(ring.value(), net, 100, n));
@@ -67,9 +70,10 @@ int main() {
     const Summary ext_s =
         summarize(extended_gred_samples(ext_sys.value(), 100, n));
 
-    table.add_row({std::to_string(n), bench::mean_ci_cell(chord_s),
-                   bench::mean_ci_cell(gred_s), bench::mean_ci_cell(ext_s)});
-  }
+    rows[k] = {std::to_string(n), bench::mean_ci_cell(chord_s),
+               bench::mean_ci_cell(gred_s), bench::mean_ci_cell(ext_s)};
+  });
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s", table.to_string().c_str());
   return 0;
 }

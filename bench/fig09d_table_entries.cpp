@@ -4,6 +4,7 @@
 // the number of flows. For perspective we also print Chord's routing
 // state per server (distinct finger entries).
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hpp"
 
@@ -16,12 +17,15 @@ int main() {
 
   Table table({"switches", "GRED entries/switch (90% CI)",
                "GRED min..max", "Chord fingers/server (mean)"});
-  for (std::size_t n : {20u, 50u, 100u, 150u, 200u}) {
+  const std::vector<std::size_t> sizes = {20, 50, 100, 150, 200};
+  std::vector<std::vector<std::string>> rows(sizes.size());
+  bench::parallel_trials(sizes.size(), [&](std::size_t k) {
+    const std::size_t n = sizes[k];
     const topology::EdgeNetwork net =
         bench::make_waxman_network(n, 10, 3, 4000 + n);
     auto sys = core::GredSystem::create(net, bench::gred_options(50));
     auto ring = chord::ChordRing::build(net);
-    if (!sys.ok() || !ring.ok()) return 1;
+    if (!sys.ok() || !ring.ok()) std::abort();
 
     std::vector<double> counts;
     for (std::size_t c : sys.value().network().table_entry_counts()) {
@@ -36,10 +40,11 @@ int main() {
     const double chord_mean =
         chord_total / static_cast<double>(net.server_count());
 
-    table.add_row({std::to_string(n), bench::mean_ci_cell(s, 2),
-                   Table::fmt(s.min, 0) + ".." + Table::fmt(s.max, 0),
-                   Table::fmt(chord_mean, 2)});
-  }
+    rows[k] = {std::to_string(n), bench::mean_ci_cell(s, 2),
+               Table::fmt(s.min, 0) + ".." + Table::fmt(s.max, 0),
+               Table::fmt(chord_mean, 2)};
+  });
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s", table.to_string().c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 // Chord's max/avg grows with size; GRED stays nearly flat, and T=50
 // beats T=10.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hpp"
 
@@ -18,14 +19,17 @@ int main() {
   const auto ids = bench::make_ids(items, 11);
 
   Table table({"servers", "Chord", "GRED (T=10)", "GRED (T=50)"});
-  for (std::size_t n : {20u, 40u, 60u, 80u, 100u}) {
+  const std::vector<std::size_t> sizes = {20, 40, 60, 80, 100};
+  std::vector<std::vector<std::string>> rows(sizes.size());
+  bench::parallel_trials(sizes.size(), [&](std::size_t k) {
+    const std::size_t n = sizes[k];
     const topology::EdgeNetwork net =
         bench::make_waxman_network(n, 10, 3, 5000 + n);
 
     auto sys10 = core::GredSystem::create(net, bench::gred_options(10));
     auto sys50 = core::GredSystem::create(net, bench::gred_options(50));
     auto ring = chord::ChordRing::build(net);
-    if (!sys10.ok() || !sys50.ok() || !ring.ok()) return 1;
+    if (!sys10.ok() || !sys50.ok() || !ring.ok()) std::abort();
 
     const double chord_bal =
         core::load_balance(bench::chord_loads(ring.value(), net, ids))
@@ -37,10 +41,10 @@ int main() {
         core::load_balance(bench::gred_loads(sys50.value(), ids))
             .max_over_avg;
 
-    table.add_row({std::to_string(net.server_count()),
-                   Table::fmt(chord_bal), Table::fmt(g10),
-                   Table::fmt(g50)});
-  }
+    rows[k] = {std::to_string(net.server_count()), Table::fmt(chord_bal),
+               Table::fmt(g10), Table::fmt(g50)};
+  });
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s", table.to_string().c_str());
   return 0;
 }

@@ -4,6 +4,7 @@
 // max/avg decreases as T grows, dropping below 2 for T >= 20 and
 // plateauing around T = 70.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.hpp"
 
@@ -31,18 +32,22 @@ int main() {
           .max_over_avg;
 
   Table table({"T", "GRED", "GRED-NoCVT", "Chord"});
-  for (std::size_t t : {0u, 10u, 20u, 30u, 40u, 50u, 60u, 70u, 80u, 90u,
-                        100u}) {
+  const std::vector<std::size_t> iters = {0,  10, 20, 30, 40, 50,
+                                          60, 70, 80, 90, 100};
+  std::vector<std::vector<std::string>> rows(iters.size());
+  bench::parallel_trials(iters.size(), [&](std::size_t k) {
+    const std::size_t t = iters[k];
     core::VirtualSpaceOptions opt = bench::gred_options(t);
     if (t == 0) opt.use_cvt = false;
     auto sys = core::GredSystem::create(net, opt);
-    if (!sys.ok()) return 1;
+    if (!sys.ok()) std::abort();
     const double bal =
         core::load_balance(bench::gred_loads(sys.value(), ids))
             .max_over_avg;
-    table.add_row({std::to_string(t), Table::fmt(bal),
-                   Table::fmt(nocvt_bal), Table::fmt(chord_bal)});
-  }
+    rows[k] = {std::to_string(t), Table::fmt(bal), Table::fmt(nocvt_bal),
+               Table::fmt(chord_bal)};
+  });
+  for (const auto& row : rows) table.add_row(row);
   std::printf("%s", table.to_string().c_str());
   return 0;
 }

@@ -16,14 +16,14 @@ ChordRouteReport measure_lookup(const ChordRing& ring,
   for (const OverlayHop& hop : report.trace.hops) {
     const std::size_t hops =
         apsp.hop_count(switch_of(hop.from), switch_of(hop.to));
-    if (hops != static_cast<std::size_t>(-1)) {
+    if (hops != graph::kNoPath) {
       report.physical_hops += hops;
     }
   }
   const std::size_t shortest =
       apsp.hop_count(switch_of(from), switch_of(report.trace.home));
   report.shortest_hops =
-      shortest == static_cast<std::size_t>(-1) ? 0 : shortest;
+      shortest == graph::kNoPath ? 0 : shortest;
 
   if (report.shortest_hops == 0) {
     report.stretch = report.physical_hops == 0

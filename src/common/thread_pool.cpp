@@ -1,0 +1,134 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace gred {
+
+/// One parallel_for invocation. Threads claim chunks via an atomic
+/// cursor; the last chunk to finish flags completion. Kept alive by
+/// shared_ptr so a worker may outlive the submitting call's queue
+/// entry without dangling.
+struct ThreadPool::Batch {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t, std::size_t)>* chunk = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex m;
+  std::condition_variable cv;
+  bool finished = false;  // guarded by m
+
+  bool exhausted() const { return next.load() >= end; }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : thread_count_(threads == 0 ? default_thread_count() : threads) {
+  workers_.reserve(thread_count_ - 1);
+  for (std::size_t i = 0; i + 1 < thread_count_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::help(Batch& b) {
+  for (;;) {
+    const std::size_t lo = b.next.fetch_add(b.grain);
+    if (lo >= b.end) return;
+    const std::size_t hi = std::min(b.end, lo + b.grain);
+    (*b.chunk)(lo, hi);
+    const std::size_t items = hi - lo;
+    if (b.done.fetch_add(items) + items == b.end - b.begin) {
+      std::lock_guard<std::mutex> lock(b.m);
+      b.finished = true;
+      b.cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to help
+      batch = queue_.front();
+      if (batch->exhausted()) {
+        queue_.pop_front();
+        continue;
+      }
+    }
+    help(*batch);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::erase(queue_, batch);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& chunk) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  if (workers_.empty() || end - begin <= grain) {
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      chunk(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->begin = begin;
+  batch->end = end;
+  batch->grain = grain;
+  batch->chunk = &chunk;
+  batch->next.store(begin);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(batch);
+  }
+  work_cv_.notify_all();
+
+  help(*batch);
+  {
+    std::unique_lock<std::mutex> lock(batch->m);
+    batch->cv.wait(lock, [&] { return batch->finished; });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase(queue_, batch);
+}
+
+void ThreadPool::run_all(const std::vector<std::function<void()>>& tasks) {
+  parallel_for(0, tasks.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) tasks[i]();
+  });
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("GRED_THREADS")) {
+    char* tail = nullptr;
+    const unsigned long v = std::strtoul(env, &tail, 10);
+    if (tail != env && *tail == '\0' && v >= 1) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace gred

@@ -1,0 +1,74 @@
+// Fixed-size worker pool for the control plane's embarrassingly
+// parallel hot paths (per-source APSP, C-regulation sampling, bench
+// trials). The calling thread always participates in its own batch and
+// never blocks on unclaimed work, so parallel_for may be nested (e.g.
+// a bench trial running on the pool recomputes APSP on the same pool)
+// and called concurrently from several threads without deadlock.
+//
+// Parallelism is configured once per pool: the GRED_THREADS environment
+// variable when set, otherwise std::thread::hardware_concurrency().
+// With a thread count of 1 no workers are spawned and every call runs
+// inline, making the serial path bit-identical to the parallel one.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gred {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the calling thread;
+  /// 0 means default_thread_count(). The pool spawns threads - 1
+  /// workers.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Configured parallelism (workers + the calling thread).
+  std::size_t thread_count() const { return thread_count_; }
+
+  /// Splits [begin, end) into chunks of at most `grain` items and runs
+  /// `chunk(lo, hi)` for each half-open chunk, fanned across the pool.
+  /// Blocks until every chunk completed. Chunks must be independent;
+  /// the chunk layout is fixed by (begin, end, grain) alone, so
+  /// deterministic algorithms can key per-chunk state (e.g. RNG
+  /// streams) on the chunk index regardless of the thread count.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& chunk);
+
+  /// Runs every task (possibly concurrently) and blocks until all are
+  /// done.
+  void run_all(const std::vector<std::function<void()>>& tasks);
+
+  /// GRED_THREADS when set to a positive integer, otherwise
+  /// std::thread::hardware_concurrency() (minimum 1).
+  static std::size_t default_thread_count();
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  /// Claims and executes chunks of `b` until none are left.
+  void help(Batch& b);
+
+  std::size_t thread_count_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool, created on first use with
+/// default_thread_count() threads (GRED_THREADS is read at that point).
+ThreadPool& global_pool();
+
+}  // namespace gred

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/thread_pool.hpp"
 #include "graph/properties.hpp"
 
 namespace gred::core {
@@ -286,8 +287,15 @@ geometry::Point2D Controller::fit_position(const sden::SdenNetwork& net,
 
 void Controller::recompute_apsp(const sden::SdenNetwork& net) {
   const graph::Graph& g = net.description().switches();
-  apsp_ = graph::all_pairs_shortest_paths(g, /*weighted=*/false);
-  apsp_weighted_ = graph::all_pairs_shortest_paths(g, /*weighted=*/true);
+  // The two tables are independent; build both at once, each fanning
+  // its sources across the same pool.
+  ThreadPool& pool = global_pool();
+  pool.run_all({
+      [&] { apsp_ = graph::all_pairs_shortest_paths(g, /*weighted=*/false,
+                                                    &pool); },
+      [&] { apsp_weighted_ = graph::all_pairs_shortest_paths(
+                g, /*weighted=*/true, &pool); },
+  });
 }
 
 Status Controller::add_link(sden::SdenNetwork& net, SwitchId u, SwitchId v,

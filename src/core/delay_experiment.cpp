@@ -44,7 +44,7 @@ Result<DelayExperimentResult> RetrievalDelayExperiment::run(
                options_.link_latency_ms;
       const std::size_t back_hops =
           apsp_hops.hop_count(responder_sw, req.ingress);
-      resp_ms = back_hops == static_cast<std::size_t>(-1)
+      resp_ms = back_hops == graph::kNoPath
                     ? 0.0
                     : static_cast<double>(back_hops) *
                           options_.link_latency_ms;

@@ -37,7 +37,7 @@ Result<OpReport> GredProtocol::run(sden::Packet packet,
   const std::size_t shortest =
       controller_->apsp().hop_count(ingress, report.destination);
   report.shortest_hops =
-      shortest == static_cast<std::size_t>(-1) ? 0 : shortest;
+      shortest == graph::kNoPath ? 0 : shortest;
   report.stretch = routing_stretch(report.selected_hops,
                                    report.shortest_hops);
 

@@ -138,6 +138,7 @@ Result<VirtualSpace> VirtualSpace::build(
     vs.positions_ = vs.mds_positions_;
   }
 
+  vs.rebuild_grid();
   return vs;
 }
 
@@ -187,6 +188,7 @@ Result<VirtualSpace> VirtualSpace::from_positions(
     }
   }
   vs.scale_ = pairs > 0 ? ratio_sum / static_cast<double>(pairs) : 1.0;
+  vs.rebuild_grid();
   return vs;
 }
 
@@ -199,13 +201,11 @@ std::size_t VirtualSpace::index_of(topology::SwitchId sw) const {
 
 topology::SwitchId VirtualSpace::nearest_participant(
     const geometry::Point2D& p) const {
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < positions_.size(); ++i) {
-    if (geometry::closer_to(p, positions_[i], positions_[best])) {
-      best = i;
-    }
-  }
-  return participants_[best];
+  return participants_[grid_.nearest(p)];
+}
+
+void VirtualSpace::rebuild_grid() {
+  grid_ = geometry::SiteGrid(positions_, geometry::Rect{0.0, 0.0, 1.0, 1.0});
 }
 
 void VirtualSpace::add_participant(topology::SwitchId sw,
@@ -214,6 +214,7 @@ void VirtualSpace::add_participant(topology::SwitchId sw,
   positions_.push_back(p);
   mds_positions_.push_back(p);
   separate_duplicates(positions_);
+  rebuild_grid();
 }
 
 void VirtualSpace::remove_participant(topology::SwitchId sw) {
@@ -224,6 +225,7 @@ void VirtualSpace::remove_participant(topology::SwitchId sw) {
   positions_.erase(positions_.begin() + static_cast<std::ptrdiff_t>(idx));
   mds_positions_.erase(mds_positions_.begin() +
                        static_cast<std::ptrdiff_t>(idx));
+  rebuild_grid();
 }
 
 }  // namespace gred::core

@@ -16,6 +16,10 @@
 #include "geometry/point.hpp"
 #include "geometry/voronoi.hpp"
 
+namespace gred {
+class ThreadPool;
+}
+
 namespace gred::geometry {
 
 struct CvtOptions {
@@ -36,6 +40,12 @@ struct CvtOptions {
   /// be bounded by `density_bound` for rejection sampling.
   std::function<double(const Point2D&)> density;
   double density_bound = 1.0;
+  /// Pool the sampling loop fans out on; null means the global
+  /// GRED_THREADS pool. Results are bit-identical for any thread count:
+  /// samples are drawn in fixed blocks, each from its own RNG stream
+  /// keyed on (seed, iteration, block), and the per-block partial sums
+  /// are reduced in block order.
+  ThreadPool* pool = nullptr;
 };
 
 struct CvtResult {
@@ -51,9 +61,12 @@ struct CvtResult {
 CvtResult c_regulation(std::vector<Point2D> sites, const CvtOptions& options,
                        Rng& rng);
 
-/// Monte-Carlo estimate of the CVT energy of a site set:
-/// E = (1/S) * sum over samples r of |r - nearest_site(r)|^2.
+/// Monte-Carlo estimate of the CVT energy of a site set,
+/// E = (1/S) * sum over samples r of |r - nearest_site(r)|^2, with
+/// samples drawn from the same distribution (domain + density) that
+/// c_regulation minimizes over.
 double estimate_cvt_energy(const std::vector<Point2D>& sites,
-                           const Rect& domain, std::size_t samples, Rng& rng);
+                           const CvtOptions& options, std::size_t samples,
+                           Rng& rng);
 
 }  // namespace gred::geometry

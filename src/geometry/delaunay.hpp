@@ -29,9 +29,6 @@ struct Triangle {
   }
 };
 
-/// Sentinel for "no such site".
-inline constexpr std::size_t kNoSite = static_cast<std::size_t>(-1);
-
 class DelaunayTriangulation {
  public:
   /// An empty triangulation (no sites); fill via build().

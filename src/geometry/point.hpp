@@ -6,9 +6,13 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <string>
 
 namespace gred::geometry {
+
+/// Sentinel for "no such site" (empty site sets).
+inline constexpr std::size_t kNoSite = static_cast<std::size_t>(-1);
 
 struct Point2D {
   double x = 0.0;

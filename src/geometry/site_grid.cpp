@@ -1,0 +1,153 @@
+#include "geometry/site_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gred::geometry {
+namespace {
+
+/// True when candidate `i` beats `best` as "nearest to p": the brute
+/// force scans indices ascending and replaces only on closer_to, so
+/// among coincident sites the lowest index wins. This predicate makes
+/// that a total order independent of scan order.
+bool better_candidate(const Point2D& p, const std::vector<Point2D>& sites,
+                      std::size_t i, std::size_t best) {
+  if (best == kNoSite) return true;
+  if (closer_to(p, sites[i], sites[best])) return true;
+  return sites[i] == sites[best] && i < best;
+}
+
+}  // namespace
+
+SiteGrid::SiteGrid(std::vector<Point2D> sites, const Rect& domain)
+    : sites_(std::move(sites)) {
+  if (sites_.empty()) return;
+
+  double max_x = domain.max_x;
+  double max_y = domain.max_y;
+  min_x_ = domain.min_x;
+  min_y_ = domain.min_y;
+  for (const Point2D& s : sites_) {
+    min_x_ = std::min(min_x_, s.x);
+    min_y_ = std::min(min_y_, s.y);
+    max_x = std::max(max_x, s.x);
+    max_y = std::max(max_y, s.y);
+  }
+
+  // ~1 site per cell: sqrt(n) cells per axis.
+  const auto side = static_cast<std::size_t>(
+      std::sqrt(static_cast<double>(sites_.size())));
+  nx_ = ny_ = std::max<std::size_t>(1, side);
+  const double width = max_x - min_x_;
+  const double height = max_y - min_y_;
+  cell_w_ = width > 0.0 ? width / static_cast<double>(nx_) : 1.0;
+  cell_h_ = height > 0.0 ? height / static_cast<double>(ny_) : 1.0;
+
+  // Counting sort of site indices by cell, ascending within each cell.
+  std::vector<std::size_t> cell_of(sites_.size());
+  std::vector<std::size_t> counts(nx_ * ny_ + 1, 0);
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    cell_of[i] = cell_y(sites_[i].y) * nx_ + cell_x(sites_[i].x);
+    ++counts[cell_of[i] + 1];
+  }
+  for (std::size_t c = 1; c < counts.size(); ++c) counts[c] += counts[c - 1];
+  cell_start_ = counts;
+  cell_items_.resize(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    cell_items_[counts[cell_of[i]]++] = i;
+  }
+}
+
+std::size_t SiteGrid::cell_x(double x) const {
+  const double f = (x - min_x_) / cell_w_;
+  if (f <= 0.0) return 0;
+  const auto c = static_cast<std::size_t>(f);
+  return std::min(c, nx_ - 1);
+}
+
+std::size_t SiteGrid::cell_y(double y) const {
+  const double f = (y - min_y_) / cell_h_;
+  if (f <= 0.0) return 0;
+  const auto c = static_cast<std::size_t>(f);
+  return std::min(c, ny_ - 1);
+}
+
+void SiteGrid::scan_cell(const Point2D& p, std::size_t cx, std::size_t cy,
+                         std::size_t& best, double& best_sq) const {
+  const std::size_t cell = cy * nx_ + cx;
+  const std::size_t lo = cell_start_[cell];
+  const std::size_t hi = cell_start_[cell + 1];
+  if (lo == hi) return;
+
+  if (best != kNoSite) {
+    // Distance from p to the cell's bounding box; skip only when
+    // strictly farther (a tie could still win by the lex rank).
+    const double bx0 = min_x_ + static_cast<double>(cx) * cell_w_;
+    const double by0 = min_y_ + static_cast<double>(cy) * cell_h_;
+    const double dx = std::max({bx0 - p.x, 0.0, p.x - (bx0 + cell_w_)});
+    const double dy = std::max({by0 - p.y, 0.0, p.y - (by0 + cell_h_)});
+    // Slack absorbs the rounding of the bbox corners, so a site one ulp
+    // outside its nominal cell can still tie-break its way in.
+    if (dx * dx + dy * dy > best_sq + 1e-12 * (1.0 + best_sq)) return;
+  }
+  for (std::size_t k = lo; k < hi; ++k) {
+    const std::size_t i = cell_items_[k];
+    if (better_candidate(p, sites_, i, best)) {
+      best = i;
+      best_sq = squared_distance(p, sites_[i]);
+    }
+  }
+}
+
+std::size_t SiteGrid::nearest(const Point2D& p) const {
+  if (sites_.empty()) return kNoSite;
+
+  const auto ix = static_cast<std::ptrdiff_t>(cell_x(p.x));
+  const auto iy = static_cast<std::ptrdiff_t>(cell_y(p.y));
+  const auto snx = static_cast<std::ptrdiff_t>(nx_);
+  const auto sny = static_cast<std::ptrdiff_t>(ny_);
+  // Chebyshev radius that covers the whole grid from (ix, iy).
+  const std::ptrdiff_t max_ring =
+      std::max(std::max(ix, snx - 1 - ix), std::max(iy, sny - 1 - iy));
+  const double min_cell = std::min(cell_w_, cell_h_);
+
+  std::size_t best = kNoSite;
+  double best_sq = 0.0;
+  for (std::ptrdiff_t r = 0; r <= max_ring; ++r) {
+    if (best != kNoSite && r >= 1) {
+      // Any cell at ring r is at least (r - 1) whole cells away from
+      // the clamped query cell along some axis; strictly farther
+      // candidates cannot win even on the tie-break.
+      const double gap = static_cast<double>(r - 1) * min_cell;
+      if (gap * gap > best_sq) break;
+    }
+    const auto in_x = [&](std::ptrdiff_t x) { return x >= 0 && x < snx; };
+    const auto in_y = [&](std::ptrdiff_t y) { return y >= 0 && y < sny; };
+    if (r == 0) {
+      scan_cell(p, static_cast<std::size_t>(ix), static_cast<std::size_t>(iy),
+                best, best_sq);
+      continue;
+    }
+    for (std::ptrdiff_t x = ix - r; x <= ix + r; ++x) {
+      if (!in_x(x)) continue;
+      for (std::ptrdiff_t y : {iy - r, iy + r}) {
+        if (in_y(y)) {
+          scan_cell(p, static_cast<std::size_t>(x),
+                    static_cast<std::size_t>(y), best, best_sq);
+        }
+      }
+    }
+    for (std::ptrdiff_t y = iy - r + 1; y <= iy + r - 1; ++y) {
+      if (!in_y(y)) continue;
+      for (std::ptrdiff_t x : {ix - r, ix + r}) {
+        if (in_x(x)) {
+          scan_cell(p, static_cast<std::size_t>(x),
+                    static_cast<std::size_t>(y), best, best_sq);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace gred::geometry

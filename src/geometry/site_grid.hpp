@@ -1,0 +1,58 @@
+// Uniform-grid spatial index over a fixed site set for expected-O(1)
+// nearest-site queries. The answer agrees exactly with the brute-force
+// `nearest_site` scan — same distance metric, same (x, y)-rank
+// tie-break, lowest index among coincident sites — so the data plane's
+// per-packet home-switch lookup and the C-regulation sampling loop can
+// replace the O(n) scan without changing a single placement.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/voronoi.hpp"
+
+namespace gred::geometry {
+
+class SiteGrid {
+ public:
+  SiteGrid() = default;
+
+  /// Indexes `sites` over a grid covering the bounding box of `domain`
+  /// and of the sites themselves; queries anywhere in the plane remain
+  /// correct (the search expands from the clamped cell).
+  SiteGrid(std::vector<Point2D> sites, const Rect& domain);
+
+  std::size_t size() const { return sites_.size(); }
+  bool empty() const { return sites_.empty(); }
+  const std::vector<Point2D>& sites() const { return sites_; }
+
+  /// Index of the site nearest to `p` under the paper's total order
+  /// (squared distance, then lexicographic position, then site index);
+  /// kNoSite when the grid is empty.
+  std::size_t nearest(const Point2D& p) const;
+
+ private:
+  std::size_t cell_x(double x) const;
+  std::size_t cell_y(double y) const;
+  /// Considers every site of cell (cx, cy) as a candidate for `p`,
+  /// updating `best`/`best_sq`. Skips the cell when its bounding box
+  /// is strictly farther than `best_sq`.
+  void scan_cell(const Point2D& p, std::size_t cx, std::size_t cy,
+                 std::size_t& best, double& best_sq) const;
+
+  std::vector<Point2D> sites_;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  double cell_w_ = 1.0;
+  double cell_h_ = 1.0;
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  /// CSR cell layout: cell (cx, cy) holds site indices
+  /// cell_items_[cell_start_[cy * nx_ + cx] .. cell_start_[.. + 1]),
+  /// ascending, so scan order inside a cell matches the brute force.
+  std::vector<std::size_t> cell_start_;
+  std::vector<std::size_t> cell_items_;
+};
+
+}  // namespace gred::geometry

@@ -39,10 +39,9 @@ Point2D Rect::clamp(const Point2D& p) const {
 
 std::size_t nearest_site(const std::vector<Point2D>& sites,
                          const Point2D& p) {
-  std::size_t best = static_cast<std::size_t>(-1);
+  std::size_t best = kNoSite;
   for (std::size_t i = 0; i < sites.size(); ++i) {
-    if (best == static_cast<std::size_t>(-1) ||
-        closer_to(p, sites[i], sites[best])) {
+    if (best == kNoSite || closer_to(p, sites[i], sites[best])) {
       best = i;
     }
   }

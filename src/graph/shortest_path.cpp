@@ -4,6 +4,8 @@
 #include <deque>
 #include <queue>
 
+#include "common/thread_pool.hpp"
+
 namespace gred::graph {
 
 SsspResult bfs(const Graph& g, NodeId source) {
@@ -81,29 +83,33 @@ std::vector<NodeId> ApspResult::path(NodeId i, NodeId j) const {
 std::size_t ApspResult::hop_count(NodeId i, NodeId j) const {
   if (i == j) return 0;
   const auto p = path(i, j);
-  if (p.empty()) return static_cast<std::size_t>(-1);
+  if (p.empty()) return kNoPath;
   return p.size() - 1;
 }
 
-ApspResult all_pairs_shortest_paths(const Graph& g, bool weighted) {
+ApspResult all_pairs_shortest_paths(const Graph& g, bool weighted,
+                                    ThreadPool* pool) {
   const std::size_t n = g.node_count();
   ApspResult r;
   r.dist = linalg::Matrix(n, n, 0.0);
   r.next.assign(n, std::vector<NodeId>(n, kNoNode));
 
-  for (NodeId s = 0; s < n; ++s) {
-    const SsspResult sssp = weighted ? dijkstra(g, s) : bfs(g, s);
-    for (NodeId t = 0; t < n; ++t) {
-      r.dist(s, t) = sssp.dist[t];
-      if (t == s || sssp.dist[t] == kUnreachable) continue;
-      // First hop: walk the parent chain from t back to s.
-      NodeId hop = t;
-      while (sssp.parent[hop] != s) {
-        hop = sssp.parent[hop];
+  ThreadPool& tp = pool ? *pool : global_pool();
+  tp.parallel_for(0, n, 1, [&](std::size_t lo, std::size_t hi) {
+    for (NodeId s = lo; s < hi; ++s) {
+      const SsspResult sssp = weighted ? dijkstra(g, s) : bfs(g, s);
+      for (NodeId t = 0; t < n; ++t) {
+        r.dist(s, t) = sssp.dist[t];
+        if (t == s || sssp.dist[t] == kUnreachable) continue;
+        // First hop: walk the parent chain from t back to s.
+        NodeId hop = t;
+        while (sssp.parent[hop] != s) {
+          hop = sssp.parent[hop];
+        }
+        r.next[s][t] = hop;
       }
-      r.next[s][t] = hop;
     }
-  }
+  });
   return r;
 }
 

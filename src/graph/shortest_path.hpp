@@ -10,9 +10,16 @@
 #include "graph/graph.hpp"
 #include "linalg/matrix.hpp"
 
+namespace gred {
+class ThreadPool;
+}
+
 namespace gred::graph {
 
 inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// Hop count returned when no path exists.
+inline constexpr std::size_t kNoPath = static_cast<std::size_t>(-1);
 
 /// Single-source result: dist[v] (kUnreachable when disconnected) and
 /// parent[v] on a shortest-path tree (kNoNode for source/unreachable).
@@ -42,11 +49,15 @@ struct ApspResult {
   std::vector<NodeId> path(NodeId i, NodeId j) const;
   double distance(NodeId i, NodeId j) const { return dist(i, j); }
   /// Hop count along the stored path (path length - 1); 0 when i == j,
-  /// SIZE_MAX when unreachable.
+  /// kNoPath when unreachable.
   std::size_t hop_count(NodeId i, NodeId j) const;
 };
 
 /// Runs Dijkstra (or BFS when `weighted` is false) from every node.
-ApspResult all_pairs_shortest_paths(const Graph& g, bool weighted = false);
+/// Sources are fanned across `pool` (the global GRED_THREADS pool when
+/// null); every source fills only its own row, so the result is
+/// bit-identical for any thread count.
+ApspResult all_pairs_shortest_paths(const Graph& g, bool weighted = false,
+                                    ThreadPool* pool = nullptr);
 
 }  // namespace gred::graph

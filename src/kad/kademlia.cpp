@@ -123,13 +123,13 @@ KadRouteReport KademliaNetwork::measure_lookup(
   for (topology::ServerId next : report.trace.overlay_path) {
     const std::size_t hops =
         apsp.hop_count(switch_of(prev), switch_of(next));
-    if (hops != static_cast<std::size_t>(-1)) report.physical_hops += hops;
+    if (hops != graph::kNoPath) report.physical_hops += hops;
     prev = next;
   }
   const std::size_t shortest =
       apsp.hop_count(switch_of(from), switch_of(report.trace.home));
   report.shortest_hops =
-      shortest == static_cast<std::size_t>(-1) ? 0 : shortest;
+      shortest == graph::kNoPath ? 0 : shortest;
   if (report.shortest_hops == 0) {
     report.stretch = report.physical_hops == 0
                          ? 1.0

@@ -388,10 +388,10 @@ TEST(CvtEnergyTest, UniformGridBeatsClumpedSites) {
       clump.push_back({0.5 + 0.01 * i, 0.5 + 0.01 * j});
     }
   }
-  const Rect domain;
+  CvtOptions opt;  // uniform density over the unit square
   Rng r1(1), r2(1);
-  const double e_grid = estimate_cvt_energy(grid, domain, 20000, r1);
-  const double e_clump = estimate_cvt_energy(clump, domain, 20000, r2);
+  const double e_grid = estimate_cvt_energy(grid, opt, 20000, r1);
+  const double e_clump = estimate_cvt_energy(clump, opt, 20000, r2);
   EXPECT_LT(e_grid, e_clump);
 }
 

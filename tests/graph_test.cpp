@@ -2,10 +2,12 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "graph/graph.hpp"
 #include "graph/properties.hpp"
 #include "graph/shortest_path.hpp"
 #include "topology/presets.hpp"
+#include "topology/waxman.hpp"
 
 namespace gred::graph {
 namespace {
@@ -198,6 +200,33 @@ TEST(ApspTest, HopCount) {
   const ApspResult r = all_pairs_shortest_paths(g);
   EXPECT_EQ(r.hop_count(0, 3), 3u);
   EXPECT_EQ(r.hop_count(2, 2), 0u);
+}
+
+TEST(ApspTest, HopCountUnreachableIsNoPath) {
+  Graph g(3);
+  ASSERT_TRUE(g.add_edge(0, 1, 1.0).ok());
+  const ApspResult r = all_pairs_shortest_paths(g);
+  EXPECT_EQ(r.hop_count(0, 2), kNoPath);
+  EXPECT_EQ(r.hop_count(2, 1), kNoPath);
+}
+
+TEST(ApspTest, ParallelMatchesSerialExactly) {
+  Rng rng(17);
+  topology::WaxmanOptions opt;
+  opt.node_count = 120;
+  opt.min_degree = 3;
+  auto topo = topology::generate_waxman(opt, rng);
+  ASSERT_TRUE(topo.ok());
+  const Graph& g = topo.value().graph;
+
+  ThreadPool serial(1);
+  ThreadPool parallel(4);
+  for (bool weighted : {false, true}) {
+    const ApspResult a = all_pairs_shortest_paths(g, weighted, &serial);
+    const ApspResult b = all_pairs_shortest_paths(g, weighted, &parallel);
+    EXPECT_EQ(a.dist, b.dist) << "weighted=" << weighted;
+    EXPECT_EQ(a.next, b.next) << "weighted=" << weighted;
+  }
 }
 
 TEST(ApspTest, WeightedMode) {

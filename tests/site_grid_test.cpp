@@ -1,0 +1,150 @@
+#include "geometry/site_grid.hpp"
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "geometry/cvt.hpp"
+#include "geometry/point.hpp"
+#include "geometry/voronoi.hpp"
+
+namespace gred::geometry {
+namespace {
+
+TEST(SiteGridTest, EmptyGridReturnsNoSite) {
+  SiteGrid grid;
+  EXPECT_EQ(grid.nearest({0.5, 0.5}), kNoSite);
+  SiteGrid explicit_empty({}, Rect{});
+  EXPECT_EQ(explicit_empty.nearest({0.5, 0.5}), kNoSite);
+}
+
+TEST(SiteGridTest, SingleSiteAlwaysWins) {
+  SiteGrid grid({{0.25, 0.75}}, Rect{});
+  EXPECT_EQ(grid.nearest({0.0, 0.0}), 0u);
+  EXPECT_EQ(grid.nearest({0.25, 0.75}), 0u);
+  EXPECT_EQ(grid.nearest({42.0, -17.0}), 0u);
+}
+
+TEST(SiteGridTest, AgreesWithBruteForceOnRandomQueries) {
+  Rng rng(9001);
+  std::vector<Point2D> sites;
+  for (int i = 0; i < 300; ++i) {
+    sites.push_back({rng.next_double(), rng.next_double()});
+  }
+  const SiteGrid grid(sites, Rect{});
+  for (int q = 0; q < 1000; ++q) {
+    // Mostly in-domain queries, some well outside the indexed box.
+    const double span = (q % 5 == 0) ? 3.0 : 1.0;
+    const double off = (q % 5 == 0) ? -1.0 : 0.0;
+    const Point2D p{off + span * rng.next_double(),
+                    off + span * rng.next_double()};
+    EXPECT_EQ(grid.nearest(p), nearest_site(sites, p))
+        << "query (" << p.x << ", " << p.y << ")";
+  }
+}
+
+TEST(SiteGridTest, AgreesWithBruteForceOnBoundaryAndTiePoints) {
+  // Regular lattice: queries on cell corners and midpoints are exactly
+  // equidistant from several sites, exercising the tie-break order.
+  std::vector<Point2D> sites;
+  for (int i = 0; i <= 4; ++i) {
+    for (int j = 0; j <= 4; ++j) {
+      sites.push_back({i / 4.0, j / 4.0});
+    }
+  }
+  const SiteGrid grid(sites, Rect{});
+  std::vector<Point2D> queries;
+  for (int i = 0; i <= 8; ++i) {
+    for (int j = 0; j <= 8; ++j) {
+      queries.push_back({i / 8.0, j / 8.0});  // corners and midpoints
+    }
+  }
+  queries.push_back({0.0, 0.0});
+  queries.push_back({1.0, 1.0});
+  queries.push_back({-0.125, 0.5});
+  queries.push_back({1.125, 0.5});
+  for (const Point2D& p : queries) {
+    EXPECT_EQ(grid.nearest(p), nearest_site(sites, p))
+        << "query (" << p.x << ", " << p.y << ")";
+  }
+}
+
+TEST(SiteGridTest, DuplicateSitesResolveToLowestIndex) {
+  const std::vector<Point2D> sites = {
+      {0.5, 0.5}, {0.2, 0.2}, {0.5, 0.5}, {0.5, 0.5}};
+  const SiteGrid grid(sites, Rect{});
+  EXPECT_EQ(grid.nearest({0.5, 0.5}), 0u);
+  EXPECT_EQ(grid.nearest({0.6, 0.6}), 0u);
+  EXPECT_EQ(nearest_site(sites, {0.5, 0.5}), 0u);
+}
+
+TEST(CvtDeterminismTest, ParallelPoolReproducesSerialExactly) {
+  Rng site_rng(31);
+  std::vector<Point2D> sites;
+  for (int i = 0; i < 60; ++i) {
+    sites.push_back({site_rng.next_double(), site_rng.next_double()});
+  }
+
+  ThreadPool serial(1);
+  ThreadPool parallel(4);
+  CvtOptions opt;
+  opt.samples_per_iteration = 2000;
+  opt.max_iterations = 8;
+
+  opt.pool = &serial;
+  Rng r1(77);
+  const CvtResult a = c_regulation(sites, opt, r1);
+
+  opt.pool = &parallel;
+  Rng r2(77);
+  const CvtResult b = c_regulation(sites, opt, r2);
+
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_EQ(a.sites[i].x, b.sites[i].x) << "site " << i;
+    EXPECT_EQ(a.sites[i].y, b.sites[i].y) << "site " << i;
+  }
+  EXPECT_EQ(a.energy_history, b.energy_history);
+  EXPECT_EQ(a.iterations_run, b.iterations_run);
+}
+
+TEST(CvtDeterminismTest, EnergyEstimateMatchesAcrossThreadCounts) {
+  Rng site_rng(5);
+  std::vector<Point2D> sites;
+  for (int i = 0; i < 40; ++i) {
+    sites.push_back({site_rng.next_double(), site_rng.next_double()});
+  }
+  ThreadPool serial(1);
+  ThreadPool parallel(4);
+  CvtOptions opt;
+  opt.pool = &serial;
+  Rng r1(123);
+  const double e1 = estimate_cvt_energy(sites, opt, 10000, r1);
+  opt.pool = &parallel;
+  Rng r2(123);
+  const double e2 = estimate_cvt_energy(sites, opt, 10000, r2);
+  EXPECT_EQ(e1, e2);
+}
+
+TEST(CvtDeterminismTest, EnergyEstimateHonorsDensity) {
+  // One site at the far left: with all the sample mass concentrated on
+  // the left edge, the mean squared distance must come out well below
+  // the uniform-density estimate.
+  const std::vector<Point2D> sites = {{0.05, 0.5}};
+  CvtOptions uniform;
+  CvtOptions left_heavy;
+  left_heavy.density = [](const Point2D& p) { return p.x < 0.1 ? 1.0 : 0.0; };
+  left_heavy.density_bound = 1.0;
+
+  Rng r1(9);
+  const double uniform_energy = estimate_cvt_energy(sites, uniform, 20000, r1);
+  Rng r2(9);
+  const double left_energy = estimate_cvt_energy(sites, left_heavy, 20000, r2);
+  EXPECT_LT(left_energy, uniform_energy * 0.5);
+}
+
+}  // namespace
+}  // namespace gred::geometry
