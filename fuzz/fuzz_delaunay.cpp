@@ -1,0 +1,135 @@
+// Fuzz harness for the Delaunay triangulation: randomized point sets
+// with deliberately degenerate shapes (collinear chains, duplicates,
+// cocircular quadruples) are built and then extended by incremental
+// insertion. Every successful build/insert must satisfy the deep
+// gred::check::validate_delaunay invariant (empty circumcircles,
+// symmetric adjacency, closed hull) and greedy routing must reach the
+// brute-force nearest site.
+#include <cstdint>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "fuzz_util.hpp"
+#include "geometry/delaunay.hpp"
+#include "geometry/point.hpp"
+
+using gred::fuzz::ByteSource;
+using gred::geometry::DelaunayTriangulation;
+using gred::geometry::Point2D;
+
+namespace {
+
+// Point-set generators keyed by the first input byte. Duplicates are
+// intentionally possible in every mode: build() must reject them with
+// a typed error, never crash.
+std::vector<Point2D> make_points(ByteSource& src, std::uint8_t mode) {
+  std::vector<Point2D> pts;
+  const std::size_t n = 3 + src.below(24);
+  pts.reserve(n + 4);
+  switch (mode % 4) {
+    case 0:  // arbitrary points in a padded unit square
+      for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back({src.unit_double(-0.25, 1.25),
+                       src.unit_double(-0.25, 1.25)});
+      }
+      break;
+    case 1:  // collinear chain (occasionally with a repeat)
+      for (std::size_t i = 0; i < n; ++i) {
+        const double t = src.unit_double();
+        pts.push_back({t, 0.5 + 0.25 * t});
+      }
+      break;
+    case 2: {  // quantized grid: duplicates and cocircular sets abound
+      for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back({static_cast<double>(src.below(5)) * 0.25,
+                       static_cast<double>(src.below(5)) * 0.25});
+      }
+      break;
+    }
+    default: {  // random cloud plus an exactly cocircular quadruple
+      for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back({src.unit_double(), src.unit_double()});
+      }
+      const double cx = src.unit_double(0.25, 0.75);
+      const double cy = src.unit_double(0.25, 0.75);
+      const double r = src.unit_double(0.05, 0.2);
+      pts.push_back({cx + r, cy});
+      pts.push_back({cx - r, cy});
+      pts.push_back({cx, cy + r});
+      pts.push_back({cx, cy - r});
+      break;
+    }
+  }
+  return pts;
+}
+
+bool has_duplicate(const std::vector<Point2D>& pts) {
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (pts[i].x == pts[j].x && pts[i].y == pts[j].y) return true;
+    }
+  }
+  return false;
+}
+
+void check_greedy_delivery(const DelaunayTriangulation& dt,
+                           ByteSource& src) {
+  for (int probe = 0; probe < 4; ++probe) {
+    const Point2D target{src.unit_double(-0.5, 1.5),
+                         src.unit_double(-0.5, 1.5)};
+    const std::size_t start = src.below(dt.size());
+    const std::vector<std::size_t> path = dt.greedy_route(start, target);
+    FUZZ_ASSERT(!path.empty() && path.front() == start,
+                "greedy route must start at the source site");
+    FUZZ_ASSERT(path.back() == dt.nearest_site(target),
+                "greedy routing stopped short of the nearest site");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  ByteSource src(data, size);
+  const std::uint8_t mode = src.u8();
+  std::vector<Point2D> pts = make_points(src, mode);
+  const bool dup = has_duplicate(pts);
+
+  auto built = DelaunayTriangulation::build(pts);
+  if (!built.ok()) {
+    FUZZ_ASSERT(dup, "build failed on a duplicate-free point set: " +
+                         built.error().to_string());
+    return 0;
+  }
+  FUZZ_ASSERT(!dup, "build accepted duplicate sites");
+  DelaunayTriangulation dt = std::move(built).value();
+
+  gred::check::CheckReport report = gred::check::validate_delaunay(dt);
+  FUZZ_ASSERT(report.ok(), report.to_string());
+  check_greedy_delivery(dt, src);
+
+  // Incremental insertion: a handful of fresh sites, each of which
+  // must keep the full invariant (duplicates must be rejected).
+  const std::size_t inserts = 1 + src.below(4);
+  for (std::size_t k = 0; k < inserts; ++k) {
+    const Point2D p = k % 2 == 0
+                          ? Point2D{src.unit_double(-0.5, 1.5),
+                                    src.unit_double(-0.5, 1.5)}
+                          : dt.points()[src.below(dt.size())];  // duplicate
+    bool exists = false;
+    for (const Point2D& q : dt.points()) {
+      if (q.x == p.x && q.y == p.y) exists = true;
+    }
+    auto inserted = dt.insert(p);
+    FUZZ_ASSERT(inserted.ok() == !exists,
+                exists ? "insert accepted a duplicate site"
+                       : "insert rejected a fresh site: " +
+                             inserted.error().to_string());
+    if (inserted.ok()) {
+      report = gred::check::validate_delaunay(dt);
+      FUZZ_ASSERT(report.ok(), report.to_string());
+    }
+  }
+  check_greedy_delivery(dt, src);
+  return 0;
+}

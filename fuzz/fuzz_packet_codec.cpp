@@ -1,0 +1,72 @@
+// Fuzz harness for the GRED packet wire codec (sden/packet_codec).
+//
+// Two directions per input:
+//   1. decode(bytes): must never crash; a successful decode must be
+//      well-formed (validate_packet) and re-encode byte-identically.
+//   2. bytes -> synthesized Packet -> encode -> decode: must round
+//      trip field-for-field.
+#include <cstdint>
+
+#include "fuzz_util.hpp"
+#include "sden/packet_codec.hpp"
+
+using gred::fuzz::ByteSource;
+using gred::sden::Packet;
+using gred::sden::PacketType;
+
+namespace {
+
+void check_decode_direction(const std::uint8_t* data, std::size_t size) {
+  auto decoded = gred::sden::decode_packet(data, size);
+  if (!decoded.ok()) {
+    FUZZ_ASSERT(!decoded.error().message.empty(),
+                "decode errors must carry a message");
+    return;
+  }
+  const Packet& pkt = decoded.value();
+  const gred::Status well_formed = gred::sden::validate_packet(pkt);
+  FUZZ_ASSERT(well_formed.ok(),
+              "decode accepted a malformed packet: " +
+                  (well_formed.ok() ? std::string()
+                                    : well_formed.error().to_string()));
+  const std::vector<std::uint8_t> re = gred::sden::encode_packet(pkt);
+  FUZZ_ASSERT(re.size() == size &&
+                  std::equal(re.begin(), re.end(), data),
+              "encode(decode(bytes)) is not byte-identical");
+}
+
+void check_encode_direction(const std::uint8_t* data, std::size_t size) {
+  ByteSource src(data, size);
+  Packet pkt;
+  pkt.type = static_cast<PacketType>(src.below(3));
+  pkt.target = {src.unit_double(-2.0, 3.0), src.unit_double(-2.0, 3.0)};
+  if (src.u8() % 2 == 0) {
+    pkt.vlink_dest = src.below(64);
+    pkt.vlink_sour = src.below(64);
+  }
+  pkt.data_id = src.str(48);
+  pkt.payload = src.str(200);
+
+  const std::vector<std::uint8_t> wire = gred::sden::encode_packet(pkt);
+  FUZZ_ASSERT(wire.size() == gred::sden::encoded_packet_size(pkt),
+              "encoded size disagrees with encoded_packet_size");
+  auto back = gred::sden::decode_packet(wire);
+  FUZZ_ASSERT(back.ok(), "decode(encode(pkt)) failed: " +
+                             (back.ok() ? std::string()
+                                        : back.error().to_string()));
+  const Packet& rt = back.value();
+  FUZZ_ASSERT(rt.type == pkt.type && rt.data_id == pkt.data_id &&
+                  rt.payload == pkt.payload && rt.target == pkt.target &&
+                  rt.vlink_dest == pkt.vlink_dest &&
+                  rt.vlink_sour == pkt.vlink_sour,
+              "packet round trip lost a field");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  check_decode_direction(data, size);
+  check_encode_direction(data, size);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fuzz harness for control-plane snapshot deserialization
+// (core/snapshot): arbitrary text must either parse into a structure
+// that survives a serialize -> parse round trip, or fail with a typed
+// error — never crash, never allocate from an attacker-chosen count.
+#include <cstdint>
+#include <string>
+
+#include "core/snapshot.hpp"
+#include "fuzz_util.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  auto parsed = gred::core::parse_snapshot(text);
+  if (!parsed.ok()) {
+    FUZZ_ASSERT(!parsed.error().message.empty(),
+                "parse errors must carry a message");
+    return 0;
+  }
+  const gred::core::Snapshot& snap = parsed.value();
+  FUZZ_ASSERT(snap.participants.size() == snap.positions.size(),
+              "parse produced mismatched participant/position arrays");
+
+  // Serialization must be a fixed point: serialize(parse(.)) is
+  // parseable and serializes to the same bytes (string comparison
+  // sidesteps NaN != NaN on hostile coordinate values).
+  const std::string one = gred::core::serialize_snapshot(snap);
+  auto reparsed = gred::core::parse_snapshot(one);
+  FUZZ_ASSERT(reparsed.ok(), "serialize produced unparseable text");
+  const std::string two =
+      gred::core::serialize_snapshot(reparsed.value());
+  FUZZ_ASSERT(one == two, "serialize/parse is not a fixed point");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared helpers for the fuzz entry points: a hard-failing assert
+// (active in every build — a fuzz harness that compiles its oracle
+// out is a no-op) and a minimal byte consumer in the spirit of
+// libFuzzer's FuzzedDataProvider, kept dependency-free.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#define FUZZ_ASSERT(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "\nfuzz assertion failed at %s:%d\n  %s\n"   \
+                           "  %s\n",                                    \
+                   __FILE__, __LINE__, #cond, std::string(msg).c_str()); \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+namespace gred::fuzz {
+
+/// Consumes the input buffer front to back; once exhausted, numeric
+/// reads return zeros (deterministic, never out of bounds).
+class ByteSource {
+ public:
+  ByteSource(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  std::uint8_t u8() { return empty() ? 0 : data_[pos_++]; }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | u8();
+    return v;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | u8();
+    return v;
+  }
+
+  /// Uniform-ish value in [0, n); n must be > 0.
+  std::size_t below(std::size_t n) { return u32() % n; }
+
+  /// Double in [lo, hi] from 32 fuzzed bits — always finite.
+  double unit_double(double lo = 0.0, double hi = 1.0) {
+    const double t =
+        static_cast<double>(u32()) / static_cast<double>(UINT32_MAX);
+    return lo + t * (hi - lo);
+  }
+
+  std::string str(std::size_t max_len) {
+    const std::size_t n = max_len == 0 ? 0 : below(max_len + 1);
+    std::string out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(static_cast<char>(u8()));
+    }
+    return out;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gred::fuzz

@@ -1,0 +1,18 @@
+#include "check/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gred::check {
+
+void invariant_failure(const char* file, int line, const char* expr,
+                       const std::string& detail) {
+  std::fprintf(stderr,
+               "\nGRED invariant violated at %s:%d\n  expression: %s\n"
+               "  detail: %s\n",
+               file, line, expr, detail.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace gred::check

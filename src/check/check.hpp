@@ -1,0 +1,49 @@
+// Invariant-checking macros for the correctness tooling layer.
+//
+// GRED's guarantees rest on structural invariants (empty-circumcircle
+// DT, grid/brute-force nearest-site agreement, well-formed flow
+// tables) that a single bad edge flip silently violates. The macros
+// here make those invariants machine-checked in Debug builds and in
+// any build configured with -DGRED_CHECKED=ON, and compile to nothing
+// in plain Release builds so hot paths pay zero cost.
+//
+//   GRED_INVARIANT(cond, msg)  — assert a cheap boolean condition.
+//   GRED_CHECK(report_expr)    — run a deep validator returning a
+//                                CheckReport (see invariants.hpp).
+//
+// A failed invariant prints the location, the expression, and the
+// detail message to stderr and aborts: a violated invariant means the
+// routing guarantee is already gone, so continuing would only move
+// the failure somewhere harder to diagnose.
+#pragma once
+
+#include <string>
+
+#if defined(GRED_CHECKED) || !defined(NDEBUG)
+#define GRED_CHECKS_ENABLED 1
+#else
+#define GRED_CHECKS_ENABLED 0
+#endif
+
+namespace gred::check {
+
+/// True when invariant checking is compiled into this build.
+inline constexpr bool kEnabled = GRED_CHECKS_ENABLED != 0;
+
+/// Reports a violated invariant and aborts the process.
+[[noreturn]] void invariant_failure(const char* file, int line,
+                                    const char* expr,
+                                    const std::string& detail);
+
+}  // namespace gred::check
+
+#if GRED_CHECKS_ENABLED
+#define GRED_INVARIANT(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::gred::check::invariant_failure(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                     \
+  } while (0)
+#else
+#define GRED_INVARIANT(cond, msg) ((void)0)
+#endif

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "check/invariants.hpp"
 #include "common/thread_pool.hpp"
 #include "graph/properties.hpp"
 
@@ -106,6 +107,20 @@ Status Controller::install(sden::SdenNetwork& net) {
       net.switch_at(sw_id).table().add_relay(relay);
     }
   }
+
+  // Machine-checked invariants (Debug / GRED_CHECKED builds). Every
+  // install is a full state replacement, so re-prove here that the DT
+  // kept its empty-circumcircle property, the APSP tables agree with
+  // the component structure, and the installed greedy/relay entries
+  // realize the DT — the facts the stretch≈1 guarantee rests on.
+  GRED_CHECK(check::validate_delaunay(dt_.triangulation()));
+  GRED_CHECK(check::validate_graph(net.description().switches(), apsp_,
+                                   /*weighted=*/false));
+  GRED_CHECK(check::validate_graph(net.description().switches(),
+                                   apsp_weighted_, /*weighted=*/true));
+  GRED_CHECK(check::validate_flow_tables(net, space_.participants(),
+                                         space_.positions(),
+                                         &dt_.triangulation()));
   return Status::Ok();
 }
 

@@ -1,5 +1,6 @@
 #include "core/snapshot.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -48,8 +49,12 @@ Result<Snapshot> parse_snapshot(const std::string& text) {
                  "parse_snapshot: missing participant count");
   }
   Snapshot s;
-  s.participants.reserve(count);
-  s.positions.reserve(count);
+  // Reserve from the declared count only up to a sane bound: a
+  // hostile header must not size an allocation (the loop below grows
+  // the vectors naturally and fails on truncated input anyway).
+  constexpr std::size_t kReserveCap = 4096;
+  s.participants.reserve(std::min(count, kReserveCap));
+  s.positions.reserve(std::min(count, kReserveCap));
   for (std::size_t i = 0; i < count; ++i) {
     std::size_t sw = 0;
     double x = 0.0, y = 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/invariants.hpp"
 #include "core/vivaldi.hpp"
 #include "linalg/mds.hpp"
 
@@ -206,6 +207,12 @@ topology::SwitchId VirtualSpace::nearest_participant(
 
 void VirtualSpace::rebuild_grid() {
   grid_ = geometry::SiteGrid(positions_, geometry::Rect{0.0, 0.0, 1.0, 1.0});
+  // Every packet's home-switch lookup goes through the grid, so each
+  // rebuild re-proves (in Debug / GRED_CHECKED builds) that it agrees
+  // with the brute-force nearest-site scan on sampled probes.
+  GRED_CHECK(check::validate_virtual_space(
+      positions_,
+      [this](const geometry::Point2D& p) { return grid_.nearest(p); }));
 }
 
 void VirtualSpace::add_participant(topology::SwitchId sw,

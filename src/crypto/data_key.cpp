@@ -34,7 +34,8 @@ std::uint64_t DataKey::mod(std::uint64_t s) const {
   // The digest is a 256-bit big-endian integer D. Reduce it mod s by
   // Horner's rule over the four 64-bit limbs using 128-bit arithmetic,
   // so the result is exactly D mod s (not just low-bits mod s).
-  unsigned __int128 acc = 0;
+  __extension__ typedef unsigned __int128 uint128;  // non-ISO, GCC/Clang
+  uint128 acc = 0;
   for (int limb = 0; limb < 4; ++limb) {
     acc = ((acc << 64) | be64(digest_.data() + 8 * limb)) % s;
   }

@@ -116,7 +116,12 @@ Status DelaunayTriangulation::insert_into_faces(
         // line; the edge stays on the hull, handled by ghost edges.
         continue;
       }
-      if (signed_area2(pts[t.a], pts[t.b], pts[t.c]) < 0.0) {
+      // Orient with the quad-precision predicate: for sliver triangles
+      // (near-collinear sites) the naive double signed_area2 returns
+      // sign noise, and one mis-oriented face corrupts every later
+      // cavity walk (found by fuzz/fuzz_delaunay.cpp).
+      if (orient2d(pts[t.a], pts[t.b], pts[t.c]) ==
+          Orientation::kClockwise) {
         std::swap(t.b, t.c);  // make counter-clockwise
       }
       faces.push_back(t);
@@ -195,7 +200,8 @@ Result<DelaunayTriangulation> DelaunayTriangulation::build(
   dt.faces_.clear();
   {
     Face seed{order[0], order[1], order[2]};
-    if (signed_area2(pts[seed.a], pts[seed.b], pts[seed.c]) < 0.0) {
+    if (orient2d(pts[seed.a], pts[seed.b], pts[seed.c]) ==
+        Orientation::kClockwise) {
       std::swap(seed.b, seed.c);
     }
     // For a CCW triangle the interior is on the left of each directed
@@ -327,7 +333,7 @@ bool DelaunayTriangulation::is_valid_delaunay() const {
     const Point2D& a = points_[t.v[0]];
     const Point2D& b = points_[t.v[1]];
     const Point2D& c = points_[t.v[2]];
-    if (signed_area2(a, b, c) <= 0.0) return false;
+    if (orient2d(a, b, c) != Orientation::kCounterClockwise) return false;
     for (std::size_t i = 0; i < points_.size(); ++i) {
       if (t.has_vertex(i)) continue;
       if (in_circumcircle(a, b, c, points_[i])) return false;

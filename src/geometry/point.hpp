@@ -32,8 +32,18 @@ struct Point2D {
 
   constexpr bool operator==(const Point2D& o) const = default;
 
+  // Built by appends: the `"(" + std::to_string(...)` spelling trips
+  // GCC 12's -Wrestrict false positive (PR105329) under -O2, which
+  // the -Werror CI leg would turn fatal.
   std::string to_string() const {
-    return "(" + std::to_string(x) + ", " + std::to_string(y) + ")";
+    std::string out;
+    out.reserve(48);
+    out += '(';
+    out += std::to_string(x);
+    out += ", ";
+    out += std::to_string(y);
+    out += ')';
+    return out;
   }
 };
 

@@ -1,0 +1,182 @@
+#include "sden/packet_codec.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace gred::sden {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'G', 'R', 'D', 'P'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 8 + 8 + 8 + 8;
+/// Individual variable-length fields may not exceed this, independent
+/// of the buffer length (a 4 GiB length prefix on a short buffer must
+/// fail before any allocation is sized from it).
+constexpr std::size_t kMaxFieldLen = 1u << 28;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_double(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// Sequential big-endian reader over a fixed buffer; `ok` latches
+/// false on the first short read so callers can check once.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t len;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool take(std::size_t n) {
+    if (!ok || len - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return data[pos++];
+  }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data[pos++];
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data[pos++];
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string bytes(std::size_t n) {
+    if (!take(n)) return {};
+    std::string out(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return out;
+  }
+};
+
+}  // namespace
+
+std::size_t encoded_packet_size(const Packet& pkt) {
+  return kHeaderSize + 4 + pkt.data_id.size() + 4 + pkt.payload.size();
+}
+
+std::vector<std::uint8_t> encode_packet(const Packet& pkt) {
+  std::vector<std::uint8_t> out;
+  out.reserve(encoded_packet_size(pkt));
+  // push_back instead of range-insert: GCC 12 -O2 raises a spurious
+  // -Wstringop-overflow on inserting a fixed array into a vector it
+  // proved empty.
+  for (std::uint8_t m : kMagic) out.push_back(m);
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(pkt.type));
+  put_u64(out, static_cast<std::uint64_t>(pkt.vlink_dest));
+  put_u64(out, static_cast<std::uint64_t>(pkt.vlink_sour));
+  put_double(out, pkt.target.x);
+  put_double(out, pkt.target.y);
+  put_u32(out, static_cast<std::uint32_t>(pkt.data_id.size()));
+  out.insert(out.end(), pkt.data_id.begin(), pkt.data_id.end());
+  put_u32(out, static_cast<std::uint32_t>(pkt.payload.size()));
+  out.insert(out.end(), pkt.payload.begin(), pkt.payload.end());
+  return out;
+}
+
+Status validate_packet(const Packet& pkt) {
+  switch (pkt.type) {
+    case PacketType::kPlacement:
+    case PacketType::kRetrieval:
+    case PacketType::kRemoval:
+      break;
+    default:
+      return Status(ErrorCode::kInvalidArgument,
+                    "packet: unknown type tag");
+  }
+  if (!std::isfinite(pkt.target.x) || !std::isfinite(pkt.target.y)) {
+    // A NaN target poisons every distance comparison in the greedy
+    // pipeline (closer_to returns false both ways), so the packet
+    // would wander; reject it at the boundary.
+    return Status(ErrorCode::kInvalidArgument,
+                  "packet: target coordinates must be finite");
+  }
+  if (pkt.vlink_dest == kNoSwitch && pkt.vlink_sour != kNoSwitch) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "packet: vlink_sour set while not on a virtual link");
+  }
+  return Status::Ok();
+}
+
+Result<Packet> decode_packet(const std::uint8_t* data, std::size_t len) {
+  Reader r{data, len};
+  std::uint8_t magic[4];
+  for (std::uint8_t& m : magic) m = r.u8();
+  if (!r.ok || std::memcmp(magic, kMagic, 4) != 0) {
+    return Error(ErrorCode::kInvalidArgument, "packet: bad magic");
+  }
+  const std::uint8_t version = r.u8();
+  if (!r.ok || version != kVersion) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "packet: unsupported version " + std::to_string(version));
+  }
+  Packet pkt;
+  const std::uint8_t type = r.u8();
+  pkt.type = static_cast<PacketType>(type);
+  pkt.vlink_dest = static_cast<SwitchId>(r.u64());
+  pkt.vlink_sour = static_cast<SwitchId>(r.u64());
+  pkt.target.x = r.f64();
+  pkt.target.y = r.f64();
+
+  const std::uint32_t id_len = r.u32();
+  if (!r.ok || id_len > kMaxFieldLen || !r.take(id_len)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "packet: data_id length exceeds buffer");
+  }
+  pkt.data_id = r.bytes(id_len);
+  const std::uint32_t payload_len = r.u32();
+  if (!r.ok || payload_len > kMaxFieldLen || !r.take(payload_len)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "packet: payload length exceeds buffer");
+  }
+  pkt.payload = r.bytes(payload_len);
+
+  if (!r.ok) {
+    return Error(ErrorCode::kInvalidArgument, "packet: truncated header");
+  }
+  if (r.pos != len) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "packet: " + std::to_string(len - r.pos) +
+                     " trailing bytes after payload");
+  }
+  const Status well_formed = validate_packet(pkt);
+  if (!well_formed.ok()) return well_formed.error();
+  return pkt;
+}
+
+Result<Packet> decode_packet(const std::vector<std::uint8_t>& bytes) {
+  return decode_packet(bytes.data(), bytes.size());
+}
+
+}  // namespace gred::sden

@@ -1,0 +1,56 @@
+// Binary wire codec for GRED packets — the byte layout a real P4
+// deployment would parse on ingress (the simulator passes Packet
+// structs around in memory; the controller's northbound API and the
+// fuzz harnesses need the serialized form).
+//
+// Layout v1, all integers big-endian:
+//
+//   offset  size  field
+//        0     4  magic "GRDP"
+//        4     1  version (= 1)
+//        5     1  packet type (0 placement, 1 retrieval, 2 removal)
+//        6     8  vlink_dest  (kNoSwitch when in greedy mode)
+//       14     8  vlink_sour  (kNoSwitch when in greedy mode)
+//       22     8  target.x    (IEEE-754 bit pattern)
+//       30     8  target.y    (IEEE-754 bit pattern)
+//       38     4  data_id length N
+//       42     N  data_id bytes
+//     42+N     4  payload length M
+//     46+N     M  payload bytes
+//
+// decode_packet is total: any byte string either yields a well-formed
+// Packet (finite target coordinates, valid type, consistent vlink
+// pair, no trailing garbage) or a typed Error — never a crash, never
+// a silently-truncated field. encode(decode(b)) == b and
+// decode(encode(p)) == p for all well-formed inputs; the fuzz harness
+// fuzz/fuzz_packet_codec.cpp hammers exactly that contract.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sden/packet.hpp"
+
+namespace gred::sden {
+
+/// Serialized size of `pkt` in bytes.
+std::size_t encoded_packet_size(const Packet& pkt);
+
+/// Serializes `pkt` into the v1 wire layout.
+std::vector<std::uint8_t> encode_packet(const Packet& pkt);
+
+/// Parses a v1 wire packet. Fails with kInvalidArgument on any
+/// malformed input: short buffer, bad magic/version/type, non-finite
+/// target coordinates, field lengths exceeding the buffer,
+/// inconsistent virtual-link fields, or trailing bytes.
+Result<Packet> decode_packet(const std::uint8_t* data, std::size_t len);
+Result<Packet> decode_packet(const std::vector<std::uint8_t>& bytes);
+
+/// Structural well-formedness of an in-memory packet (the decoder's
+/// postcondition, usable as a standalone check): valid type tag,
+/// finite target, and vlink_sour set only while a virtual link is
+/// being traversed.
+Status validate_packet(const Packet& pkt);
+
+}  // namespace gred::sden

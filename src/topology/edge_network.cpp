@@ -17,7 +17,11 @@ Result<ServerId> EdgeNetwork::attach_server(SwitchId sw,
   s.attached_to = sw;
   s.local_index = by_switch_[sw].size();
   s.capacity = capacity;
-  s.name = "h" + std::to_string(s.id);
+  // Append-based construction dodges the GCC 12 -Wrestrict false
+  // positive on `const char* + std::string&&` (PR105329), which fires
+  // under -O2 in some inlining configurations.
+  s.name = "h";
+  s.name += std::to_string(s.id);
   by_switch_[sw].push_back(s.id);
   servers_.push_back(std::move(s));
   return servers_.back().id;

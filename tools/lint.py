@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Custom lint gate for the GRED sources (registered as ctest `lint.custom`).
+
+Project-specific rules that clang-tidy does not cover:
+
+  rand          naked rand()/srand() — all randomness must flow through
+                gred::Rng so experiments stay reproducible.
+  cout          std::cout/std::cerr/printf in library code (src/): the
+                library reports through gred::log or typed errors;
+                stdout belongs to the example/bench binaries.
+                (src/common/log.cpp and src/check — the reporting
+                layers themselves — are exempt.)
+  pragma-once   every header must open with #pragma once.
+  catch-value   `catch (SomeType e)` slices; catch by (const) reference.
+
+Usage: lint.py <repo-root> [--list-rules]
+Exit status 0 when clean, 1 with findings (one `path:line: [rule]` per
+line), 2 on usage errors.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+RE_RAND = re.compile(r"(?<![\w:.])s?rand\s*\(")
+RE_COUT = re.compile(r"(?<![\w:])std::c(out|err)\b|(?<![\w:.>])printf\s*\(")
+RE_CATCH_VALUE = re.compile(r"catch\s*\(\s*(?:const\s+)?(?!\.\.\.)[\w:<>]+\s+\w+\s*\)")
+RE_LINE_COMMENT = re.compile(r"//.*$")
+RE_STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+# Library code that is allowed to write to stdio: the logging layer and
+# the invariant reporters (their whole job is to print), and the
+# benchmark harness's table printer.
+COUT_EXEMPT = ("src/common/log", "src/check/", "src/common/table")
+
+
+def strip_noise(line: str) -> str:
+    """Removes string literals and // comments so rules match code only."""
+    line = RE_STRING.sub('""', line)
+    return RE_LINE_COMMENT.sub("", line)
+
+
+def lint_file(path: Path, rel: str, findings: list) -> None:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (UnicodeDecodeError, OSError) as exc:
+        findings.append((rel, 1, "io", f"unreadable source file: {exc}"))
+        return
+
+    lines = text.splitlines()
+    in_block_comment = False
+
+    is_header = rel.endswith((".hpp", ".h"))
+    if is_header and "#pragma once" not in text:
+        findings.append((rel, 1, "pragma-once", "header lacks #pragma once"))
+
+    lib_code = rel.startswith("src/") and not rel.startswith(COUT_EXEMPT)
+
+    for ln, raw in enumerate(lines, start=1):
+        line = raw
+        # Cheap block-comment tracking (no nesting, like C++).
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2:]
+            in_block_comment = False
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2:]
+
+        code = strip_noise(line)
+        if not code.strip():
+            continue
+
+        if RE_RAND.search(code):
+            findings.append((rel, ln, "rand",
+                             "naked rand()/srand(); use gred::Rng"))
+        if lib_code and RE_COUT.search(code):
+            findings.append((rel, ln, "cout",
+                             "stdio in library code; use gred::log or "
+                             "return a typed error"))
+        if RE_CATCH_VALUE.search(code):
+            findings.append((rel, ln, "catch-value",
+                             "catch by value slices; catch by "
+                             "(const) reference"))
+
+
+def main(argv):
+    if "--list-rules" in argv:
+        print("rand cout pragma-once catch-value")
+        return 0
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    root = Path(argv[1])
+    if not root.is_dir():
+        print(f"lint.py: not a directory: {root}", file=sys.stderr)
+        return 2
+
+    findings = []
+    scanned = 0
+    for sub in ("src", "fuzz", "tests", "bench", "examples"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".cpp", ".hpp", ".h", ".cc"):
+                continue
+            scanned += 1
+            lint_file(path, path.relative_to(root).as_posix(), findings)
+
+    for rel, ln, rule, msg in findings:
+        print(f"{rel}:{ln}: [{rule}] {msg}")
+    summary = f"lint: {scanned} files scanned, {len(findings)} finding(s)"
+    print(summary, file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
