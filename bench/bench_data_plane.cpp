@@ -1,0 +1,355 @@
+// Data-plane throughput bench: the compiled fast path
+// (SdenNetwork::route with reused scratch — indexed flow tables,
+// compiled route plan, allocation-free steady state) against a
+// pre-fast-path reference that routes every packet the way the seed
+// data plane did: sequential closer_to scans over the AoS neighbor
+// entries, linear relay/rewrite matching, a fresh SHA-256 of the data
+// id at every delivery, and a freshly allocated RouteResult per packet.
+//
+// Reports packets/sec, ns/hop, p50/p99 route latency, and steady-state
+// allocations per packet on 64/256/1024-switch Waxman topologies, plus
+// the thread-pool parallel replay throughput, and emits
+// BENCH_data_plane.json:
+//
+//   n<S>_reference_pkts_per_sec   seed-style walk (fresh result, SHA-256)
+//   n<S>_fast_pkts_per_sec        compiled fast path, reused scratch
+//   n<S>_fast_pkts_per_sec_parallel  sharded over GRED_THREADS
+//   n<S>_speedup                  fast / reference (same run, same machine)
+//   n<S>_ns_per_hop               fast-path time per physical hop
+//   n<S>_route_p50_ns / _p99_ns   per-packet fast-path route latency
+//   n<S>_allocs_per_packet        heap allocations per steady-state route
+//
+// Every fast-path result is first checked bit-identical against the
+// live-pipeline walk (reference_route) before any number is reported,
+// and the steady state is asserted allocation-free.
+//
+// `--smoke` shrinks sizes/rounds for CI.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/thread_pool.hpp"
+#include "crypto/data_key.hpp"
+#include "geometry/point.hpp"
+#include "sden/network.hpp"
+#include "sden/reference_router.hpp"
+
+using namespace gred;
+
+// Global allocation counter: the zero-steady-state-alloc assertion and
+// the allocs-per-packet metric both read it.
+static std::size_t g_allocs = 0;
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "bench_data_plane: check failed: %s\n", what);
+    std::abort();
+  }
+}
+
+/// The seed data plane, reproduced exactly: Switch::process's logic
+/// with the seed's data structures and costs — sequential closer_to
+/// over the AoS neighbor vector, first-match linear scans of the relay
+/// and rewrite vectors, SHA-256 of the data id at delivery, and
+/// has_edge + edge_weight lookups per hop.
+sden::RouteResult seed_route(sden::SdenNetwork& net, sden::Packet pkt,
+                             sden::SwitchId ingress) {
+  sden::RouteResult result;
+  const topology::EdgeNetwork& desc = net.description();
+  const sden::SdenNetwork& cnet = net;
+  sden::SwitchId cur = ingress;
+  result.switch_path.push_back(cur);
+
+  const std::size_t max_hops = 4 * net.switch_count() + 16;
+  for (std::size_t step = 0; step < max_hops; ++step) {
+    const sden::Switch& sw = cnet.switch_at(cur);
+    const sden::FlowTable& table = sw.table();
+
+    // Stage 1: relay (first-match linear scan, like the seed's
+    // match_relay returning optional<RelayEntry>).
+    if (pkt.on_virtual_link()) {
+      if (pkt.vlink_dest == cur) {
+        pkt.clear_virtual_link();
+      } else {
+        const sden::RelayEntry* relay = nullptr;
+        for (const sden::RelayEntry& r : table.relays()) {
+          if (r.dest == pkt.vlink_dest) {
+            relay = &r;
+            break;
+          }
+        }
+        require(relay != nullptr, "seed reference: missing relay");
+        result.path_cost +=
+            desc.switches().edge_weight(cur, relay->succ).value_or(1.0);
+        cur = relay->succ;
+        result.switch_path.push_back(cur);
+        continue;
+      }
+    }
+
+    // Stage 2: greedy candidate scan with closer_to calls (Algorithm 2
+    // exactly as the seed's greedy_forward).
+    const sden::NeighborEntry* best = nullptr;
+    for (const sden::NeighborEntry& cand : table.neighbors()) {
+      if (best == nullptr ||
+          geometry::closer_to(pkt.target, cand.position, best->position)) {
+        best = &cand;
+      }
+    }
+    if (best != nullptr &&
+        geometry::closer_to(pkt.target, best->position, sw.position())) {
+      sden::SwitchId next;
+      if (best->physical) {
+        next = best->neighbor;
+      } else {
+        pkt.vlink_dest = best->neighbor;
+        pkt.vlink_sour = cur;
+        next = best->first_hop;
+      }
+      require(desc.switches().has_edge(cur, next),
+              "seed reference: missing link");
+      result.path_cost += desc.switches().edge_weight(cur, next).value_or(1.0);
+      cur = next;
+      result.switch_path.push_back(cur);
+      continue;
+    }
+
+    // Delivery: the seed hashed the id afresh (SHA-256 + position
+    // derivation) and linearly matched the rewrite table.
+    const std::vector<sden::ServerId>& servers = sw.local_servers();
+    require(!servers.empty(), "seed reference: no attached servers");
+    const crypto::DataKey key(pkt.data_id);
+    const std::size_t idx = static_cast<std::size_t>(key.mod(servers.size()));
+    const sden::ServerId chosen = servers[idx];
+    const sden::RewriteEntry* rewrite = nullptr;
+    for (const sden::RewriteEntry& r : table.rewrites()) {
+      if (r.original == chosen) {
+        rewrite = &r;
+        break;
+      }
+    }
+    require(rewrite == nullptr, "seed reference: rewrite on bench topology");
+    result.delivered_to.push_back(chosen);
+    sden::ServerNode& node = net.server(chosen);
+    if (const std::string* payload = node.find(pkt.data_id)) {
+      result.found = true;
+      result.responder = chosen;
+      result.payload = *payload;
+      node.note_retrieval();
+    }
+    return result;
+  }
+  require(false, "seed reference: hop bound exceeded");
+  return result;
+}
+
+struct SizeReport {
+  double n = 0;
+  double reference_pps = 0;
+  double fast_pps = 0;
+  double fast_pps_parallel = 0;
+  double speedup = 0;
+  double ns_per_hop = 0;
+  double hops_per_packet = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+  double allocs_per_packet = 0;
+};
+
+SizeReport run_size(std::size_t n, bool smoke) {
+  SizeReport rep;
+  rep.n = static_cast<double>(n);
+
+  const topology::EdgeNetwork net =
+      bench::make_waxman_network(n, 4, 3, 7100 + n);
+  auto sys = core::GredSystem::create(net, bench::gred_options(30));
+  require(sys.ok(), "GredSystem::create");
+  sden::SdenNetwork& network = sys.value().network();
+
+  const std::size_t items = smoke ? 400 : 2000;
+  Rng rng(99);
+  std::vector<sden::Packet> pkts;
+  std::vector<sden::SwitchId> ingresses;
+  pkts.reserve(items);
+  ingresses.reserve(items);
+  for (std::size_t i = 0; i < items; ++i) {
+    const std::string id = "dp-" + std::to_string(i);
+    require(sys.value().place(id, "payload-" + id, rng.next_below(n)).ok(),
+            "place");
+    sden::Packet p;
+    p.type = sden::PacketType::kRetrieval;
+    p.data_id = id;
+    const crypto::DataKey key(id);
+    p.target = {key.position().x, key.position().y};
+    p.set_key(key);
+    pkts.push_back(p);
+    ingresses.push_back(rng.next_below(n));
+  }
+
+  // --- Differential: fast path vs live pipeline vs seed walk, full
+  // RouteResult equality on every packet. ---
+  sden::RouteResult scratch;
+  sden::Packet pkt_scratch;
+  std::size_t warm_hops = 0;
+  for (std::size_t i = 0; i < items; ++i) {
+    pkt_scratch = pkts[i];
+    network.route(pkt_scratch, ingresses[i], scratch);
+    require(scratch.status.ok() && scratch.found, "fast route");
+    warm_hops += scratch.hop_count();
+    const sden::RouteResult live =
+        sden::reference_route(network, pkts[i], ingresses[i]);
+    const sden::RouteResult seed = seed_route(network, pkts[i], ingresses[i]);
+    for (const sden::RouteResult* ref : {&live, &seed}) {
+      require(scratch.switch_path == ref->switch_path &&
+                  scratch.path_cost == ref->path_cost &&
+                  scratch.delivered_to == ref->delivered_to &&
+                  scratch.found == ref->found &&
+                  scratch.responder == ref->responder &&
+                  scratch.payload == ref->payload && ref->status.ok(),
+              "fast path diverged from reference");
+    }
+  }
+
+  const std::size_t fast_rounds = smoke ? 5 : (n >= 1024 ? 20 : 100);
+  const std::size_t ref_rounds = smoke ? 2 : (n >= 1024 ? 5 : 20);
+
+  // --- Zero-steady-state-alloc assertion + fast throughput. ---
+  const std::size_t a0 = g_allocs;
+  double t0 = now_s();
+  std::size_t total = 0;
+  std::size_t total_hops = 0;
+  for (std::size_t rd = 0; rd < fast_rounds; ++rd) {
+    for (std::size_t i = 0; i < items; ++i) {
+      pkt_scratch = pkts[i];
+      network.route(pkt_scratch, ingresses[i], scratch);
+      total_hops += scratch.hop_count();
+      ++total;
+    }
+  }
+  double elapsed = now_s() - t0;
+  rep.fast_pps = static_cast<double>(total) / elapsed;
+  rep.ns_per_hop = elapsed * 1e9 / static_cast<double>(total_hops);
+  rep.hops_per_packet =
+      static_cast<double>(total_hops) / static_cast<double>(total);
+  rep.allocs_per_packet =
+      static_cast<double>(g_allocs - a0) / static_cast<double>(total);
+  require(g_allocs == a0,
+          "steady-state fast path performed a heap allocation");
+
+  // --- Per-packet latency percentiles (timed individually). ---
+  {
+    std::vector<double> samples;
+    samples.reserve(items);
+    for (std::size_t i = 0; i < items; ++i) {
+      pkt_scratch = pkts[i];
+      const auto s0 = std::chrono::steady_clock::now();
+      network.route(pkt_scratch, ingresses[i], scratch);
+      const auto s1 = std::chrono::steady_clock::now();
+      samples.push_back(
+          std::chrono::duration<double, std::nano>(s1 - s0).count());
+    }
+    std::sort(samples.begin(), samples.end());
+    rep.p50_ns = samples[samples.size() / 2];
+    rep.p99_ns = samples[(samples.size() * 99) / 100];
+  }
+
+  // --- Parallel replay: shard the same packets across the pool with
+  // per-shard scratch (retrievals route concurrently). ---
+  {
+    ThreadPool& pool = global_pool();
+    t0 = now_s();
+    std::size_t par_total = 0;
+    for (std::size_t rd = 0; rd < fast_rounds; ++rd) {
+      pool.parallel_for(0, items, 64, [&](std::size_t lo, std::size_t hi) {
+        sden::RouteResult local;
+        sden::Packet local_pkt;
+        for (std::size_t i = lo; i < hi; ++i) {
+          local_pkt = pkts[i];
+          network.route(local_pkt, ingresses[i], local);
+        }
+      });
+      par_total += items;
+    }
+    elapsed = now_s() - t0;
+    rep.fast_pps_parallel = static_cast<double>(par_total) / elapsed;
+  }
+
+  // --- Seed-style reference throughput (fresh result per packet). ---
+  t0 = now_s();
+  std::size_t ref_total = 0;
+  for (std::size_t rd = 0; rd < ref_rounds; ++rd) {
+    for (std::size_t i = 0; i < items; ++i) {
+      const sden::RouteResult r = seed_route(network, pkts[i], ingresses[i]);
+      require(r.found, "seed reference route");
+      ++ref_total;
+    }
+  }
+  elapsed = now_s() - t0;
+  rep.reference_pps = static_cast<double>(ref_total) / elapsed;
+  rep.speedup = rep.fast_pps / rep.reference_pps;
+
+  std::printf(
+      "n=%4zu: fast %9.0f pkts/s (%5.1f ns/hop, %.2f hops/pkt, p50 %5.0f ns, "
+      "p99 %6.0f ns, allocs/pkt %.2f)\n        parallel %9.0f pkts/s | "
+      "reference %8.0f pkts/s | speedup %.2fx\n",
+      n, rep.fast_pps, rep.ns_per_hop, rep.hops_per_packet, rep.p50_ns,
+      rep.p99_ns, rep.allocs_per_packet, rep.fast_pps_parallel,
+      rep.reference_pps, rep.speedup);
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
+  bench::print_header(
+      "Data plane", "compiled fast path vs seed-style reference walk",
+      "bit-identical results; fast path allocation-free in steady state");
+  std::printf("pool threads: %zu (GRED_THREADS or hardware)%s\n\n",
+              global_pool().thread_count(), smoke ? "  [smoke]" : "");
+
+  std::vector<std::size_t> sizes = {64, 256, 1024};
+  if (smoke) sizes = {64, 256};
+
+  std::vector<std::pair<std::string, double>> fields;
+  for (std::size_t n : sizes) {
+    const SizeReport rep = run_size(n, smoke);
+    const std::string p = "n" + std::to_string(n) + "_";
+    fields.emplace_back(p + "reference_pkts_per_sec", rep.reference_pps);
+    fields.emplace_back(p + "fast_pkts_per_sec", rep.fast_pps);
+    fields.emplace_back(p + "fast_pkts_per_sec_parallel",
+                        rep.fast_pps_parallel);
+    fields.emplace_back(p + "speedup", rep.speedup);
+    fields.emplace_back(p + "ns_per_hop", rep.ns_per_hop);
+    fields.emplace_back(p + "hops_per_packet", rep.hops_per_packet);
+    fields.emplace_back(p + "route_p50_ns", rep.p50_ns);
+    fields.emplace_back(p + "route_p99_ns", rep.p99_ns);
+    fields.emplace_back(p + "allocs_per_packet", rep.allocs_per_packet);
+  }
+  bench::write_json("BENCH_data_plane.json", fields);
+  std::printf("\nwrote BENCH_data_plane.json\n");
+  return 0;
+}

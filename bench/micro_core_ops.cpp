@@ -98,6 +98,81 @@ void BM_GredPlacementWalk(benchmark::State& state) {
 }
 BENCHMARK(BM_GredPlacementWalk);
 
+void BM_FlowTableRelayLookup(benchmark::State& state) {
+  // A relay table the size GRED installs on busy transit switches; the
+  // indexed find_relay is a single flat-map probe regardless of size.
+  sden::FlowTable table;
+  const std::size_t entries = 64;
+  for (std::size_t i = 0; i < entries; ++i) {
+    table.add_relay({i, i + 1, i + 2, 1000 + i});
+  }
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.find_relay(1000 + rng.next_below(entries)));
+  }
+}
+BENCHMARK(BM_FlowTableRelayLookup);
+
+void BM_FlowTableGreedyStep(benchmark::State& state) {
+  // One greedy forwarding decision: best_candidate over the SoA
+  // position columns for a typical DT degree.
+  const auto degree = static_cast<std::size_t>(state.range(0));
+  sden::FlowTable table;
+  Rng rng(12);
+  for (std::size_t i = 0; i < degree; ++i) {
+    sden::NeighborEntry e;
+    e.neighbor = i;
+    e.first_hop = i;
+    e.physical = true;
+    e.position = {rng.next_double(), rng.next_double()};
+    table.add_neighbor(e);
+  }
+  for (auto _ : state) {
+    const geometry::Point2D target{rng.next_double(), rng.next_double()};
+    benchmark::DoNotOptimize(table.best_candidate(target));
+  }
+}
+BENCHMARK(BM_FlowTableGreedyStep)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_GredRetrievalFastPath(benchmark::State& state) {
+  // Full compiled-plan retrieval walk with reused scratch — the
+  // steady-state data-plane unit of work (allocation-free).
+  const std::size_t n = 100;
+  const topology::EdgeNetwork net =
+      bench::make_waxman_network(n, 4, 3, 940);
+  auto sys = core::GredSystem::create(net, bench::gred_options(50));
+  if (!sys.ok()) state.SkipWithError("system creation failed");
+  auto& network = sys.value().network();
+  Rng rng(7);
+  std::vector<sden::Packet> pkts;
+  std::vector<sden::SwitchId> ingresses;
+  for (std::size_t i = 0; i < 512; ++i) {
+    const std::string id = "micro-" + std::to_string(i);
+    if (!sys.value().place(id, "payload", rng.next_below(n)).ok()) {
+      state.SkipWithError("placement failed");
+      break;
+    }
+    sden::Packet p;
+    p.type = sden::PacketType::kRetrieval;
+    p.data_id = id;
+    const crypto::DataKey key(id);
+    p.target = {key.position().x, key.position().y};
+    p.set_key(key);
+    pkts.push_back(p);
+    ingresses.push_back(rng.next_below(n));
+  }
+  sden::RouteResult scratch;
+  sden::Packet pkt;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t j = i++ & 511;
+    pkt = pkts[j];
+    network.route(pkt, ingresses[j], scratch);
+    benchmark::DoNotOptimize(scratch.found);
+  }
+}
+BENCHMARK(BM_GredRetrievalFastPath);
+
 void BM_ChordLookup(benchmark::State& state) {
   const topology::EdgeNetwork net =
       bench::make_waxman_network(100, 10, 3, 930);

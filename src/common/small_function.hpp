@@ -1,0 +1,118 @@
+// Move-only callable wrapper with small-buffer optimization, built for
+// the event queue's hot path: scheduling a simulation handler must not
+// heap-allocate. std::function is copyable (so it cannot hold move-only
+// captures) and its libstdc++ small-object buffer is 16 bytes — too
+// small for the delay experiment's lambdas, forcing one allocation per
+// scheduled event. SmallFunction stores captures up to kInlineBytes in
+// place and only falls back to the heap beyond that.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gred {
+
+template <typename Signature>
+class SmallFunction;
+
+template <typename R, typename... Args>
+class SmallFunction<R(Args...)> {
+ public:
+  /// Covers every handler the simulator schedules (a few captured
+  /// doubles, ids, and references) without heap fallback.
+  static constexpr std::size_t kInlineBytes = 56;
+
+  SmallFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* s, Args... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(s)))(
+            std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* s, void* other) {
+        Fn* self = std::launder(reinterpret_cast<Fn*>(s));
+        if (op == Op::kDestroy) {
+          self->~Fn();
+        } else {  // move-construct *other from *self
+          ::new (other) Fn(std::move(*self));
+          self->~Fn();
+        }
+      };
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = [](void* s, Args... args) -> R {
+        return (**std::launder(reinterpret_cast<Fn**>(s)))(
+            std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* s, void* other) {
+        Fn** self = std::launder(reinterpret_cast<Fn**>(s));
+        if (op == Op::kDestroy) {
+          delete *self;
+        } else {
+          ::new (other) Fn*(*self);
+        }
+      };
+    }
+  }
+
+  SmallFunction(SmallFunction&& o) noexcept { move_from(std::move(o)); }
+
+  SmallFunction& operator=(SmallFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(std::move(o));
+    }
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  enum class Op { kDestroy, kMove };
+
+  void reset() {
+    if (invoke_ != nullptr) {
+      manage_(Op::kDestroy, storage_, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  void move_from(SmallFunction&& o) noexcept {
+    if (o.invoke_ != nullptr) {
+      o.manage_(Op::kMove, o.storage_, storage_);
+      invoke_ = o.invoke_;
+      manage_ = o.manage_;
+      o.invoke_ = nullptr;
+      o.manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes]{};
+  R (*invoke_)(void*, Args...) = nullptr;
+  void (*manage_)(Op, void*, void*) = nullptr;
+};
+
+}  // namespace gred

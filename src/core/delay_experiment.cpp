@@ -1,11 +1,31 @@
 #include "core/delay_experiment.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_map>
 
+#include "common/thread_pool.hpp"
 #include "sden/event_queue.hpp"
 
 namespace gred::core {
+namespace {
+
+/// Requests per shard for both generation and routing. Fixed, so the
+/// shard layout — and each shard's RNG stream — depends only on the
+/// request count, never on the thread count.
+constexpr std::size_t kShardSize = 64;
+
+/// Phase-1 result slot of one request.
+struct RoutedRequest {
+  enum class Outcome : std::uint8_t { kOk, kNotFound, kError };
+  Outcome outcome = Outcome::kError;
+  double req_ms = 0.0;
+  double resp_ms = 0.0;
+  topology::ServerId responder = topology::kNoServer;
+  Error error;
+};
+
+}  // namespace
 
 Result<DelayExperimentResult> RetrievalDelayExperiment::run(
     const std::vector<RetrievalRequest>& requests) {
@@ -15,42 +35,72 @@ Result<DelayExperimentResult> RetrievalDelayExperiment::run(
   const auto& apsp_hops = system_->controller().apsp();
   const auto& apsp_lat = system_->controller().apsp_latency();
 
+  // --- Phase 1: route every request (parallel, per-slot results). ---
+  // Retrievals are independent and mutate nothing but a relaxed server
+  // counter, so shards of the request list fan out across the pool.
+  std::vector<RoutedRequest> routed(requests.size());
+  ThreadPool& pool = options_.pool != nullptr ? *options_.pool : global_pool();
+  pool.parallel_for(
+      0, requests.size(), kShardSize, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const RetrievalRequest& req = requests[i];
+          RoutedRequest& slot = routed[i];
+          auto report = system_->retrieve(req.data_id, req.ingress);
+          if (!report.ok()) {
+            slot.outcome = RoutedRequest::Outcome::kError;
+            slot.error = report.error();
+            continue;
+          }
+          if (!report.value().route.found) {
+            slot.outcome = RoutedRequest::Outcome::kNotFound;
+            continue;
+          }
+          // Request leg: cost of the walked route; response leg:
+          // weighted shortest path back from the responder's switch.
+          slot.responder = report.value().route.responder;
+          const topology::SwitchId responder_sw =
+              system_->network().server(slot.responder).info().attached_to;
+          if (options_.weights_are_latencies) {
+            slot.req_ms = report.value().selected_cost;
+            const double back = apsp_lat.dist(responder_sw, req.ingress);
+            slot.resp_ms = back == graph::kUnreachable ? 0.0 : back;
+          } else {
+            slot.req_ms = static_cast<double>(report.value().selected_hops) *
+                          options_.link_latency_ms;
+            const std::size_t back_hops =
+                apsp_hops.hop_count(responder_sw, req.ingress);
+            slot.resp_ms = back_hops == graph::kNoPath
+                               ? 0.0
+                               : static_cast<double>(back_hops) *
+                                     options_.link_latency_ms;
+          }
+          slot.outcome = RoutedRequest::Outcome::kOk;
+        }
+      });
+
+  // Errors surface in request order (the serial path reported the
+  // first failing request; the parallel one must agree).
+  for (const RoutedRequest& slot : routed) {
+    if (slot.outcome == RoutedRequest::Outcome::kError) return slot.error;
+  }
+
+  // --- Phase 2: serial event-queue replay in request order. ---
   sden::EventQueue queue;
+  queue.reserve(requests.size() + 1);
   std::unordered_map<topology::ServerId, double> server_free;
   std::vector<double> delays;
   delays.reserve(requests.size());
 
-  for (const RetrievalRequest& req : requests) {
-    auto report = system_->retrieve(req.data_id, req.ingress);
-    if (!report.ok()) return report.error();
-    if (!report.value().route.found) {
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const RoutedRequest& slot = routed[i];
+    if (slot.outcome == RoutedRequest::Outcome::kNotFound) {
       ++out.not_found;
       continue;
     }
-
-    // Request leg: cost of the walked route; response leg: weighted
-    // shortest path back from the responder's switch.
-    const topology::ServerId responder = report.value().route.responder;
-    const topology::SwitchId responder_sw =
-        system_->network().server(responder).info().attached_to;
-
-    double req_ms, resp_ms;
-    if (options_.weights_are_latencies) {
-      req_ms = report.value().selected_cost;
-      const double back = apsp_lat.dist(responder_sw, req.ingress);
-      resp_ms = back == graph::kUnreachable ? 0.0 : back;
-    } else {
-      req_ms = static_cast<double>(report.value().selected_hops) *
-               options_.link_latency_ms;
-      const std::size_t back_hops =
-          apsp_hops.hop_count(responder_sw, req.ingress);
-      resp_ms = back_hops == graph::kNoPath
-                    ? 0.0
-                    : static_cast<double>(back_hops) *
-                          options_.link_latency_ms;
-    }
-
-    const double inject = req.at_ms;
+    const double inject = requests[i].at_ms;
+    const double req_ms = slot.req_ms;
+    const double resp_ms = slot.resp_ms;
+    const topology::ServerId responder = slot.responder;
     queue.schedule_at(inject, [&, inject, req_ms, resp_ms, responder] {
       queue.schedule_after(req_ms, [&, inject, resp_ms, responder] {
         double& free_at = server_free[responder];
@@ -76,15 +126,27 @@ Result<DelayExperimentResult> RetrievalDelayExperiment::run_uniform(
     return Error(ErrorCode::kInvalidArgument,
                  "run_uniform: no data ids to retrieve");
   }
-  std::vector<RetrievalRequest> requests;
-  requests.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    RetrievalRequest req;
-    req.data_id = ids[rng.next_below(ids.size())];
-    req.ingress = rng.next_below(system_->network().switch_count());
-    req.at_ms = static_cast<double>(i) * spacing_ms;
-    requests.push_back(std::move(req));
-  }
+  // Per-shard RNG streams (the C-regulation idiom): one base seed from
+  // the caller's generator, shard s draws from Rng(base + s). The
+  // generated request set is a pure function of (seed, ids, count).
+  const std::uint64_t base_seed = rng.next_u64();
+  const std::size_t switch_count = system_->network().switch_count();
+  std::vector<RetrievalRequest> requests(count);
+  const std::size_t shards = (count + kShardSize - 1) / kShardSize;
+  ThreadPool& pool = options_.pool != nullptr ? *options_.pool : global_pool();
+  pool.parallel_for(0, shards, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      Rng shard_rng(base_seed + s);
+      const std::size_t begin = s * kShardSize;
+      const std::size_t end = std::min(count, begin + kShardSize);
+      for (std::size_t i = begin; i < end; ++i) {
+        RetrievalRequest& req = requests[i];
+        req.data_id = ids[shard_rng.next_below(ids.size())];
+        req.ingress = shard_rng.next_below(switch_count);
+        req.at_ms = static_cast<double>(i) * spacing_ms;
+      }
+    }
+  });
   return run(requests);
 }
 

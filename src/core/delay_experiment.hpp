@@ -4,6 +4,14 @@
 // queueing at servers. On latency-weighted topologies the propagation
 // term uses the actual link weights; on unit-weight topologies every
 // hop costs `link_latency_ms`.
+//
+// The replay is two-phase so it parallelizes without losing
+// determinism: phase 1 routes every request through the data plane —
+// requests are independent, so they shard across the thread pool into
+// fixed-size blocks with results written to per-request slots; phase 2
+// replays the precomputed (request leg, service, response leg) triples
+// through the event queue serially in request order. Aggregate
+// statistics are therefore bit-identical for every thread count.
 #pragma once
 
 #include <string>
@@ -13,6 +21,10 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "core/system.hpp"
+
+namespace gred {
+class ThreadPool;
+}  // namespace gred
 
 namespace gred::core {
 
@@ -24,6 +36,9 @@ struct DelayModelOptions {
   double service_time_ms = 0.20;
   /// Treat link weights as latencies (true for Waxman latency mode).
   bool weights_are_latencies = false;
+  /// Pool for the parallel routing phase; nullptr = the global pool
+  /// (GRED_THREADS). Results are thread-count invariant either way.
+  ThreadPool* pool = nullptr;
 };
 
 struct DelayExperimentResult {
@@ -50,7 +65,10 @@ class RetrievalDelayExperiment {
       const std::vector<RetrievalRequest>& requests);
 
   /// Convenience: `count` retrievals of random ids from `ids`, random
-  /// ingress switches, injected `spacing_ms` apart.
+  /// ingress switches, injected `spacing_ms` apart. Requests are drawn
+  /// in fixed-size blocks with per-block RNG streams seeded from
+  /// `rng`, so the request set depends only on the seed — never on the
+  /// thread count.
   Result<DelayExperimentResult> run_uniform(
       const std::vector<std::string>& ids, std::size_t count,
       double spacing_ms, Rng& rng);

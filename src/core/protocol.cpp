@@ -8,8 +8,12 @@ sden::Packet make_packet(sden::PacketType type, const std::string& data_id,
   sden::Packet pkt;
   pkt.type = type;
   pkt.data_id = data_id;
-  const crypto::SpacePoint pos = crypto::DataKey(data_id).position();
+  const crypto::DataKey key(data_id);
+  const crypto::SpacePoint pos = key.position();
   pkt.target = {pos.x, pos.y};
+  // Cache H(d) so the terminal switch's H(d) mod s server choice does
+  // not hash the identifier a second time.
+  pkt.set_key(key);
   pkt.payload = std::move(payload);
   return pkt;
 }
@@ -24,7 +28,7 @@ Result<OpReport> GredProtocol::run(sden::Packet packet,
   }
   OpReport report;
   report.ingress = ingress;
-  report.route = net_->inject(std::move(packet), ingress);
+  net_->route(packet, ingress, report.route);
   if (!report.route.status.ok()) {
     return report.route.status.error();
   }
@@ -97,12 +101,14 @@ Result<OpReport> GredProtocol::retrieve_nearest_replica(
     return Error(ErrorCode::kInvalidArgument,
                  "retrieve_nearest_replica: copies must be >= 1");
   }
-  if (!net_->switch_at(ingress).dt_participant()) {
+  // Const view: plain reads must not invalidate the compiled plan.
+  const sden::SdenNetwork& net = *net_;
+  if (!net.switch_at(ingress).dt_participant()) {
     return Error(ErrorCode::kFailedPrecondition,
                  "retrieve_nearest_replica: ingress is not a DT "
                  "participant (no virtual position)");
   }
-  const geometry::Point2D access = net_->switch_at(ingress).position();
+  const geometry::Point2D access = net.switch_at(ingress).position();
 
   // Section VI: distances in the virtual space identify the closest
   // copy, since network distance is embedded in the positions.
@@ -114,7 +120,7 @@ Result<OpReport> GredProtocol::retrieve_nearest_replica(
     const topology::SwitchId home =
         controller_->home_switch({pos.x, pos.y});
     const double d = geometry::distance(
-        access, net_->switch_at(home).position());
+        access, net.switch_at(home).position());
     if (c == 0 || d < best_dist) {
       best_copy = c;
       best_dist = d;

@@ -30,6 +30,10 @@ void DataKey::derive() {
 }
 
 std::uint64_t DataKey::mod(std::uint64_t s) const {
+  return digest_mod(digest_, s);
+}
+
+std::uint64_t digest_mod(const Digest& digest, std::uint64_t s) {
   if (s == 0) return 0;
   // The digest is a 256-bit big-endian integer D. Reduce it mod s by
   // Horner's rule over the four 64-bit limbs using 128-bit arithmetic,
@@ -37,7 +41,7 @@ std::uint64_t DataKey::mod(std::uint64_t s) const {
   __extension__ typedef unsigned __int128 uint128;  // non-ISO, GCC/Clang
   uint128 acc = 0;
   for (int limb = 0; limb < 4; ++limb) {
-    acc = ((acc << 64) | be64(digest_.data() + 8 * limb)) % s;
+    acc = ((acc << 64) | be64(digest.data() + 8 * limb)) % s;
   }
   return static_cast<std::uint64_t>(acc);
 }

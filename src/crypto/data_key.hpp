@@ -56,6 +56,11 @@ class DataKey {
   SpacePoint position_{};
 };
 
+/// H(d) mod s over a raw digest — identical to DataKey(digest).mod(s)
+/// but without deriving the virtual position, which the delivery fast
+/// path never needs.
+std::uint64_t digest_mod(const Digest& digest, std::uint64_t s);
+
 /// Identifier of the k-th replica: "<id>#<k>" per Section VI (ID and
 /// serial number concatenated, then hashed).
 std::string replica_identifier(std::string_view id, unsigned copy);

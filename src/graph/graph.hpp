@@ -35,6 +35,19 @@ class Graph {
 
   bool has_edge(NodeId u, NodeId v) const;
 
+  /// The adjacency record of edge (u, v), or nullptr when absent.
+  /// Existence check and weight read in a single scan — the data
+  /// plane's per-hop link validation uses this instead of the
+  /// has_edge + edge_weight double scan. The pointer is valid until
+  /// the next graph mutation.
+  const EdgeTo* find_edge(NodeId u, NodeId v) const {
+    if (u >= adj_.size()) return nullptr;
+    for (const EdgeTo& e : adj_[u]) {
+      if (e.to == v) return &e;
+    }
+    return nullptr;
+  }
+
   /// Removes edge (u, v); true when it existed.
   bool remove_edge(NodeId u, NodeId v);
 

@@ -5,21 +5,56 @@
 
 namespace gred::sden {
 
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
+
 void EventQueue::schedule_at(double t, Handler handler) {
-  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(handler)});
+  heap_.push_back(Event{std::max(t, now_), next_seq_++, std::move(handler)});
+  sift_up(heap_.size() - 1);
 }
 
 void EventQueue::schedule_after(double dt, Handler handler) {
   schedule_at(now_ + dt, std::move(handler));
 }
 
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = kArity * i + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
 bool EventQueue::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; the handler is moved out via a
-  // const_cast-free copy of the shared_ptr-like functor. Copy is cheap
-  // relative to simulation work and keeps the code simple.
-  Event ev = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  // Move the root event out, refill the hole from the back, restore
+  // the heap, THEN run the handler — it may schedule new events.
+  Event ev = std::move(heap_.front());
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
   now_ = ev.time;
   ++processed_;
   ev.handler();

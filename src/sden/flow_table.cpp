@@ -1,6 +1,7 @@
 #include "sden/flow_table.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 namespace gred::sden {
@@ -8,62 +9,98 @@ namespace gred::sden {
 void FlowTable::add_neighbor(const NeighborEntry& entry) {
   // Replace an existing entry for the same neighbor (controller
   // re-installations after topology/position updates).
-  for (NeighborEntry& e : neighbors_) {
-    if (e.neighbor == entry.neighbor) {
-      e = entry;
-      return;
-    }
+  if (const std::uint32_t* slot = neighbor_index_.find(entry.neighbor)) {
+    neighbors_[*slot] = entry;
+    cand_x_[*slot] = entry.position.x;
+    cand_y_[*slot] = entry.position.y;
+    return;
   }
+  neighbor_index_.insert_or_assign(
+      entry.neighbor, static_cast<std::uint32_t>(neighbors_.size()));
   neighbors_.push_back(entry);
+  cand_x_.push_back(entry.position.x);
+  cand_y_.push_back(entry.position.y);
 }
 
 void FlowTable::add_relay(const RelayEntry& entry) {
-  for (RelayEntry& e : relays_) {
-    if (e.dest == entry.dest && e.sour == entry.sour) {
-      e = entry;
-      return;
-    }
+  // Dedup on <sour, dest>; the first-installed entry for a dest stays
+  // the match winner (relay_by_dest_ is only written on first insert).
+  const Key2 pair{entry.sour, entry.dest};
+  if (const std::uint32_t* slot = relay_by_pair_.find(pair)) {
+    relays_[*slot] = entry;
+    return;
+  }
+  const auto slot = static_cast<std::uint32_t>(relays_.size());
+  relay_by_pair_.insert_or_assign(pair, slot);
+  if (relay_by_dest_.find(entry.dest) == nullptr) {
+    relay_by_dest_.insert_or_assign(entry.dest, slot);
   }
   relays_.push_back(entry);
 }
 
 void FlowTable::add_rewrite(const RewriteEntry& entry) {
-  for (RewriteEntry& e : rewrites_) {
-    if (e.original == entry.original) {
-      e = entry;
-      return;
-    }
+  if (const std::uint32_t* slot = rewrite_by_server_.find(entry.original)) {
+    rewrites_[*slot] = entry;
+    return;
   }
+  rewrite_by_server_.insert_or_assign(
+      entry.original, static_cast<std::uint32_t>(rewrites_.size()));
   rewrites_.push_back(entry);
 }
 
 void FlowTable::remove_rewrite(ServerId original) {
-  rewrites_.erase(
-      std::remove_if(rewrites_.begin(), rewrites_.end(),
-                     [original](const RewriteEntry& e) {
-                       return e.original == original;
-                     }),
-      rewrites_.end());
+  const std::uint32_t* slot = rewrite_by_server_.find(original);
+  if (slot == nullptr) return;
+  const std::size_t removed = *slot;
+  rewrites_.erase(rewrites_.begin() +
+                  static_cast<std::ptrdiff_t>(removed));
+  // Originals are unique, so exactly one entry left; reindex the tail.
+  rewrite_by_server_.erase(original);
+  for (std::size_t i = removed; i < rewrites_.size(); ++i) {
+    rewrite_by_server_.insert_or_assign(rewrites_[i].original,
+                                        static_cast<std::uint32_t>(i));
+  }
 }
 
-std::optional<RelayEntry> FlowTable::match_relay(SwitchId dest) const {
-  for (const RelayEntry& e : relays_) {
-    if (e.dest == dest) return e;
+std::size_t FlowTable::best_candidate(const geometry::Point2D& target) const {
+  const std::size_t n = neighbors_.size();
+  if (n == 0) return geometry::kNoSite;
+  // Pass 1: minimum squared distance over the SoA columns. min() over
+  // finite doubles is order-independent, so this reduction is exact.
+  double min_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = cand_x_[i] - target.x;
+    const double dy = cand_y_[i] - target.y;
+    const double d2 = dx * dx + dy * dy;
+    min_d2 = d2 < min_d2 ? d2 : min_d2;
   }
-  return std::nullopt;
-}
-
-std::optional<RewriteEntry> FlowTable::match_rewrite(ServerId original) const {
-  for (const RewriteEntry& e : rewrites_) {
-    if (e.original == original) return e;
+  // Pass 2: among the (almost always unique) minimizers, apply the
+  // paper's lexicographic tie-break so the result equals a sequential
+  // closer_to scan bit for bit.
+  std::size_t best = geometry::kNoSite;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = cand_x_[i] - target.x;
+    const double dy = cand_y_[i] - target.y;
+    if (dx * dx + dy * dy != min_d2) continue;
+    if (best == geometry::kNoSite ||
+        geometry::lex_less({cand_x_[i], cand_y_[i]},
+                           {cand_x_[best], cand_y_[best]})) {
+      best = i;
+    }
   }
-  return std::nullopt;
+  return best;
 }
 
 void FlowTable::clear() {
   neighbors_.clear();
+  cand_x_.clear();
+  cand_y_.clear();
   relays_.clear();
   rewrites_.clear();
+  neighbor_index_.clear();
+  relay_by_pair_.clear();
+  relay_by_dest_.clear();
+  rewrite_by_server_.clear();
 }
 
 std::string FlowTable::to_string() const {

@@ -15,13 +15,24 @@
 //
 // The size of this state — independent of flow count — is what
 // Fig. 9(d) measures; `entry_count()` reports it.
+//
+// Storage is entry-vector + index: the vectors keep insertion order
+// (the observable match semantics and the validators' view), while
+// flat hash indexes make every match O(1) — relays keyed by dest and
+// deduplicated by <sour, dest>, rewrites keyed by server, candidates
+// keyed by neighbor. Candidate positions are additionally mirrored
+// into structure-of-arrays x/y columns so the per-hop nearest-
+// candidate scan (`best_candidate`) runs branch-light over contiguous
+// doubles instead of chasing 40-byte entries.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "geometry/point.hpp"
 #include "sden/packet.hpp"
 
@@ -66,10 +77,38 @@ class FlowTable {
   const std::vector<RewriteEntry>& rewrites() const { return rewrites_; }
 
   /// Relay entry whose dest matches (the paper matches t.dest == d.dest).
-  std::optional<RelayEntry> match_relay(SwitchId dest) const;
+  std::optional<RelayEntry> match_relay(SwitchId dest) const {
+    const RelayEntry* e = find_relay(dest);
+    if (e == nullptr) return std::nullopt;
+    return *e;
+  }
 
   /// Rewrite for a server, if installed.
-  std::optional<RewriteEntry> match_rewrite(ServerId original) const;
+  std::optional<RewriteEntry> match_rewrite(ServerId original) const {
+    const RewriteEntry* e = find_rewrite(original);
+    if (e == nullptr) return std::nullopt;
+    return *e;
+  }
+
+  /// Allocation-free relay match: pointer into the entry vector (valid
+  /// until the next table mutation), or nullptr. First-installed entry
+  /// wins for a dest, exactly like the sequential scan it replaces.
+  const RelayEntry* find_relay(SwitchId dest) const {
+    const std::uint32_t* idx = relay_by_dest_.find(dest);
+    return idx == nullptr ? nullptr : &relays_[*idx];
+  }
+
+  /// Allocation-free rewrite match (same lifetime rule as find_relay).
+  const RewriteEntry* find_rewrite(ServerId original) const {
+    const std::uint32_t* idx = rewrite_by_server_.find(original);
+    return idx == nullptr ? nullptr : &rewrites_[*idx];
+  }
+
+  /// Index of the greedy candidate nearest to `target` under the
+  /// paper's total order (squared distance, ties by lexicographic
+  /// position — geometry::closer_to), or geometry::kNoSite when the
+  /// table has no candidates. Runs over the SoA position columns.
+  std::size_t best_candidate(const geometry::Point2D& target) const;
 
   /// Total installed entries — the Fig. 9(d) metric.
   std::size_t entry_count() const {
@@ -84,8 +123,16 @@ class FlowTable {
 
  private:
   std::vector<NeighborEntry> neighbors_;
+  /// SoA mirror of neighbors_[i].position, kept in lockstep.
+  std::vector<double> cand_x_;
+  std::vector<double> cand_y_;
   std::vector<RelayEntry> relays_;
   std::vector<RewriteEntry> rewrites_;
+
+  FlatMap<std::uint64_t, std::uint32_t> neighbor_index_;   ///< neighbor -> slot
+  FlatMap<Key2, std::uint32_t> relay_by_pair_;             ///< <sour,dest> -> slot
+  FlatMap<std::uint64_t, std::uint32_t> relay_by_dest_;    ///< dest -> first slot
+  FlatMap<std::uint64_t, std::uint32_t> rewrite_by_server_;  ///< original -> slot
 };
 
 }  // namespace gred::sden

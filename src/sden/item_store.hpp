@@ -1,0 +1,171 @@
+// Open-addressing key-value store for server items, tuned for the
+// delivery hot path. std::unordered_map resolves a lookup through two
+// dependent cache misses (bucket array, then the node) before the
+// payload can be read; here a slot holds the id and the payload inline
+// (both SSO-sized in the workloads that matter), so a hit costs a
+// single dependent miss: hash, probe, compare, copy — all in one slot.
+//
+// Linear probing over a power-of-two table, backward-shift deletion
+// (no tombstones), iteration in slot order. Semantics match the map it
+// replaces: upsert overwrites, ids are compared by full string
+// equality, and iteration yields const std::pair<std::string,
+// std::string>& (what the controller's structured bindings expect).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/flat_map.hpp"
+
+namespace gred::sden {
+
+/// 8-bytes-at-a-time string hash (mix64 avalanche per chunk). Data ids
+/// are short ("sensor-1234"), so this is one or two rounds.
+inline std::uint64_t hash_item_id(const std::string& id) {
+  const char* p = id.data();
+  std::size_t n = id.size();
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ (n * 0xff51afd7ed558ccdULL);
+  while (n >= 8) {
+    std::uint64_t k;
+    std::memcpy(&k, p, 8);
+    h = mix64(h ^ k);
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    std::uint64_t k = 0;
+    std::memcpy(&k, p, n);
+    h = mix64(h ^ k);
+  }
+  return h;
+}
+
+class ItemStore {
+ public:
+  using value_type = std::pair<std::string, std::string>;
+
+ private:
+  struct Slot {
+    std::uint8_t used = 0;
+    value_type kv;
+  };
+
+ public:
+  class const_iterator {
+   public:
+    const_iterator(const Slot* slot, const Slot* end)
+        : slot_(slot), end_(end) {
+      skip_unused();
+    }
+    const value_type& operator*() const { return slot_->kv; }
+    const value_type* operator->() const { return &slot_->kv; }
+    const_iterator& operator++() {
+      ++slot_;
+      skip_unused();
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const {
+      return slot_ == o.slot_;
+    }
+    bool operator!=(const const_iterator& o) const {
+      return slot_ != o.slot_;
+    }
+
+   private:
+    friend class ItemStore;
+    void skip_unused() {
+      while (slot_ != end_ && !slot_->used) ++slot_;
+    }
+    const Slot* slot_;
+    const Slot* end_;
+  };
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool contains(const std::string& id) const { return find(id) != nullptr; }
+
+  /// Pointer to the stored payload, or nullptr. Valid until the next
+  /// mutation (rehash or backward-shift may move slots).
+  const std::string* find(const std::string& id) const {
+    if (slots_.empty()) return nullptr;
+    std::size_t i = hash_item_id(id) & mask_;
+    while (slots_[i].used) {
+      if (slots_[i].kv.first == id) return &slots_[i].kv.second;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  /// Inserts or overwrites `id`.
+  void upsert(const std::string& id, std::string payload) {
+    if (slots_.empty() || size_ + 1 > (slots_.size() * 7) / 8) grow();
+    std::size_t i = hash_item_id(id) & mask_;
+    while (slots_[i].used) {
+      if (slots_[i].kv.first == id) {
+        slots_[i].kv.second = std::move(payload);
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[i].used = 1;
+    slots_[i].kv.first = id;
+    slots_[i].kv.second = std::move(payload);
+    ++size_;
+  }
+
+  /// Removes `id`; true when it was present.
+  bool erase(const std::string& id) {
+    if (slots_.empty()) return false;
+    std::size_t i = hash_item_id(id) & mask_;
+    while (slots_[i].used && slots_[i].kv.first != id) i = (i + 1) & mask_;
+    if (!slots_[i].used) return false;
+    std::size_t hole = i;
+    std::size_t j = (i + 1) & mask_;
+    while (slots_[j].used) {
+      const std::size_t home = hash_item_id(slots_[j].kv.first) & mask_;
+      const bool reachable = hole <= j ? (home <= hole || home > j)
+                                       : (home <= hole && home > j);
+      if (reachable) {
+        slots_[hole].kv = std::move(slots_[j].kv);
+        hole = j;
+      }
+      j = (j + 1) & mask_;
+    }
+    slots_[hole].used = 0;
+    slots_[hole].kv.first.clear();
+    slots_[hole].kv.second.clear();
+    --size_;
+    return true;
+  }
+
+  const_iterator begin() const {
+    return const_iterator(slots_.data(), slots_.data() + slots_.size());
+  }
+  const_iterator end() const {
+    return const_iterator(slots_.data() + slots_.size(),
+                          slots_.data() + slots_.size());
+  }
+
+ private:
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    const std::size_t cap = old.empty() ? 8 : old.size() * 2;
+    slots_.clear();
+    slots_.resize(cap);
+    mask_ = cap - 1;
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.used) upsert(s.kv.first, std::move(s.kv.second));
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gred::sden

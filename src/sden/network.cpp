@@ -1,9 +1,21 @@
 #include "sden/network.hpp"
 
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
 namespace gred::sden {
 
+namespace {
+constexpr double kMissingLink = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
 SdenNetwork::SdenNetwork(topology::EdgeNetwork description)
-    : description_(std::move(description)) {
+    : description_(std::move(description)),
+      plan_(std::make_unique<PlanState>()) {
   switches_.reserve(description_.switch_count());
   for (SwitchId id = 0; id < description_.switch_count(); ++id) {
     switches_.emplace_back(id);
@@ -12,17 +24,42 @@ SdenNetwork::SdenNetwork(topology::EdgeNetwork description)
   for (const topology::EdgeServer& s : description_.all_servers()) {
     servers_.emplace_back(s);
   }
+  // Greedy walks run close to the physical diameter (O(log n) on the
+  // Waxman substrates) plus virtual-link detours; 8*log2(n)+8 leaves
+  // ample slack without over-reserving on small testbeds.
+  const std::size_t n = switches_.empty() ? 1 : switches_.size();
+  path_reserve_hint_ =
+      8 * static_cast<std::size_t>(std::bit_width(n)) + 8;
 }
 
 RouteResult SdenNetwork::inject(Packet pkt, SwitchId ingress) {
   RouteResult result;
+  route(pkt, ingress, result);
+  return result;
+}
+
+void SdenNetwork::route(Packet& pkt, SwitchId ingress, RouteResult& result) {
+  result.reset();
   if (ingress >= switches_.size()) {
     result.status =
         Status(ErrorCode::kOutOfRange, "inject: ingress switch out of range");
-    return result;
+    return;
   }
 
-  SwitchId cur = ingress;
+  // The walk runs entirely over the compiled plan: a hop is one random
+  // jump into the hot array (header, candidate position columns, and
+  // forwarding actions contiguous per switch), and every link weight
+  // (and link-existence check) was precompiled into the chosen
+  // candidate/relay, so no Switch, FlowTable, or Graph memory is
+  // touched until delivery.
+  const RoutePlan& plan = ensure_plan();
+  const std::uint32_t* const offsets = plan.offset.data();
+  const double* const hot = plan.hot.data();
+  const double tx = pkt.target.x;
+  const double ty = pkt.target.y;
+
+  std::uint32_t cur = static_cast<std::uint32_t>(ingress);
+  result.switch_path.reserve(path_reserve_hint_);
   result.switch_path.push_back(cur);
 
   // A greedy walk strictly decreases distance-to-target and each
@@ -30,75 +67,341 @@ RouteResult SdenNetwork::inject(Packet pkt, SwitchId ingress) {
   // exceeding it means a forwarding-table bug.
   const std::size_t max_hops = 4 * switches_.size() + 16;
   for (std::size_t step = 0; step < max_hops; ++step) {
-    Decision decision = switches_[cur].process(pkt);
-    switch (decision.kind) {
-      case Decision::Kind::kForward: {
-        const SwitchId next = decision.next_hop;
-        if (next >= switches_.size() ||
-            !description_.switches().has_edge(cur, next)) {
+    // Stage 1: virtual-link relay (Section V-A). While d.relay != null
+    // and we are not the link endpoint, the packet moves along
+    // pre-installed relay tuples without greedy logic.
+    if (pkt.on_virtual_link()) {
+      if (pkt.vlink_dest == cur) {
+        pkt.clear_virtual_link();
+      } else {
+        const PlanRelay* relay = plan.relays.find(
+            Key2{cur, static_cast<std::uint64_t>(pkt.vlink_dest)});
+        if (relay == nullptr) {
+          result.status =
+              Status(ErrorCode::kInternal,
+                     std::string("packet dropped at switch ") +
+                         std::to_string(cur) +
+                         ": no relay entry for virtual-link destination");
+          return;
+        }
+        if (std::isnan(relay->weight)) {
           result.status = Status(
               ErrorCode::kInternal,
               "switch " + std::to_string(cur) +
                   " forwarded over a non-existent link to switch " +
-                  std::to_string(next));
-          return result;
+                  std::to_string(relay->succ));
+          return;
         }
-        result.path_cost +=
-            description_.switches().edge_weight(cur, next).value_or(1.0);
-        cur = next;
+        result.path_cost += relay->weight;
+        cur = relay->succ;
         result.switch_path.push_back(cur);
-        break;
-      }
-      case Decision::Kind::kDeliver: {
-        result.status = deliver_to_targets(decision, pkt, cur, result);
-        return result;
-      }
-      case Decision::Kind::kDrop: {
-        result.status = Status(
-            ErrorCode::kInternal,
-            std::string("packet dropped at switch ") + std::to_string(cur) +
-                ": " +
-                (decision.drop_reason ? decision.drop_reason : "unknown"));
-        return result;
+        continue;
       }
     }
+
+    const double* const base = hot + offsets[cur];
+    const std::uint32_t flags = plan_lo(base[3]);
+    if ((flags & kPlanFlagDt) == 0) {
+      result.status =
+          Status(ErrorCode::kInternal,
+                 std::string("packet dropped at switch ") +
+                     std::to_string(cur) +
+                     ": greedy packet at non-DT transit switch");
+      return;
+    }
+
+    // Algorithm 2: one pass over the contiguous candidate columns under
+    // the paper's total order (squared distance, ties by lex position)
+    // — same unique minimizer as FlowTable::best_candidate. The compile
+    // step sorted the columns by lex position, so the FIRST index
+    // achieving the minimum distance is the lex-smallest tie winner,
+    // and a strict-less argmin (two independent accumulator chains,
+    // branch-free minsd + cmov, no rescan) is exact.
+    const std::size_t k = plan_hi(base[2]);
+    const double* const xs = base + kPlanHeaderWords;
+    const double* const ys = xs + k;
+    double m0 = std::numeric_limits<double>::infinity();
+    double m1 = m0;
+    std::size_t b0 = k;
+    std::size_t b1 = k;
+    std::size_t i = 0;
+    for (; i + 1 < k; i += 2) {
+      const double dx0 = xs[i] - tx;
+      const double dy0 = ys[i] - ty;
+      const double d0 = dx0 * dx0 + dy0 * dy0;
+      const double dx1 = xs[i + 1] - tx;
+      const double dy1 = ys[i + 1] - ty;
+      const double d1 = dx1 * dx1 + dy1 * dy1;
+      b0 = d0 < m0 ? i : b0;
+      m0 = d0 < m0 ? d0 : m0;
+      b1 = d1 < m1 ? i + 1 : b1;
+      m1 = d1 < m1 ? d1 : m1;
+    }
+    if (i < k) {
+      const double dx = xs[i] - tx;
+      const double dy = ys[i] - ty;
+      const double d2 = dx * dx + dy * dy;
+      b0 = d2 < m0 ? i : b0;
+      m0 = d2 < m0 ? d2 : m0;
+    }
+    // Merge the even/odd chains; on equal distance the smaller index
+    // (lex-smaller position) wins.
+    const double best_d2 = m1 < m0 ? m1 : m0;
+    const std::size_t best =
+        (m1 < m0 || (m1 == m0 && b1 < b0)) ? b1 : b0;
+
+    if (best != k) {
+      // closer_to(target, best, self): strictly smaller distance, or
+      // equal distance and lexicographically smaller position.
+      const double px = base[0];
+      const double py = base[1];
+      const double bx = xs[best];
+      const double by = ys[best];
+      const double sdx = px - tx;
+      const double sdy = py - ty;
+      const double self_d2 = sdx * sdx + sdy * sdy;
+      if (best_d2 < self_d2 ||
+          (best_d2 == self_d2 && (bx != px ? bx < px : by < py))) {
+        const double act = ys[k + best];         // packed action word
+        const double weight = ys[2 * k + best];  // link-weight column
+        const std::uint32_t vlink_dest = plan_lo(act);
+        if (vlink_dest != kNoPlanSwitch) {
+          // Enter the virtual link toward the multi-hop DT neighbor.
+          pkt.vlink_dest = vlink_dest;
+          pkt.vlink_sour = cur;
+        }
+        if (std::isnan(weight)) {
+          result.status = Status(
+              ErrorCode::kInternal,
+              "switch " + std::to_string(cur) +
+                  " forwarded over a non-existent link to switch " +
+                  std::to_string(plan_hi(act)));
+          return;
+        }
+        result.path_cost += weight;
+        cur = plan_hi(act);
+        result.switch_path.push_back(cur);
+        continue;
+      }
+    }
+
+    // No neighbor is closer: this switch owns the data.
+    result.status = deliver_compiled(plan, base, pkt, cur, result);
+    return;
   }
   result.status =
       Status(ErrorCode::kInternal, "routing loop: hop bound exceeded");
-  return result;
 }
 
-Status SdenNetwork::deliver_to_targets(const Decision& decision,
-                                       const Packet& pkt, SwitchId terminal,
+Status SdenNetwork::deliver_compiled(const RoutePlan& plan, const double* base,
+                                     Packet& pkt, std::uint32_t terminal,
+                                     RouteResult& result) {
+  const std::uint32_t server_begin = plan_lo(base[2]);
+  const std::uint32_t server_count = plan_hi(base[3]);
+  const std::uint32_t flags = plan_lo(base[3]);
+  if ((flags & kPlanFlagDeliverFallback) != 0) {
+    // Range-extension rewrites are installed here: run the live
+    // pipeline, which resolves the rewrite targets. The greedy stage
+    // re-derives the same "deliver here" decision (identical tables).
+    Decision decision = switches_[terminal].process(pkt);
+    if (decision.kind == Decision::Kind::kDeliver) {
+      return deliver_to_targets(decision, pkt, terminal, result);
+    }
+    if (decision.kind == Decision::Kind::kDrop) {
+      return Status(
+          ErrorCode::kInternal,
+          std::string("packet dropped at switch ") + std::to_string(terminal) +
+              ": " +
+              (decision.drop_reason ? decision.drop_reason : "unknown"));
+    }
+    return Status(ErrorCode::kInternal,
+                  "compiled plan and live pipeline diverged at delivery");
+  }
+
+  if (server_count == 0) {
+    return Status(ErrorCode::kInternal,
+                  std::string("packet dropped at switch ") +
+                      std::to_string(terminal) +
+                      ": terminal switch has no attached servers");
+  }
+
+  // Section V-B: serial number H(d) mod s. The cached digest (filled in
+  // by the sender) goes straight through digest_mod — no SHA-256 and no
+  // DataKey position derivation on the fast path.
+  const std::size_t idx = static_cast<std::size_t>(
+      pkt.has_key_digest ? crypto::digest_mod(pkt.key_digest, server_count)
+                         : pkt.key().mod(server_count));
+  const ServerId chosen = plan.servers[server_begin + idx];
+  if (chosen >= servers_.size()) {
+    return Status(ErrorCode::kInternal, "delivery to unknown server");
+  }
+  result.delivered_to.push_back(chosen);
+
+  ServerNode& node = servers_[chosen];
+  if (pkt.type == PacketType::kPlacement) {
+    return node.store(pkt.data_id, std::move(pkt.payload));
+  }
+  if (pkt.type == PacketType::kRetrieval) {
+    if (const std::string* payload = node.find(pkt.data_id)) {
+      result.found = true;
+      result.responder = chosen;
+      // assign() reuses the scratch string's capacity.
+      result.payload.assign(*payload);
+      node.note_retrieval();
+    }
+  } else {  // kRemoval
+    if (node.erase(pkt.data_id)) {
+      result.found = true;
+      result.responder = chosen;
+    }
+  }
+  return Status::Ok();
+}
+
+const RoutePlan& SdenNetwork::ensure_plan() {
+  PlanState& state = *plan_;
+  if (state.dirty.load(std::memory_order_acquire)) {
+    // First router after an invalidation rebuilds; concurrent routers
+    // wait on the mutex and then read the fresh plan. (Mutating the
+    // network while packets are in flight was never supported; this
+    // only coordinates the rebuild itself.)
+    std::lock_guard<std::mutex> lock(state.rebuild_mutex);
+    if (state.dirty.load(std::memory_order_relaxed)) {
+      rebuild_plan(state.plan);
+      state.dirty.store(false, std::memory_order_release);
+    }
+  }
+  return state.plan;
+}
+
+void SdenNetwork::rebuild_plan(RoutePlan& plan) const {
+  plan.clear();
+  plan.offset.resize(switches_.size());
+  const graph::Graph& links = description_.switches();
+
+  // Blob size up front: header words plus four columns per candidate,
+  // for every switch, each region rounded up to a cache line.
+  std::size_t words = 0;
+  for (const Switch& sw : switches_) {
+    words += (kPlanHeaderWords + 4 * sw.table().neighbors().size() + 7) & ~7u;
+  }
+  plan.hot.reserve(words);
+
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    const Switch& sw = switches_[i];
+    const FlowTable& table = sw.table();
+    const std::size_t k = table.neighbors().size();
+    // Cache-line-aligned region start (the vector data itself is
+    // 16-byte aligned at worst; 64-byte relative alignment still keeps
+    // the header plus first column words on the minimum line count).
+    const std::size_t region = (plan.hot.size() + 7) & ~std::size_t{7};
+    plan.offset[i] = static_cast<std::uint32_t>(region);
+
+    const std::uint32_t server_begin =
+        static_cast<std::uint32_t>(plan.servers.size());
+    for (ServerId s : sw.local_servers()) {
+      plan.servers.push_back(static_cast<std::uint32_t>(s));
+    }
+    const std::uint32_t server_count =
+        static_cast<std::uint32_t>(sw.local_servers().size());
+    std::uint32_t flags = 0;
+    if (sw.dt_participant()) flags |= kPlanFlagDt;
+    if (!table.rewrites().empty()) flags |= kPlanFlagDeliverFallback;
+
+    plan.hot.resize(region + kPlanHeaderWords + 4 * k);
+    double* const base = plan.hot.data() + region;
+    base[0] = sw.position().x;
+    base[1] = sw.position().y;
+    base[2] = plan_pack(static_cast<std::uint32_t>(k), server_begin);
+    base[3] = plan_pack(server_count, flags);
+
+    // The columns are emitted in lex-position order so the route-time
+    // argmin's first-minimum-wins rule reproduces the closer_to lex
+    // tie-break without a second pass. (Entry order never affects the
+    // winner when positions are distinct, which CVT sites are.)
+    std::array<std::uint32_t, 64> perm_buf;
+    std::vector<std::uint32_t> perm_vec;
+    std::uint32_t* perm = perm_buf.data();
+    if (k > perm_buf.size()) {
+      perm_vec.resize(k);
+      perm = perm_vec.data();
+    }
+    for (std::size_t c = 0; c < k; ++c) perm[c] = static_cast<std::uint32_t>(c);
+    std::sort(perm, perm + k, [&table](std::uint32_t a, std::uint32_t b) {
+      const geometry::Point2D& pa = table.neighbors()[a].position;
+      const geometry::Point2D& pb = table.neighbors()[b].position;
+      return pa.x != pb.x ? pa.x < pb.x : pa.y < pb.y;
+    });
+
+    double* const xs = base + kPlanHeaderWords;
+    double* const ys = xs + k;
+    double* const acts = ys + k;
+    double* const weights = acts + k;
+    for (std::size_t c = 0; c < k; ++c) {
+      const NeighborEntry& ne = table.neighbors()[perm[c]];
+      xs[c] = ne.position.x;
+      ys[c] = ne.position.y;
+      const SwitchId next = ne.physical ? ne.neighbor : ne.first_hop;
+      const std::uint32_t vlink_dest =
+          ne.physical ? kNoPlanSwitch : static_cast<std::uint32_t>(ne.neighbor);
+      acts[c] = plan_pack(static_cast<std::uint32_t>(next), vlink_dest);
+      const graph::EdgeTo* edge =
+          next < switches_.size() ? links.find_edge(i, next) : nullptr;
+      weights[c] = edge != nullptr ? edge->weight : kMissingLink;
+    }
+
+    // First-installed relay per dest wins, like FlowTable::find_relay.
+    for (const RelayEntry& r : table.relays()) {
+      const Key2 key{static_cast<std::uint64_t>(i),
+                     static_cast<std::uint64_t>(r.dest)};
+      if (plan.relays.find(key) != nullptr) continue;
+      const graph::EdgeTo* edge =
+          r.succ < switches_.size() ? links.find_edge(i, r.succ) : nullptr;
+      plan.relays.insert_or_assign(
+          key, PlanRelay{static_cast<std::uint32_t>(r.succ), 0,
+                         edge != nullptr ? edge->weight : kMissingLink});
+    }
+  }
+}
+
+Status SdenNetwork::deliver_to_targets(const Decision& decision, Packet& pkt,
+                                       SwitchId terminal,
                                        RouteResult& result) {
-  for (const Decision::DeliveryTarget& target : decision.targets) {
+  const std::size_t target_count = decision.targets.size();
+  for (std::size_t t = 0; t < target_count; ++t) {
+    const Decision::DeliveryTarget& target = decision.targets[t];
     if (target.server >= servers_.size()) {
       return Status(ErrorCode::kInternal, "delivery to unknown server");
     }
     // A cross-switch delivery (range extension) must use a physical
     // link from the terminal switch (the paper's port p5 to switch 2).
     if (target.via != terminal) {
-      if (!description_.switches().has_edge(terminal, target.via)) {
+      const graph::EdgeTo* edge =
+          description_.switches().find_edge(terminal, target.via);
+      if (edge == nullptr) {
         return Status(ErrorCode::kInternal,
                       "range-extension handoff over non-existent link");
       }
-      result.path_cost +=
-          description_.switches().edge_weight(terminal, target.via)
-              .value_or(1.0);
+      result.path_cost += edge->weight;
       result.switch_path.push_back(target.via);
     }
     result.delivered_to.push_back(target.server);
 
     ServerNode& node = servers_[target.server];
     if (pkt.type == PacketType::kPlacement) {
-      const Status stored = node.store(pkt.data_id, pkt.payload);
+      // The last target takes the payload by move; a placement only
+      // ever has one target today, so this is the common case.
+      const Status stored =
+          node.store(pkt.data_id, t + 1 == target_count
+                                      ? std::move(pkt.payload)
+                                      : pkt.payload);
       if (!stored.ok()) return stored;
     } else if (pkt.type == PacketType::kRetrieval) {
-      const auto payload = node.fetch(pkt.data_id);
-      if (payload.has_value()) {
+      if (const std::string* payload = node.find(pkt.data_id)) {
         result.found = true;
         result.responder = target.server;
-        result.payload = *payload;
+        // assign() reuses the scratch string's capacity.
+        result.payload.assign(*payload);
         node.note_retrieval();
       }
     } else {  // kRemoval
@@ -135,6 +438,7 @@ Result<SwitchId> SdenNetwork::add_switch(
                    "add_switch: link target out of range");
     }
   }
+  invalidate_plan();
   const SwitchId id = description_.add_switch();
   switches_.emplace_back(id);
   for (SwitchId v : links) {
@@ -146,6 +450,7 @@ Result<SwitchId> SdenNetwork::add_switch(
 
 Result<ServerId> SdenNetwork::attach_server(SwitchId sw,
                                             std::size_t capacity) {
+  invalidate_plan();
   auto id = description_.attach_server(sw, capacity);
   if (!id.ok()) return id.error();
   servers_.emplace_back(description_.server(id.value()));
@@ -154,6 +459,7 @@ Result<ServerId> SdenNetwork::attach_server(SwitchId sw,
 
 void SdenNetwork::remove_switch_links(SwitchId sw) {
   if (sw >= switches_.size()) return;
+  invalidate_plan();
   description_.mutable_switches().remove_edges_of(sw);
   description_.detach_servers(sw);
   switches_[sw].reset();

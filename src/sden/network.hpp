@@ -6,18 +6,23 @@
 // effects at the delivering server(s).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "sden/packet.hpp"
+#include "sden/route_plan.hpp"
 #include "sden/server_node.hpp"
 #include "sden/switch.hpp"
 #include "topology/edge_network.hpp"
 
 namespace gred::sden {
 
-/// Outcome of routing one packet.
+/// Outcome of routing one packet. Reusable as routing scratch: route()
+/// calls reset(), which clears every field but keeps the vectors' and
+/// the payload string's capacity, so a reused RouteResult makes the
+/// steady-state routing path allocation-free.
 struct RouteResult {
   Status status = Status::Ok();
   /// Physical switch path walked by the request, ingress first. When a
@@ -40,6 +45,17 @@ struct RouteResult {
   std::size_t hop_count() const {
     return switch_path.empty() ? 0 : switch_path.size() - 1;
   }
+
+  /// Back to the just-constructed state, retaining heap capacity.
+  void reset() {
+    status = Status::Ok();
+    switch_path.clear();
+    delivered_to.clear();
+    responder = topology::kNoServer;
+    payload.clear();
+    found = false;
+    path_cost = 0.0;
+  }
 };
 
 class SdenNetwork {
@@ -52,7 +68,13 @@ class SdenNetwork {
   std::size_t switch_count() const { return switches_.size(); }
   std::size_t server_count() const { return servers_.size(); }
 
-  Switch& switch_at(SwitchId id) { return switches_[id]; }
+  /// Mutable switch access (controller installs). Conservatively
+  /// invalidates the compiled route plan: every flow-table or position
+  /// change flows through here.
+  Switch& switch_at(SwitchId id) {
+    invalidate_plan();
+    return switches_[id];
+  }
   const Switch& switch_at(SwitchId id) const { return switches_[id]; }
   ServerNode& server(ServerId id) { return servers_[id]; }
   const ServerNode& server(ServerId id) const { return servers_[id]; }
@@ -60,12 +82,30 @@ class SdenNetwork {
   const topology::EdgeNetwork& description() const { return description_; }
   /// Mutable topology access for the controller's dynamics (link
   /// add/remove); application code should go through the Controller.
-  topology::EdgeNetwork& mutable_description() { return description_; }
+  /// Invalidates the compiled route plan (link weights are baked in).
+  topology::EdgeNetwork& mutable_description() {
+    invalidate_plan();
+    return description_;
+  }
 
   /// Routes `pkt` from `ingress` until delivery/drop. Placement stores
   /// the payload; retrieval reads it (and bumps the responder's served
   /// counter).
   RouteResult inject(Packet pkt, SwitchId ingress);
+
+  /// Fast-path variant: routes `pkt` in place, writing into `out`
+  /// (reset first, capacity kept). The packet's virtual-link fields
+  /// are rewritten during the walk and a placement's payload is moved
+  /// into storage, so the caller must treat `pkt` as consumed. With a
+  /// reused `out` and a cached key digest on the packet, the steady
+  /// state performs no heap allocations. Concurrent calls are safe for
+  /// retrievals/removals on disjoint (pkt, out) pairs.
+  void route(Packet& pkt, SwitchId ingress, RouteResult& out);
+
+  /// Capacity hint for RouteResult::switch_path: comfortably above the
+  /// greedy walk's typical length (≈ network diameter + virtual-link
+  /// detours) so a hinted reserve avoids mid-route growth.
+  std::size_t path_reserve_hint() const { return path_reserve_hint_; }
 
   /// Stored-item count per server, indexed by global server id — the
   /// load vector for the max/avg metric.
@@ -89,13 +129,30 @@ class SdenNetwork {
   /// inert transit node so ids remain dense.
   void remove_switch_links(SwitchId sw);
 
+  /// Marks the compiled route plan stale; the next route() rebuilds it.
+  void invalidate_plan() {
+    plan_->dirty.store(true, std::memory_order_release);
+  }
+
  private:
-  Status deliver_to_targets(const Decision& decision, const Packet& pkt,
+  Status deliver_to_targets(const Decision& decision, Packet& pkt,
                             SwitchId terminal, RouteResult& result);
+  /// Compiled delivery at a terminal switch (single target attached to
+  /// `terminal`); switches with rewrites installed take the live
+  /// pipeline via deliver_to_targets instead.
+  Status deliver_compiled(const RoutePlan& plan, const double* base,
+                          Packet& pkt, std::uint32_t terminal,
+                          RouteResult& result);
+  /// Returns the up-to-date compiled plan, rebuilding it first when a
+  /// mutating accessor flagged it dirty.
+  const RoutePlan& ensure_plan();
+  void rebuild_plan(RoutePlan& plan) const;
 
   topology::EdgeNetwork description_;
   std::vector<Switch> switches_;
   std::vector<ServerNode> servers_;
+  std::size_t path_reserve_hint_ = 16;
+  std::unique_ptr<PlanState> plan_;
 };
 
 }  // namespace gred::sden

@@ -125,7 +125,7 @@ Decision P4GredProgram::process(Packet& pkt) const {
     decision.drop_reason = "terminal switch has no attached servers";
     return decision;
   }
-  const crypto::DataKey key(pkt.data_id);
+  const crypto::DataKey key = pkt.key();
   const ServerId chosen = server_rows_[static_cast<std::size_t>(
       key.mod(server_rows_.size()))];
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 
+#include "crypto/data_key.hpp"
 #include "geometry/point.hpp"
 #include "topology/edge_network.hpp"
 
@@ -45,6 +46,27 @@ struct Packet {
   void clear_virtual_link() {
     vlink_dest = kNoSwitch;
     vlink_sour = kNoSwitch;
+  }
+
+  // --- cached key derivation (fast-path metadata, not on the wire) ---
+  /// H(d), filled in by whoever already hashed data_id (GredProtocol,
+  /// the bench drivers). The terminal switch needs H(d) for the
+  /// H(d) mod s server choice; the cache spares it a second SHA-256
+  /// per packet. Transparent to the codec and to equality of routing
+  /// results: a packet without the cache routes identically, just
+  /// slower.
+  bool has_key_digest = false;
+  crypto::Digest key_digest{};
+
+  void set_key(const crypto::DataKey& key) {
+    key_digest = key.digest();
+    has_key_digest = true;
+  }
+  /// The packet's data key: cached digest when present, else derived
+  /// from data_id (identical by construction).
+  crypto::DataKey key() const {
+    return has_key_digest ? crypto::DataKey(key_digest)
+                          : crypto::DataKey(data_id);
   }
 };
 

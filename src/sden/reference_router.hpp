@@ -1,0 +1,112 @@
+// Reference data plane: routes a packet by walking the LIVE switch
+// pipeline (Switch::process per hop, graph lookups for link validation,
+// a fresh RouteResult per packet) exactly as SdenNetwork::inject did
+// before the compiled route plan existed. It is deliberately naive —
+// the differential tests and bench_data_plane hold the compiled fast
+// path bit-identical to this walk, and the bench reports the speedup
+// of the fast path over it.
+#pragma once
+
+#include <string>
+
+#include "sden/network.hpp"
+
+namespace gred::sden {
+
+/// Routes `pkt` from `ingress` over the live pipeline. Storage side
+/// effects are applied through the same ServerNode objects the fast
+/// path uses, so interleaving the two on retrievals is safe.
+inline RouteResult reference_route(SdenNetwork& net, Packet pkt,
+                                   SwitchId ingress) {
+  RouteResult result;
+  if (ingress >= net.switch_count()) {
+    result.status =
+        Status(ErrorCode::kOutOfRange, "inject: ingress switch out of range");
+    return result;
+  }
+
+  const graph::Graph& links = net.description().switches();
+  SwitchId cur = ingress;
+  result.switch_path.push_back(cur);
+
+  const std::size_t max_hops = 4 * net.switch_count() + 16;
+  for (std::size_t step = 0; step < max_hops; ++step) {
+    const Switch& sw = static_cast<const SdenNetwork&>(net).switch_at(cur);
+    Decision decision = sw.process(pkt);
+
+    if (decision.kind == Decision::Kind::kDrop) {
+      result.status = Status(
+          ErrorCode::kInternal,
+          std::string("packet dropped at switch ") + std::to_string(cur) +
+              ": " +
+              (decision.drop_reason ? decision.drop_reason : "unknown"));
+      return result;
+    }
+
+    if (decision.kind == Decision::Kind::kForward) {
+      const graph::EdgeTo* edge = links.find_edge(cur, decision.next_hop);
+      if (edge == nullptr) {
+        result.status = Status(
+            ErrorCode::kInternal,
+            "switch " + std::to_string(cur) +
+                " forwarded over a non-existent link to switch " +
+                std::to_string(decision.next_hop));
+        return result;
+      }
+      result.path_cost += edge->weight;
+      cur = decision.next_hop;
+      result.switch_path.push_back(cur);
+      continue;
+    }
+
+    // kDeliver: apply the storage side effects per target.
+    const std::size_t target_count = decision.targets.size();
+    for (std::size_t t = 0; t < target_count; ++t) {
+      const Decision::DeliveryTarget& target = decision.targets[t];
+      if (target.server >= net.server_count()) {
+        result.status =
+            Status(ErrorCode::kInternal, "delivery to unknown server");
+        return result;
+      }
+      if (target.via != cur) {
+        const graph::EdgeTo* edge = links.find_edge(cur, target.via);
+        if (edge == nullptr) {
+          result.status =
+              Status(ErrorCode::kInternal,
+                     "range-extension handoff over non-existent link");
+          return result;
+        }
+        result.path_cost += edge->weight;
+        result.switch_path.push_back(target.via);
+      }
+      result.delivered_to.push_back(target.server);
+
+      ServerNode& node = net.server(target.server);
+      if (pkt.type == PacketType::kPlacement) {
+        const Status stored = node.store(pkt.data_id, pkt.payload);
+        if (!stored.ok()) {
+          result.status = stored;
+          return result;
+        }
+      } else if (pkt.type == PacketType::kRetrieval) {
+        if (const std::string* payload = node.find(pkt.data_id)) {
+          result.found = true;
+          result.responder = target.server;
+          result.payload = *payload;
+          node.note_retrieval();
+        }
+      } else {  // kRemoval
+        if (node.erase(pkt.data_id)) {
+          result.found = true;
+          result.responder = target.server;
+        }
+      }
+    }
+    return result;
+  }
+  result.status =
+      Status(ErrorCode::kInternal, "routing loop: hop bound exceeded");
+  return result;
+}
+
+}  // namespace gred::sden

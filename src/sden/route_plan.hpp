@@ -1,0 +1,103 @@
+// The compiled data plane. Routing over the live Switch/FlowTable
+// objects chases five scattered heap allocations per hop (switch ->
+// table -> candidate columns -> neighbor entry -> graph adjacency),
+// and on random workloads those dependent cache misses cost several
+// times more than the actual arithmetic. RoutePlan flattens the
+// forwarding state of every switch into ONE contiguous region of a
+// shared array — header, candidate position columns, and forwarding
+// actions back to back — so a greedy hop performs a single random
+// jump (offset table, then the region) and streams the rest
+// sequentially, which the hardware prefetcher hides. Physical-link
+// weights (and link-existence) are precompiled into every action, so
+// the steady-state walk never touches the Switch objects or the graph
+// at all.
+//
+// Per-switch region layout inside `hot` (doubles; integers are
+// bit_cast-packed so the region is a single typed allocation):
+//
+//   base[0]  px               own virtual position
+//   base[1]  py
+//   base[2]  u64( cand_count   << 32 | server_begin )
+//   base[3]  u64( server_count << 32 | flags )        flags: bit0 dt,
+//                                                     bit1 deliver_fallback
+//   base[4 .. 4+k)        candidate x coordinates
+//   base[4+k .. 4+2k)     candidate y coordinates
+//   base[4+2k .. 4+3k)    u64( next_hop << 32 | vlink_dest )
+//   base[4+3k .. 4+4k)    link weight to next_hop (NaN = missing link)
+//
+// The plan is a pure cache: SdenNetwork rebuilds it (lazily, under a
+// mutex) whenever control-plane state may have changed, which every
+// mutating accessor signals through the dirty flag. Semantics are
+// bit-identical to the live pipeline by construction; the differential
+// test in tests/data_plane_test.cpp holds the two paths together.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/flat_map.hpp"
+
+namespace gred::sden {
+
+/// Compact switch id inside the plan (ids are dense and small; 32 bits
+/// keeps the packed actions to one double each).
+inline constexpr std::uint32_t kNoPlanSwitch = 0xffffffffu;
+
+inline constexpr std::uint32_t kPlanFlagDt = 1u;
+inline constexpr std::uint32_t kPlanFlagDeliverFallback = 2u;
+
+/// Header words per switch region before the candidate columns.
+inline constexpr std::size_t kPlanHeaderWords = 4;
+
+inline double plan_pack(std::uint32_t hi, std::uint32_t lo) {
+  return std::bit_cast<double>((static_cast<std::uint64_t>(hi) << 32) | lo);
+}
+inline std::uint32_t plan_hi(double d) {
+  return static_cast<std::uint32_t>(std::bit_cast<std::uint64_t>(d) >> 32);
+}
+inline std::uint32_t plan_lo(double d) {
+  return static_cast<std::uint32_t>(std::bit_cast<std::uint64_t>(d));
+}
+
+/// Relay action for one <switch, vlink destination> pair.
+struct PlanRelay {
+  std::uint32_t succ = kNoPlanSwitch;  ///< next hop along the virtual link
+  std::uint32_t pad = 0;
+  double weight = 0.0;  ///< link weight to succ; NaN when missing
+};
+
+struct RoutePlan {
+  /// Start of each switch's region inside `hot`.
+  std::vector<std::uint32_t> offset;
+  /// All per-switch regions, back to back (layout above).
+  std::vector<double> hot;
+  /// Attached servers of every switch, serial order, concatenated.
+  std::vector<std::uint32_t> servers;
+  /// <switch, dest> -> relay action; first-installed entry wins,
+  /// exactly like FlowTable::find_relay.
+  FlatMap<Key2, PlanRelay> relays;
+
+  void clear() {
+    offset.clear();
+    hot.clear();
+    servers.clear();
+    relays.clear();
+  }
+};
+
+/// The plan plus its rebuild coordination. Held behind a unique_ptr so
+/// SdenNetwork stays movable (the address also keeps the dirty flag
+/// stable across moves). Routing threads only ever read `dirty` and
+/// `plan`; the first router after an invalidation rebuilds under the
+/// mutex while late arrivals wait, then everyone reads the immutable
+/// result.
+struct PlanState {
+  std::mutex rebuild_mutex;
+  std::atomic<bool> dirty{true};
+  RoutePlan plan;
+};
+
+}  // namespace gred::sden

@@ -3,12 +3,14 @@
 // the paper's per-server load for the max/avg metric).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <utility>
 
 #include "common/error.hpp"
+#include "sden/item_store.hpp"
 #include "topology/edge_network.hpp"
 
 namespace gred::sden {
@@ -16,6 +18,35 @@ namespace gred::sden {
 class ServerNode {
  public:
   explicit ServerNode(const topology::EdgeServer& info) : info_(info) {}
+
+  // The retrieval counter is atomic (see note_retrieval), which costs
+  // the implicit copy/move operations; they are spelled out here.
+  ServerNode(const ServerNode& o)
+      : info_(o.info_),
+        items_(o.items_),
+        placements_received_(o.placements_received_),
+        retrievals_served_(o.retrievals_served_.load()) {}
+  ServerNode(ServerNode&& o) noexcept
+      : info_(std::move(o.info_)),
+        items_(std::move(o.items_)),
+        placements_received_(o.placements_received_),
+        retrievals_served_(o.retrievals_served_.load()) {}
+  ServerNode& operator=(const ServerNode& o) {
+    if (this != &o) {
+      info_ = o.info_;
+      items_ = o.items_;
+      placements_received_ = o.placements_received_;
+      retrievals_served_.store(o.retrievals_served_.load());
+    }
+    return *this;
+  }
+  ServerNode& operator=(ServerNode&& o) noexcept {
+    info_ = std::move(o.info_);
+    items_ = std::move(o.items_);
+    placements_received_ = o.placements_received_;
+    retrievals_served_.store(o.retrievals_served_.load());
+    return *this;
+  }
 
   const topology::EdgeServer& info() const { return info_; }
 
@@ -27,7 +58,16 @@ class ServerNode {
   /// Returns the payload if present.
   std::optional<std::string> fetch(const std::string& id) const;
 
-  bool contains(const std::string& id) const { return items_.count(id) > 0; }
+  /// Allocation-free lookup: pointer to the stored payload (valid
+  /// until the item is overwritten or erased), or nullptr. The route
+  /// fast path copies through this into reused scratch capacity
+  /// instead of materializing an optional<string>. One dependent cache
+  /// miss: the ItemStore slot holds id and payload inline.
+  const std::string* find(const std::string& id) const {
+    return items_.find(id);
+  }
+
+  bool contains(const std::string& id) const { return items_.contains(id); }
 
   /// Removes an item; true when it existed.
   bool erase(const std::string& id);
@@ -37,7 +77,9 @@ class ServerNode {
   /// Cumulative placements ever received (diagnostics).
   std::size_t placements_received() const { return placements_received_; }
   /// Cumulative retrievals served (diagnostics).
-  std::size_t retrievals_served() const { return retrievals_served_; }
+  std::size_t retrievals_served() const {
+    return retrievals_served_.load(std::memory_order_relaxed);
+  }
 
   std::size_t capacity() const { return info_.capacity; }
   bool at_capacity() const {
@@ -46,18 +88,22 @@ class ServerNode {
   /// Remaining capacity; SIZE_MAX when unbounded.
   std::size_t remaining_capacity() const;
 
-  /// Records a served retrieval (called by the network walk).
-  void note_retrieval() { ++retrievals_served_; }
-
-  const std::unordered_map<std::string, std::string>& items() const {
-    return items_;
+  /// Records a served retrieval (called by the network walk). Relaxed
+  /// atomic: the parallel retrieval replay routes independent requests
+  /// concurrently, and a commutative counter bump is the only write
+  /// they share.
+  void note_retrieval() {
+    retrievals_served_.fetch_add(1, std::memory_order_relaxed);
   }
+
+  /// Stored items, iterable as (id, payload) pairs.
+  const ItemStore& items() const { return items_; }
 
  private:
   topology::EdgeServer info_;
-  std::unordered_map<std::string, std::string> items_;
+  ItemStore items_;
   std::size_t placements_received_ = 0;
-  std::size_t retrievals_served_ = 0;
+  std::atomic<std::size_t> retrievals_served_{0};
 };
 
 }  // namespace gred::sden

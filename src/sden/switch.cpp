@@ -11,8 +11,8 @@ Decision Switch::process(Packet& pkt) const {
       // Endpoint reached: continue in greedy mode from here.
       pkt.clear_virtual_link();
     } else {
-      const auto relay = table_.match_relay(pkt.vlink_dest);
-      if (!relay.has_value()) {
+      const RelayEntry* relay = table_.find_relay(pkt.vlink_dest);
+      if (relay == nullptr) {
         Decision d;
         d.kind = Decision::Kind::kDrop;
         d.drop_reason = "no relay entry for virtual-link destination";
@@ -38,14 +38,11 @@ Decision Switch::process(Packet& pkt) const {
 Decision Switch::greedy_forward(Packet& pkt) const {
   // Algorithm 2: across physical and DT neighbors, find v* minimizing
   // the Euclidean distance to the data position (ties broken by the
-  // paper's (x, y) rank via closer_to).
-  const NeighborEntry* best = nullptr;
-  for (const NeighborEntry& cand : table_.neighbors()) {
-    if (best == nullptr ||
-        geometry::closer_to(pkt.target, cand.position, best->position)) {
-      best = &cand;
-    }
-  }
+  // paper's (x, y) rank via closer_to). The indexed table's SoA scan
+  // returns the same unique minimizer the sequential scan would.
+  const std::size_t best_idx = table_.best_candidate(pkt.target);
+  const NeighborEntry* best =
+      best_idx == geometry::kNoSite ? nullptr : &table_.neighbors()[best_idx];
 
   if (best != nullptr &&
       geometry::closer_to(pkt.target, best->position, position_)) {
@@ -75,15 +72,16 @@ Decision Switch::deliver(const Packet& pkt) const {
     return d;
   }
 
-  // Section V-B: serial number H(d) mod s.
-  const crypto::DataKey key(pkt.data_id);
+  // Section V-B: serial number H(d) mod s. pkt.key() reuses the cached
+  // digest when the sender filled it in (no SHA-256 on the fast path).
+  const crypto::DataKey key = pkt.key();
   const std::size_t idx =
       static_cast<std::size_t>(key.mod(local_servers_.size()));
   const ServerId chosen = local_servers_[idx];
 
   d.kind = Decision::Kind::kDeliver;
-  const auto rewrite = table_.match_rewrite(chosen);
-  if (!rewrite.has_value()) {
+  const RewriteEntry* rewrite = table_.find_rewrite(chosen);
+  if (rewrite == nullptr) {
     d.targets.push_back({chosen, id_});
     return d;
   }

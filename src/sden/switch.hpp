@@ -5,6 +5,7 @@
 // knowledge lives in the controller that installed the tables.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "crypto/data_key.hpp"
@@ -27,9 +28,28 @@ struct Decision {
     SwitchId via = kNoSwitch;
   };
 
+  /// At most two delivery targets exist (retrieval under range
+  /// extension addresses the original and the delegate server), so the
+  /// list lives inline — a per-hop Decision never touches the heap.
+  class TargetList {
+   public:
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    void push_back(const DeliveryTarget& t) { items_[count_++] = t; }
+    const DeliveryTarget& operator[](std::size_t i) const {
+      return items_[i];
+    }
+    const DeliveryTarget* begin() const { return items_; }
+    const DeliveryTarget* end() const { return items_ + count_; }
+
+   private:
+    DeliveryTarget items_[2];
+    std::uint8_t count_ = 0;
+  };
+
   Kind kind = Kind::kDrop;
   SwitchId next_hop = kNoSwitch;          ///< kForward
-  std::vector<DeliveryTarget> targets;    ///< kDeliver
+  TargetList targets;                     ///< kDeliver
   const char* drop_reason = nullptr;      ///< kDrop diagnostics
 };
 

@@ -1,0 +1,308 @@
+// Data-plane fast-path tests: the compiled route plan held
+// bit-identical to the live pipeline on random topologies, plan
+// invalidation on every mutation route, the indexed FlowTable,
+// ItemStore, EventQueue ordering, and thread-count invariance of the
+// parallel retrieval replay.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/delay_experiment.hpp"
+#include "core/system.hpp"
+#include "crypto/data_key.hpp"
+#include "sden/event_queue.hpp"
+#include "sden/flow_table.hpp"
+#include "sden/item_store.hpp"
+#include "sden/network.hpp"
+#include "sden/reference_router.hpp"
+#include "topology/waxman.hpp"
+
+namespace gred {
+namespace {
+
+topology::EdgeNetwork make_net(std::size_t switches, std::uint64_t seed) {
+  Rng rng(seed);
+  topology::WaxmanOptions opt;
+  opt.node_count = switches;
+  opt.min_degree = 3;
+  auto topo = topology::generate_waxman(opt, rng);
+  EXPECT_TRUE(topo.ok());
+  topology::EdgeNetwork net(std::move(topo).value().graph);
+  for (std::size_t s = 0; s < switches; ++s) {
+    // 1-4 servers per switch so H(d) mod s exercises several ranges.
+    const std::size_t count = 1 + rng.next_below(4);
+    for (std::size_t k = 0; k < count; ++k) {
+      EXPECT_TRUE(net.attach_server(s).ok());
+    }
+  }
+  return net;
+}
+
+sden::Packet make_packet(const std::string& id, sden::PacketType type,
+                         const std::string& payload = "") {
+  sden::Packet p;
+  p.type = type;
+  p.data_id = id;
+  p.payload = payload;
+  const crypto::DataKey key(id);
+  p.target = {key.position().x, key.position().y};
+  p.set_key(key);
+  return p;
+}
+
+void expect_identical(const sden::RouteResult& a, const sden::RouteResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.status.ok(), b.status.ok()) << what;
+  EXPECT_EQ(a.switch_path, b.switch_path) << what;
+  EXPECT_EQ(a.delivered_to, b.delivered_to) << what;
+  EXPECT_EQ(a.responder, b.responder) << what;
+  EXPECT_EQ(a.payload, b.payload) << what;
+  EXPECT_EQ(a.found, b.found) << what;
+  EXPECT_DOUBLE_EQ(a.path_cost, b.path_cost) << what;
+}
+
+// The compiled fast path must produce the exact RouteResult of the
+// live Switch::process walk for every packet type, on several random
+// Waxman substrates.
+TEST(DataPlaneDifferential, FastPathMatchesLivePipeline) {
+  for (const std::size_t n : {24u, 64u}) {
+    for (const std::uint64_t seed : {501u, 502u}) {
+      auto sys = core::GredSystem::create(
+          make_net(n, seed), core::VirtualSpaceOptions{});
+      ASSERT_TRUE(sys.ok());
+      sden::SdenNetwork& net = sys.value().network();
+      Rng rng(seed * 7);
+
+      sden::RouteResult fast;
+      sden::Packet scratch;
+      for (std::size_t i = 0; i < 60; ++i) {
+        const std::string id =
+            "diff-" + std::to_string(seed) + "-" + std::to_string(i);
+        const sden::SwitchId ingress = rng.next_below(n);
+
+        // Placement: fast path first (stores), then the reference
+        // overwrites the same id — identical path and delivery.
+        scratch = make_packet(id, sden::PacketType::kPlacement, "v-" + id);
+        net.route(scratch, ingress, fast);
+        ASSERT_TRUE(fast.status.ok());
+        const sden::RouteResult ref_place = sden::reference_route(
+            net, make_packet(id, sden::PacketType::kPlacement, "v-" + id),
+            ingress);
+        expect_identical(fast, ref_place, "placement " + id);
+
+        // Retrieval from a different random ingress.
+        const sden::SwitchId r_ingress = rng.next_below(n);
+        scratch = make_packet(id, sden::PacketType::kRetrieval);
+        net.route(scratch, r_ingress, fast);
+        ASSERT_TRUE(fast.status.ok());
+        EXPECT_TRUE(fast.found) << id;
+        EXPECT_EQ(fast.payload, "v-" + id);
+        const sden::RouteResult ref_get = sden::reference_route(
+            net, make_packet(id, sden::PacketType::kRetrieval), r_ingress);
+        expect_identical(fast, ref_get, "retrieval " + id);
+
+        // Removal via the fast path; the reference then misses.
+        scratch = make_packet(id, sden::PacketType::kRemoval);
+        net.route(scratch, r_ingress, fast);
+        ASSERT_TRUE(fast.status.ok());
+        EXPECT_TRUE(fast.found) << id;
+        const sden::RouteResult ref_gone = sden::reference_route(
+            net, make_packet(id, sden::PacketType::kRetrieval), r_ingress);
+        EXPECT_FALSE(ref_gone.found) << id;
+      }
+    }
+  }
+}
+
+// Mutating a switch through any accessor must invalidate the compiled
+// plan: the next route sees the new forwarding state.
+TEST(DataPlaneDifferential, PlanRebuildsAfterMutation) {
+  auto sys =
+      core::GredSystem::create(make_net(24, 77), core::VirtualSpaceOptions{});
+  ASSERT_TRUE(sys.ok());
+  sden::SdenNetwork& net = sys.value().network();
+
+  const std::string id = "plan-rebuild";
+  ASSERT_TRUE(sys.value().place(id, "payload", 0).ok());
+  sden::RouteResult result;
+  sden::Packet pkt = make_packet(id, sden::PacketType::kRetrieval);
+  net.route(pkt, 0, result);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_TRUE(result.found);
+  ASSERT_GE(result.switch_path.size(), 1u);
+  const sden::SwitchId terminal = result.switch_path.back();
+
+  // Wipe the terminal switch's state: the same packet must now be
+  // dropped there instead of delivered (the plan was recompiled).
+  net.switch_at(terminal).reset();
+  pkt = make_packet(id, sden::PacketType::kRetrieval);
+  net.route(pkt, terminal, result);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_FALSE(result.found);
+}
+
+TEST(FlowTableIndex, RelayFirstInstalledWinsAndDedup) {
+  sden::FlowTable table;
+  table.add_relay({1, 2, 3, 9});   // first entry for dest 9
+  table.add_relay({4, 5, 6, 9});   // different sour, same dest
+  ASSERT_EQ(table.relays().size(), 2u);
+
+  const sden::RelayEntry* hit = table.find_relay(9);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->sour, 1u);
+  EXPECT_EQ(hit->succ, 3u);
+
+  // Re-adding the same <sour, dest> updates in place — no growth, and
+  // the dest match still resolves to the first-installed entry.
+  table.add_relay({1, 2, 7, 9});
+  EXPECT_EQ(table.relays().size(), 2u);
+  hit = table.find_relay(9);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->succ, 7u);
+
+  EXPECT_EQ(table.find_relay(8), nullptr);
+}
+
+TEST(FlowTableIndex, RelayLookupScalesWithoutDuplicates) {
+  // O(1) add_relay regression: installing the same relay set twice
+  // (controller re-installation) must not duplicate entries, and every
+  // dest must keep resolving to its first entry.
+  sden::FlowTable table;
+  const std::size_t n = 2000;
+  for (int round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      table.add_relay({i, i, i + 1, 10000 + i});
+    }
+  }
+  ASSERT_EQ(table.relays().size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sden::RelayEntry* hit = table.find_relay(10000 + i);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->sour, i);
+  }
+}
+
+TEST(FlowTableIndex, RewriteRemoveReindexes) {
+  sden::FlowTable table;
+  table.add_rewrite({10, 20, 1});
+  table.add_rewrite({11, 21, 2});
+  table.add_rewrite({12, 22, 3});
+  table.remove_rewrite(11);
+  ASSERT_EQ(table.rewrites().size(), 2u);
+  EXPECT_EQ(table.find_rewrite(11), nullptr);
+  const sden::RewriteEntry* tail = table.find_rewrite(12);
+  ASSERT_NE(tail, nullptr);
+  EXPECT_EQ(tail->replacement, 22u);
+  EXPECT_EQ(tail->via_switch, 3u);
+}
+
+TEST(ItemStoreTest, UpsertFindEraseIterate) {
+  sden::ItemStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.find("missing"), nullptr);
+
+  const std::size_t n = 500;
+  for (std::size_t i = 0; i < n; ++i) {
+    store.upsert("item-" + std::to_string(i), "v" + std::to_string(i));
+  }
+  EXPECT_EQ(store.size(), n);
+
+  // Overwrite keeps the size and replaces the payload.
+  store.upsert("item-7", "updated");
+  EXPECT_EQ(store.size(), n);
+  ASSERT_NE(store.find("item-7"), nullptr);
+  EXPECT_EQ(*store.find("item-7"), "updated");
+
+  // Erase every odd item; evens must stay reachable through the
+  // backward-shift compaction.
+  for (std::size_t i = 1; i < n; i += 2) {
+    EXPECT_TRUE(store.erase("item-" + std::to_string(i)));
+  }
+  EXPECT_FALSE(store.erase("item-1"));
+  EXPECT_EQ(store.size(), n / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string* hit = store.find("item-" + std::to_string(i));
+    if (i % 2 == 0) {
+      ASSERT_NE(hit, nullptr) << i;
+    } else {
+      EXPECT_EQ(hit, nullptr) << i;
+    }
+  }
+
+  // Iteration yields exactly the survivors.
+  std::size_t seen = 0;
+  for (const auto& [id, payload] : store) {
+    EXPECT_EQ(id.rfind("item-", 0), 0u);
+    EXPECT_FALSE(payload.empty());
+    ++seen;
+  }
+  EXPECT_EQ(seen, n / 2);
+}
+
+TEST(EventQueueTest, OrdersByTimeWithFifoTies) {
+  sden::EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(2.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(1.0, [&] { order.push_back(2); });  // FIFO among equals
+  q.schedule_at(3.0, [&] { order.push_back(4); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(q.processed(), 4u);
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+
+  // Scheduling into the past clamps to now (time stays monotonic), and
+  // handlers scheduling new events keep running.
+  q.schedule_at(1.0, [&q, &order] {
+    order.push_back(5);
+    q.schedule_after(0.5, [&order] { order.push_back(6); });
+  });
+  q.run();
+  EXPECT_EQ(order.back(), 6);
+  EXPECT_DOUBLE_EQ(q.now(), 3.5);
+}
+
+// The parallel retrieval replay must produce the same aggregate result
+// for any thread count (deterministic sharding + reduction).
+TEST(ParallelReplay, ThreadCountInvariance) {
+  auto sys =
+      core::GredSystem::create(make_net(32, 909), core::VirtualSpaceOptions{});
+  ASSERT_TRUE(sys.ok());
+  std::vector<std::string> ids;
+  Rng place_rng(3);
+  for (std::size_t i = 0; i < 40; ++i) {
+    ids.push_back("replay-" + std::to_string(i));
+    ASSERT_TRUE(
+        sys.value().place(ids.back(), "payload", place_rng.next_below(32)).ok());
+  }
+
+  ThreadPool one(1);
+  ThreadPool four(4);
+  core::DelayModelOptions serial;
+  serial.pool = &one;
+  core::DelayModelOptions parallel;
+  parallel.pool = &four;
+
+  Rng r1(42);
+  auto s = core::RetrievalDelayExperiment(sys.value(), serial)
+               .run_uniform(ids, 300, 0.05, r1);
+  Rng r2(42);
+  auto p = core::RetrievalDelayExperiment(sys.value(), parallel)
+               .run_uniform(ids, 300, 0.05, r2);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(s.value().requests, p.value().requests);
+  EXPECT_EQ(s.value().not_found, p.value().not_found);
+  EXPECT_EQ(s.value().delay.count, p.value().delay.count);
+  EXPECT_DOUBLE_EQ(s.value().delay.mean, p.value().delay.mean);
+  EXPECT_DOUBLE_EQ(s.value().delay.p50, p.value().delay.p50);
+  EXPECT_DOUBLE_EQ(s.value().delay.p99, p.value().delay.p99);
+  EXPECT_DOUBLE_EQ(s.value().makespan_ms, p.value().makespan_ms);
+}
+
+}  // namespace
+}  // namespace gred
