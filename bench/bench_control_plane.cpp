@@ -12,6 +12,9 @@
 #include "bench_util.hpp"
 #include "common/thread_pool.hpp"
 #include "geometry/site_grid.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 using namespace gred;
 
@@ -129,6 +132,32 @@ int main() {
               "%.2fM/s brute force, speedup %.1fx\n",
               grid_qps / 1e6, brute_qps / 1e6, grid_qps / brute_qps);
 
+  // --- Phase timers: one full control-plane build with the obs layer
+  // on. The per-phase histograms (APSP, MDS embed, C-regulation, DT
+  // build, install) come straight from the instrumented library, so
+  // this section also proves the timers fire where DESIGN.md says. ---
+  obs::registry().reset_values();
+  obs::set_enabled(true);
+  {
+    const topology::EdgeNetwork obs_net =
+        bench::make_waxman_network(200, 2, 3, 777);
+    auto sys = core::GredSystem::create(obs_net, bench::gred_options(30));
+    require(sys.ok(), "GredSystem::create (obs section)");
+  }
+  obs::set_enabled(false);
+  std::printf("\ncontrol-plane phases (200 switches, obs on):\n");
+  const obs::Registry::Snapshot phases = obs::registry().snapshot();
+  for (const auto& [name, hist] : phases.histograms) {
+    std::printf("  %-28s %8.2f ms (runs %llu)\n", name.c_str(), hist.sum,
+                static_cast<unsigned long long>(hist.count));
+  }
+  obs::ExportSources phase_sources;
+  phase_sources.registry = &obs::registry();
+  require(obs::write_text_file("BENCH_control_plane_obs.json",
+                               obs::to_json(phase_sources))
+              .ok(),
+          "write BENCH_control_plane_obs.json");
+
   bench::write_json(
       "BENCH_control_plane.json",
       {{"threads", threads},
@@ -142,5 +171,6 @@ int main() {
        {"brute_lookups_per_sec", brute_qps},
        {"lookup_speedup", grid_qps / brute_qps}});
   std::printf("\nwrote BENCH_control_plane.json\n");
+  std::printf("wrote BENCH_control_plane_obs.json (phase timings)\n");
   return 0;
 }

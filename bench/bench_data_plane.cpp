@@ -23,7 +23,11 @@
 // live-pipeline walk (reference_route) before any number is reported,
 // and the steady state is asserted allocation-free.
 //
-// `--smoke` shrinks sizes/rounds for CI.
+// `--smoke` shrinks sizes/rounds for CI. `--trace` additionally runs
+// each size with the gred::obs layer on (metrics + route-trace ring),
+// reports the observed overhead, asserts the traced steady state is
+// still allocation-free (ring writes don't allocate), and dumps the
+// collected observability state to BENCH_data_plane_obs.json.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -37,6 +41,9 @@
 #include "common/thread_pool.hpp"
 #include "crypto/data_key.hpp"
 #include "geometry/point.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "sden/network.hpp"
 #include "sden/reference_router.hpp"
 
@@ -176,9 +183,11 @@ struct SizeReport {
   double p50_ns = 0;
   double p99_ns = 0;
   double allocs_per_packet = 0;
+  double traced_pps = 0;          ///< --trace only: obs-on throughput
+  double trace_overhead_pct = 0;  ///< --trace only: vs obs-off fast path
 };
 
-SizeReport run_size(std::size_t n, bool smoke) {
+SizeReport run_size(std::size_t n, bool smoke, bool trace) {
   SizeReport rep;
   rep.n = static_cast<double>(n);
 
@@ -296,6 +305,36 @@ SizeReport run_size(std::size_t n, bool smoke) {
     rep.fast_pps_parallel = static_cast<double>(par_total) / elapsed;
   }
 
+  // --- Traced replay (--trace): same packets with the obs layer on.
+  // After one warm-up round (metric registration allocates once), the
+  // steady state must stay allocation-free: counter bumps, histogram
+  // records, and ring slot writes are all fixed-memory operations. ---
+  if (trace) {
+    obs::set_enabled(true);
+    if (!obs::route_trace().active()) obs::route_trace().enable(4096);
+    for (std::size_t i = 0; i < items; ++i) {  // warm-up / registration
+      pkt_scratch = pkts[i];
+      network.route(pkt_scratch, ingresses[i], scratch);
+    }
+    const std::size_t ta0 = g_allocs;
+    t0 = now_s();
+    std::size_t traced_total = 0;
+    for (std::size_t rd = 0; rd < fast_rounds; ++rd) {
+      for (std::size_t i = 0; i < items; ++i) {
+        pkt_scratch = pkts[i];
+        network.route(pkt_scratch, ingresses[i], scratch);
+        ++traced_total;
+      }
+    }
+    elapsed = now_s() - t0;
+    require(g_allocs == ta0,
+            "traced steady state performed a heap allocation");
+    rep.traced_pps = static_cast<double>(traced_total) / elapsed;
+    rep.trace_overhead_pct =
+        (rep.fast_pps - rep.traced_pps) / rep.fast_pps * 100.0;
+    obs::set_enabled(false);
+  }
+
   // --- Seed-style reference throughput (fresh result per packet). ---
   t0 = now_s();
   std::size_t ref_total = 0;
@@ -317,13 +356,26 @@ SizeReport run_size(std::size_t n, bool smoke) {
       n, rep.fast_pps, rep.ns_per_hop, rep.hops_per_packet, rep.p50_ns,
       rep.p99_ns, rep.allocs_per_packet, rep.fast_pps_parallel,
       rep.reference_pps, rep.speedup);
+  if (trace) {
+    std::printf("        traced %9.0f pkts/s (obs on, overhead %.1f%%)\n",
+                rep.traced_pps, rep.trace_overhead_pct);
+  }
   return rep;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  bool trace = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+  }
+  trace = trace || obs::init_from_env();
+  // The obs-off sections (and their allocs/pkt == 0 assertion) always
+  // run with the layer off; the traced section flips it on itself.
+  obs::set_enabled(false);
 
   bench::print_header(
       "Data plane", "compiled fast path vs seed-style reference walk",
@@ -336,7 +388,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::pair<std::string, double>> fields;
   for (std::size_t n : sizes) {
-    const SizeReport rep = run_size(n, smoke);
+    const SizeReport rep = run_size(n, smoke, trace);
     const std::string p = "n" + std::to_string(n) + "_";
     fields.emplace_back(p + "reference_pkts_per_sec", rep.reference_pps);
     fields.emplace_back(p + "fast_pkts_per_sec", rep.fast_pps);
@@ -348,8 +400,18 @@ int main(int argc, char** argv) {
     fields.emplace_back(p + "route_p50_ns", rep.p50_ns);
     fields.emplace_back(p + "route_p99_ns", rep.p99_ns);
     fields.emplace_back(p + "allocs_per_packet", rep.allocs_per_packet);
+    if (trace) {
+      fields.emplace_back(p + "traced_pkts_per_sec", rep.traced_pps);
+      fields.emplace_back(p + "trace_overhead_pct", rep.trace_overhead_pct);
+    }
   }
   bench::write_json("BENCH_data_plane.json", fields);
   std::printf("\nwrote BENCH_data_plane.json\n");
+  if (trace) {
+    const Status written = obs::write_text_file(
+        "BENCH_data_plane_obs.json", obs::to_json(obs::default_sources()));
+    require(written.ok(), "write BENCH_data_plane_obs.json");
+    std::printf("wrote BENCH_data_plane_obs.json (metrics + route trace)\n");
+  }
   return 0;
 }

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "check/invariants.hpp"
 #include "common/thread_pool.hpp"
 #include "graph/properties.hpp"
+#include "obs/events.hpp"
+#include "obs/obs.hpp"
+#include "obs/phase_timer.hpp"
 
 namespace gred::core {
 namespace {
@@ -14,6 +18,55 @@ namespace {
 using geometry::Point2D;
 using topology::ServerId;
 using topology::SwitchId;
+
+/// Installed flow entries across the network (event-log bookkeeping;
+/// computed only while obs is enabled).
+std::size_t total_flow_entries(const sden::SdenNetwork& net) {
+  std::size_t total = 0;
+  for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+    total += net.switch_at(sw).table().entry_count();
+  }
+  return total;
+}
+
+/// Captures the before-state of a dynamics op at construction and
+/// appends one event-log entry in finish(). Inert (two loads) when
+/// obs is disabled.
+class EventRecorder {
+ public:
+  EventRecorder(obs::EventKind kind, const sden::SdenNetwork& net,
+                std::size_t subject, std::size_t peer = 0)
+      : active_(obs::enabled()), net_(net) {
+    if (!active_) return;
+    ev_.kind = kind;
+    ev_.subject = static_cast<std::uint32_t>(subject);
+    ev_.peer = static_cast<std::uint32_t>(peer);
+    ev_.entries_before = total_flow_entries(net_);
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  void finish(const Status& status, std::size_t migrated,
+              std::size_t subject = static_cast<std::size_t>(-1)) {
+    if (!active_) return;
+    ev_.ok = status.ok();
+    if (!status.ok()) ev_.status = status.error().to_string();
+    if (subject != static_cast<std::size_t>(-1)) {
+      ev_.subject = static_cast<std::uint32_t>(subject);
+    }
+    ev_.migrated = migrated;
+    ev_.entries_after = total_flow_entries(net_);
+    ev_.duration_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    obs::event_log().append(std::move(ev_));
+  }
+
+ private:
+  bool active_;
+  const sden::SdenNetwork& net_;
+  obs::DynamicsEvent ev_;
+  std::chrono::steady_clock::time_point start_{};
+};
 
 /// Switches that join the DT: those with at least one attached server.
 std::vector<SwitchId> find_participants(const topology::EdgeNetwork& desc) {
@@ -80,6 +133,20 @@ Status Controller::initialize_with_positions(
 }
 
 Status Controller::install(sden::SdenNetwork& net) {
+  const obs::ScopedPhaseTimer timer("install");
+  // Range-extension rewrites are durable data-plane state (Section
+  // V-B): they survive every reinstall, or the delegation would
+  // silently vanish on the next dynamics event and strand the
+  // delegated items. Collect them before the wipe; re-add the ones
+  // that are still valid under the new topology afterwards.
+  std::vector<std::pair<SwitchId, sden::RewriteEntry>> rewrites;
+  for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+    for (const sden::RewriteEntry& rw :
+         std::as_const(net).switch_at(sw).table().rewrites()) {
+      rewrites.emplace_back(sw, rw);
+    }
+  }
+
   // Wipe everything, then install fresh state (the controller owns all
   // switch state; per-flow entries never exist).
   for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
@@ -108,6 +175,36 @@ Status Controller::install(sden::SdenNetwork& net) {
     }
   }
 
+  // Re-install surviving rewrites. An entry is dropped when the
+  // topology change invalidated it: the original server no longer
+  // hangs off the rewrite's switch, the delegate left, or the
+  // physical link the handoff rides is gone. Items on a dropped
+  // delegate are not stranded — migration re-homes them because their
+  // expected placement no longer has an active rewrite.
+  const topology::EdgeNetwork& desc = net.description();
+  for (const auto& [sw, rw] : rewrites) {
+    if (sw >= net.switch_count() || rw.via_switch >= net.switch_count() ||
+        rw.original >= net.server_count() ||
+        rw.replacement >= net.server_count()) {
+      continue;
+    }
+    // attached_to alone is not enough: a removed switch keeps its
+    // server records but detaches them, so membership in servers_at is
+    // the live-attachment test.
+    const auto& own_servers = desc.servers_at(sw);
+    if (std::find(own_servers.begin(), own_servers.end(), rw.original) ==
+        own_servers.end()) {
+      continue;  // original no longer hangs off this switch
+    }
+    const auto& via_servers = desc.servers_at(rw.via_switch);
+    if (std::find(via_servers.begin(), via_servers.end(), rw.replacement) ==
+        via_servers.end()) {
+      continue;  // delegate was detached from its switch
+    }
+    if (desc.switches().find_edge(sw, rw.via_switch) == nullptr) continue;
+    net.switch_at(sw).table().add_rewrite(rw);
+  }
+
   // Machine-checked invariants (Debug / GRED_CHECKED builds). Every
   // install is a full state replacement, so re-prove here that the DT
   // kept its empty-circumcircle property, the APSP tables agree with
@@ -129,7 +226,7 @@ topology::SwitchId Controller::home_switch(const Point2D& p) const {
 }
 
 Result<Controller::Placement> Controller::expected_placement(
-    sden::SdenNetwork& net, const crypto::DataKey& key) const {
+    const sden::SdenNetwork& net, const crypto::DataKey& key) const {
   if (!initialized_) {
     return Error(ErrorCode::kFailedPrecondition,
                  "Controller not initialized");
@@ -145,12 +242,29 @@ Result<Controller::Placement> Controller::expected_placement(
   return p;
 }
 
-Status Controller::extend_range(sden::SdenNetwork& net,
-                                ServerId overloaded) {
+Result<ServerId> Controller::resolve_store_target(
+    const sden::SdenNetwork& net, const crypto::DataKey& key) const {
+  const auto placement = expected_placement(net, key);
+  if (!placement.ok()) return placement.error();
+  const sden::RewriteEntry* rw =
+      net.switch_at(placement.value().sw).table().find_rewrite(
+          placement.value().server);
+  return rw != nullptr ? rw->replacement : placement.value().server;
+}
+
+Status Controller::extend_range_impl(sden::SdenNetwork& net,
+                                     ServerId overloaded) {
   if (overloaded >= net.server_count()) {
     return Status(ErrorCode::kOutOfRange, "extend_range: unknown server");
   }
   const SwitchId sw = net.server(overloaded).info().attached_to;
+  if (net.switch_at(sw).table().match_rewrite(overloaded).has_value()) {
+    // Re-extending would upsert the rewrite toward a possibly
+    // different delegate and strand the items already delegated to
+    // the old one; callers must retract first.
+    return Status(ErrorCode::kFailedPrecondition,
+                  "extend_range: extension already active; retract first");
+  }
 
   // Pick the delegate: the server with the most remaining capacity on
   // any physical-neighbor switch (Section V-B).
@@ -180,8 +294,8 @@ Status Controller::extend_range(sden::SdenNetwork& net,
   return Status::Ok();
 }
 
-Status Controller::retract_range(sden::SdenNetwork& net,
-                                 ServerId overloaded) {
+Status Controller::retract_range_impl(sden::SdenNetwork& net,
+                                      ServerId overloaded) {
   if (overloaded >= net.server_count()) {
     return Status(ErrorCode::kOutOfRange, "retract_range: unknown server");
   }
@@ -223,7 +337,6 @@ Status Controller::retract_range(sden::SdenNetwork& net,
 Result<std::size_t> Controller::migrate_items(sden::SdenNetwork& net) {
   struct Move {
     std::string id;
-    std::string payload;
     ServerId from;
     ServerId to;
   };
@@ -233,17 +346,51 @@ Result<std::size_t> Controller::migrate_items(sden::SdenNetwork& net) {
       const crypto::DataKey key(id);
       const auto placement = expected_placement(net, key);
       if (!placement.ok()) return placement.error();
-      if (placement.value().server != s) {
-        moves.push_back({id, payload, s, placement.value().server});
+      // Rewrite-aware: under an active extension, new stores go to the
+      // delegate, and items already on either the home server or its
+      // delegate are in place (the data plane retrieves from both).
+      const sden::RewriteEntry* rw =
+          std::as_const(net).switch_at(placement.value().sw).table()
+              .find_rewrite(placement.value().server);
+      const ServerId target =
+          rw != nullptr ? rw->replacement : placement.value().server;
+      if (s != placement.value().server && s != target) {
+        moves.push_back({id, s, target});
       }
     }
   }
+  // Transactional apply: store on the target first, erase the source
+  // only after the store succeeded, and undo in reverse order on
+  // failure. The reverse-order undo is what makes the store-back
+  // infallible: when move i is undone, every later move is already
+  // undone, so the slot move i freed at its source is free again.
+  std::size_t applied = 0;
+  Status failure = Status::Ok();
   for (const Move& m : moves) {
+    const std::string* payload = net.server(m.from).find(m.id);
+    if (payload == nullptr) {
+      failure = Status(ErrorCode::kInternal,
+                       "migrate_items: item vanished mid-migration");
+      break;
+    }
+    const Status stored = net.server(m.to).store(m.id, *payload);
+    if (!stored.ok()) {
+      failure = stored;
+      break;
+    }
     net.server(m.from).erase(m.id);
-    const Status stored = net.server(m.to).store(m.id, m.payload);
-    if (!stored.ok()) return stored.error();
+    ++applied;
   }
-  return moves.size();
+  if (failure.ok()) return moves.size();
+  for (std::size_t i = applied; i-- > 0;) {
+    const Move& m = moves[i];
+    auto payload = net.server(m.to).fetch(m.id);
+    net.server(m.to).erase(m.id);
+    if (payload.has_value()) {
+      (void)net.server(m.from).store(m.id, std::move(*payload));
+    }
+  }
+  return failure.error();
 }
 
 geometry::Point2D Controller::fit_position(const sden::SdenNetwork& net,
@@ -301,6 +448,7 @@ geometry::Point2D Controller::fit_position(const sden::SdenNetwork& net,
 }
 
 void Controller::recompute_apsp(const sden::SdenNetwork& net) {
+  const obs::ScopedPhaseTimer timer("apsp");
   const graph::Graph& g = net.description().switches();
   // The two tables are independent; build both at once, each fanning
   // its sources across the same pool.
@@ -313,8 +461,8 @@ void Controller::recompute_apsp(const sden::SdenNetwork& net) {
   });
 }
 
-Status Controller::add_link(sden::SdenNetwork& net, SwitchId u, SwitchId v,
-                            double weight) {
+Status Controller::add_link_impl(sden::SdenNetwork& net, SwitchId u,
+                                 SwitchId v, double weight) {
   if (!initialized_) {
     return Status(ErrorCode::kFailedPrecondition,
                   "Controller not initialized");
@@ -328,8 +476,8 @@ Status Controller::add_link(sden::SdenNetwork& net, SwitchId u, SwitchId v,
   return rebuild_and_install(net);
 }
 
-Status Controller::remove_link(sden::SdenNetwork& net, SwitchId u,
-                               SwitchId v) {
+Status Controller::remove_link_impl(sden::SdenNetwork& net, SwitchId u,
+                                    SwitchId v) {
   if (!initialized_) {
     return Status(ErrorCode::kFailedPrecondition,
                   "Controller not initialized");
@@ -350,8 +498,41 @@ Status Controller::remove_link(sden::SdenNetwork& net, SwitchId u,
       }
     }
   }
+  const double weight = net.description().switches().find_edge(u, v)->weight;
+  // Pre-removal rewrites: install() drops any whose handoff ran over
+  // this link, and the failure path below has to put them back.
+  std::vector<std::pair<SwitchId, sden::RewriteEntry>> rewrites_before;
+  for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+    for (const sden::RewriteEntry& rw :
+         std::as_const(net).switch_at(sw).table().rewrites()) {
+      rewrites_before.emplace_back(sw, rw);
+    }
+  }
+
   net.mutable_description().mutable_switches().remove_edge(u, v);
-  return rebuild_and_install(net);
+  const Status rebuilt = rebuild_and_install(net);
+  if (!rebuilt.ok()) return rebuilt;
+  // Losing the link may have invalidated a range extension whose
+  // handoff ran over it (install drops such rewrites). Items already
+  // delegated would then be stranded on the ex-delegate — unreachable
+  // through the home server — so pull every out-of-place item back.
+  auto migrated = migrate_items(net);
+  if (!migrated.ok()) {
+    // Migration is transactional, so every item is back where it was;
+    // restore the link and the dropped delegations it carried, then
+    // reinstall (install preserves table rewrites, so re-adding them
+    // first makes the rebuild reproduce the pre-call state).
+    (void)net.mutable_description().mutable_switches().add_edge(u, v, weight);
+    for (const auto& [sw, rw] : rewrites_before) {
+      if (net.switch_at(sw).table().find_rewrite(rw.original) == nullptr) {
+        net.switch_at(sw).table().add_rewrite(rw);
+      }
+    }
+    (void)rebuild_and_install(net);
+    return migrated.error();
+  }
+  last_migration_ = migrated.value();
+  return Status::Ok();
 }
 
 Status Controller::rebuild_and_install(sden::SdenNetwork& net) {
@@ -363,7 +544,7 @@ Status Controller::rebuild_and_install(sden::SdenNetwork& net) {
   return install(net);
 }
 
-Result<topology::SwitchId> Controller::add_switch(
+Result<topology::SwitchId> Controller::add_switch_impl(
     sden::SdenNetwork& net, const std::vector<SwitchId>& links,
     std::size_t server_count, std::size_t capacity) {
   if (!initialized_) {
@@ -374,12 +555,33 @@ Result<topology::SwitchId> Controller::add_switch(
     return Error(ErrorCode::kInvalidArgument,
                  "add_switch: new switch must have at least one link");
   }
+  // Join is all-or-nothing: remember the pre-call state and restore it
+  // on any failure, so a half-joined switch never leaks into the
+  // topology. Counts suffice for the network (add_switch/attach_server
+  // are append-only), and the virtual space is small enough to copy.
+  const std::size_t switches_before = net.switch_count();
+  const std::size_t servers_before = net.server_count();
+  const VirtualSpace space_before = space_;
+  const auto rollback = [&](Status cause) {
+    net.truncate_switches(switches_before, servers_before);
+    space_ = space_before;
+    // Reinstall the pre-call tables (rewrites are preserved across the
+    // reinstall). This cannot meaningfully fail: it rebuilds exactly
+    // the state that was installed when we entered.
+    (void)rebuild_and_install(net);
+    return cause;
+  };
+
   auto added = net.add_switch(links);
-  if (!added.ok()) return added.error();
+  if (!added.ok()) {
+    // net.add_switch may fail after adding the node (e.g. a duplicate
+    // link in `links`); the truncate undoes that partial state.
+    return rollback(added.error()).error();
+  }
   const SwitchId sw = added.value();
   for (std::size_t k = 0; k < server_count; ++k) {
     auto attached = net.attach_server(sw, capacity);
-    if (!attached.ok()) return attached.error();
+    if (!attached.ok()) return rollback(attached.error()).error();
   }
 
   if (server_count > 0) {
@@ -388,15 +590,18 @@ Result<topology::SwitchId> Controller::add_switch(
     space_.add_participant(sw, fit_position(net, sw));
   }
   const Status rebuilt = rebuild_and_install(net);
-  if (!rebuilt.ok()) return rebuilt.error();
+  if (!rebuilt.ok()) return rollback(rebuilt).error();
 
+  // migrate_items is transactional: on failure every applied move has
+  // been undone, so the rollback below never destroys live items (the
+  // new switch's servers are empty again).
   auto migrated = migrate_items(net);
-  if (!migrated.ok()) return migrated.error();
+  if (!migrated.ok()) return rollback(migrated.error()).error();
   last_migration_ = migrated.value();
   return sw;
 }
 
-Status Controller::remove_switch(sden::SdenNetwork& net, SwitchId sw) {
+Status Controller::remove_switch_impl(sden::SdenNetwork& net, SwitchId sw) {
   if (!initialized_) {
     return Status(ErrorCode::kFailedPrecondition,
                   "Controller not initialized");
@@ -446,13 +651,72 @@ Status Controller::remove_switch(sden::SdenNetwork& net, SwitchId sw) {
   if (!migrated.ok()) return migrated.error();
   last_migration_ = migrated.value() + orphans.size();
   for (auto& [id, payload] : orphans) {
-    const auto placement = expected_placement(net, crypto::DataKey(id));
-    if (!placement.ok()) return placement.error();
+    // Same rewrite-aware path as migration: an orphan whose new home
+    // has an active range extension goes to the delegate, and store()
+    // enforces the target's capacity instead of silently overfilling a
+    // server whose load was just delegated away.
+    const auto target = resolve_store_target(net, crypto::DataKey(id));
+    if (!target.ok()) return target.error();
     const Status stored =
-        net.server(placement.value().server).store(id, std::move(payload));
+        net.server(target.value()).store(id, std::move(payload));
     if (!stored.ok()) return stored;
   }
   return Status::Ok();
+}
+
+// --- Observability wrappers -----------------------------------------
+// Each public dynamics/extension op logs one dynamics event (audit
+// trail for Section V-B / Section VI reconfigurations) around its
+// _impl. With obs disabled the wrappers add two relaxed loads.
+
+Status Controller::extend_range(sden::SdenNetwork& net,
+                                ServerId overloaded) {
+  EventRecorder ev(obs::EventKind::kExtendRange, net, overloaded);
+  const Status status = extend_range_impl(net, overloaded);
+  ev.finish(status, /*migrated=*/0);
+  return status;
+}
+
+Status Controller::retract_range(sden::SdenNetwork& net,
+                                 ServerId overloaded) {
+  EventRecorder ev(obs::EventKind::kRetractRange, net, overloaded);
+  const Status status = retract_range_impl(net, overloaded);
+  ev.finish(status, /*migrated=*/0);
+  return status;
+}
+
+Result<topology::SwitchId> Controller::add_switch(
+    sden::SdenNetwork& net, const std::vector<SwitchId>& links,
+    std::size_t server_count, std::size_t capacity) {
+  EventRecorder ev(obs::EventKind::kAddSwitch, net, net.switch_count());
+  auto result = add_switch_impl(net, links, server_count, capacity);
+  ev.finish(result.ok() ? Status::Ok() : Status(result.error()),
+            result.ok() ? last_migration_ : 0,
+            result.ok() ? result.value() : net.switch_count());
+  return result;
+}
+
+Status Controller::remove_switch(sden::SdenNetwork& net, SwitchId sw) {
+  EventRecorder ev(obs::EventKind::kRemoveSwitch, net, sw);
+  const Status status = remove_switch_impl(net, sw);
+  ev.finish(status, status.ok() ? last_migration_ : 0);
+  return status;
+}
+
+Status Controller::add_link(sden::SdenNetwork& net, SwitchId u, SwitchId v,
+                            double weight) {
+  EventRecorder ev(obs::EventKind::kAddLink, net, u, v);
+  const Status status = add_link_impl(net, u, v, weight);
+  ev.finish(status, /*migrated=*/0);
+  return status;
+}
+
+Status Controller::remove_link(sden::SdenNetwork& net, SwitchId u,
+                               SwitchId v) {
+  EventRecorder ev(obs::EventKind::kRemoveLink, net, u, v);
+  const Status status = remove_link_impl(net, u, v);
+  ev.finish(status, status.ok() ? last_migration_ : 0);
+  return status;
 }
 
 }  // namespace gred::core

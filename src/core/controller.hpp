@@ -58,8 +58,16 @@ class Controller {
     topology::SwitchId sw = 0;
     topology::ServerId server = topology::kNoServer;
   };
-  Result<Placement> expected_placement(sden::SdenNetwork& net,
+  Result<Placement> expected_placement(const sden::SdenNetwork& net,
                                        const crypto::DataKey& key) const;
+
+  /// The server a *new* store of `key` must land on right now: the
+  /// expected placement, redirected to the delegate when the home
+  /// server has an active range extension. Migration and orphan
+  /// re-placement go through this so they obey the same rewrites the
+  /// data plane does.
+  Result<topology::ServerId> resolve_store_target(
+      const sden::SdenNetwork& net, const crypto::DataKey& key) const;
 
   // --- Range extension (Section V-B) ---
 
@@ -104,10 +112,26 @@ class Controller {
   Status remove_link(sden::SdenNetwork& net, topology::SwitchId u,
                      topology::SwitchId v);
 
-  /// Items moved by the last add_switch/remove_switch (diagnostics).
+  /// Items moved by the last add_switch/remove_switch/remove_link
+  /// (diagnostics).
   std::size_t last_migration_count() const { return last_migration_; }
 
  private:
+  // The public dynamics/extension ops are thin observability wrappers
+  // (dynamics event log, gred::obs) around these.
+  Status extend_range_impl(sden::SdenNetwork& net,
+                           topology::ServerId overloaded);
+  Status retract_range_impl(sden::SdenNetwork& net,
+                            topology::ServerId overloaded);
+  Result<topology::SwitchId> add_switch_impl(
+      sden::SdenNetwork& net, const std::vector<topology::SwitchId>& links,
+      std::size_t server_count, std::size_t capacity);
+  Status remove_switch_impl(sden::SdenNetwork& net, topology::SwitchId sw);
+  Status add_link_impl(sden::SdenNetwork& net, topology::SwitchId u,
+                       topology::SwitchId v, double weight);
+  Status remove_link_impl(sden::SdenNetwork& net, topology::SwitchId u,
+                          topology::SwitchId v);
+
   /// Recomputes APSP + DT from current participants_/space_ and
   /// reinstalls all switch state.
   Status rebuild_and_install(sden::SdenNetwork& net);

@@ -1,11 +1,14 @@
 #include "core/multihop_dt.hpp"
 
+#include "obs/phase_timer.hpp"
+
 namespace gred::core {
 
 Result<MultiHopDT> MultiHopDT::build(
     const std::vector<topology::SwitchId>& participants,
     const std::vector<geometry::Point2D>& positions,
     const graph::Graph& physical, const graph::ApspResult& apsp) {
+  const obs::ScopedPhaseTimer timer("dt_build");
   if (participants.size() != positions.size()) {
     return Error(ErrorCode::kInvalidArgument,
                  "MultiHopDT: participants/positions size mismatch");

@@ -23,6 +23,18 @@ Result<Snapshot> capture_snapshot(const Controller& controller) {
   return s;
 }
 
+Result<Snapshot> capture_snapshot(const Controller& controller,
+                                  const sden::SdenNetwork& net) {
+  auto s = capture_snapshot(controller);
+  if (!s.ok()) return s;
+  for (topology::SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+    for (const sden::RewriteEntry& rw : net.switch_at(sw).table().rewrites()) {
+      s.value().rewrites.emplace_back(sw, rw);
+    }
+  }
+  return s;
+}
+
 std::string serialize_snapshot(const Snapshot& snapshot) {
   std::ostringstream os;
   os << kMagic << "\n" << snapshot.participants.size() << "\n";
@@ -32,6 +44,14 @@ std::string serialize_snapshot(const Snapshot& snapshot) {
                   snapshot.participants[i], snapshot.positions[i].x,
                   snapshot.positions[i].y);
     os << buf;
+  }
+  if (!snapshot.rewrites.empty()) {
+    os << "rewrites " << snapshot.rewrites.size() << "\n";
+    for (const auto& [sw, rw] : snapshot.rewrites) {
+      std::snprintf(buf, sizeof(buf), "%zu %zu %zu %zu\n", sw,
+                    rw.original, rw.replacement, rw.via_switch);
+      os << buf;
+    }
   }
   return os.str();
 }
@@ -66,13 +86,61 @@ Result<Snapshot> parse_snapshot(const std::string& text) {
     s.participants.push_back(sw);
     s.positions.push_back({x, y});
   }
+  // Optional trailing rewrites section (absent in pre-extension
+  // snapshots and for extension-free networks).
+  std::string tag;
+  if (in >> tag) {
+    if (tag != "rewrites") {
+      return Error(ErrorCode::kInvalidArgument,
+                   "parse_snapshot: unexpected trailing token '" + tag + "'");
+    }
+    std::size_t rewrite_count = 0;
+    if (!(in >> rewrite_count)) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "parse_snapshot: missing rewrite count");
+    }
+    s.rewrites.reserve(std::min(rewrite_count, kReserveCap));
+    for (std::size_t i = 0; i < rewrite_count; ++i) {
+      std::size_t sw = 0;
+      sden::RewriteEntry rw;
+      if (!(in >> sw >> rw.original >> rw.replacement >> rw.via_switch)) {
+        return Error(ErrorCode::kInvalidArgument,
+                     "parse_snapshot: truncated at rewrite " +
+                         std::to_string(i));
+      }
+      s.rewrites.emplace_back(sw, rw);
+    }
+  }
   return s;
 }
 
 Status restore_snapshot(Controller& controller, sden::SdenNetwork& net,
                         const Snapshot& snapshot) {
-  return controller.initialize_with_positions(net, snapshot.participants,
-                                              snapshot.positions);
+  const Status init = controller.initialize_with_positions(
+      net, snapshot.participants, snapshot.positions);
+  if (!init.ok()) return init;
+  // Re-install the captured range extensions after the flow tables
+  // exist. Validate against this network: a snapshot is text from
+  // outside and must not install a rewrite the topology can't serve.
+  for (const auto& [sw, rw] : snapshot.rewrites) {
+    if (sw >= net.switch_count() || rw.via_switch >= net.switch_count() ||
+        rw.original >= net.server_count() ||
+        rw.replacement >= net.server_count()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "restore_snapshot: rewrite references unknown ids");
+    }
+    if (net.description().switches().find_edge(sw, rw.via_switch) ==
+        nullptr) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "restore_snapshot: rewrite handoff link missing");
+    }
+    sden::FlowTable& table = net.switch_at(sw).table();
+    if (table.find_rewrite(rw.original) != nullptr) {
+      table.remove_rewrite(rw.original);  // snapshot wins over live state
+    }
+    table.add_rewrite(rw);
+  }
+  return Status::Ok();
 }
 
 }  // namespace gred::core

@@ -10,6 +10,15 @@
 //   <count>
 //   <switch-id> <x> <y>        (one line per participant, full
 //                               precision round-trip via %.17g)
+//   rewrites <count>           (optional trailing section: the active
+//   <sw> <original> <replacement> <via>    range-extension rewrites,
+//                               one per line — without it a restored
+//                               network would silently lose every
+//                               delegation and strand delegated items)
+//
+// Snapshots written before the rewrites section existed parse fine
+// (the section is optional); new snapshots of extension-free networks
+// omit it, so those files are byte-identical to the v1 output.
 #pragma once
 
 #include <string>
@@ -23,10 +32,20 @@ namespace gred::core {
 struct Snapshot {
   std::vector<topology::SwitchId> participants;
   std::vector<geometry::Point2D> positions;
+  /// Active range-extension rewrites, as (switch, entry) pairs.
+  std::vector<std::pair<topology::SwitchId, sden::RewriteEntry>> rewrites;
 };
 
-/// Captures the current layout of an initialized controller.
+/// Captures the current layout of an initialized controller. This
+/// overload sees no data plane, so `rewrites` is left empty — use the
+/// two-argument overload to snapshot a network that may have active
+/// range extensions.
 Result<Snapshot> capture_snapshot(const Controller& controller);
+
+/// Captures the layout plus the network's installed range-extension
+/// rewrites, so a restore reproduces the full forwarding state.
+Result<Snapshot> capture_snapshot(const Controller& controller,
+                                  const sden::SdenNetwork& net);
 
 /// Serializes to the text format above.
 std::string serialize_snapshot(const Snapshot& snapshot);

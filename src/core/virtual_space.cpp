@@ -6,6 +6,7 @@
 #include "check/invariants.hpp"
 #include "core/vivaldi.hpp"
 #include "linalg/mds.hpp"
+#include "obs/phase_timer.hpp"
 
 namespace gred::core {
 namespace {
@@ -51,6 +52,8 @@ Result<VirtualSpace> VirtualSpace::build(
   vs.participants_ = participants;
   const std::size_t n = participants.size();
 
+  {
+    const obs::ScopedPhaseTimer embed_timer("mds_embed");
   // Tiny networks: MDS needs m < n; place directly.
   if (n == 1) {
     vs.mds_positions_ = {{0.5, 0.5}};
@@ -121,9 +124,11 @@ Result<VirtualSpace> VirtualSpace::build(
   }
 
   separate_duplicates(vs.mds_positions_);
+  }  // embed_timer: the raw-embedding phase ends before C-regulation
 
   // C-regulation (skipped for the NoCVT variant).
   if (options.use_cvt && options.cvt_iterations > 0 && n > 1) {
+    const obs::ScopedPhaseTimer cvt_timer("cvt");
     geometry::CvtOptions cvt;
     cvt.samples_per_iteration = options.cvt_samples;
     cvt.max_iterations = options.cvt_iterations;

@@ -2,6 +2,8 @@
 
 #include "chord/underlay.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace gred::eval {
 
@@ -34,6 +36,12 @@ StretchResult measure_gred_stretch(core::GredSystem& system,
   out.hop_stretch = summarize(std::move(hop));
   out.latency_stretch = summarize(std::move(latency));
   out.selected_hops = summarize(std::move(hops_walked));
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("eval.stretch_measurements").add();
+    reg.histogram("eval.hop_stretch").record(out.hop_stretch.mean);
+    reg.gauge("eval.last_hop_stretch_p99").set(out.hop_stretch.p99);
+  }
   return out;
 }
 
@@ -70,6 +78,12 @@ BalanceResult measure_gred_balance(core::GredSystem& system,
     if (placement.ok()) ++out.loads[placement.value().server];
   }
   out.report = core::load_balance(out.loads);
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.counter("eval.balance_measurements").add();
+    reg.histogram("eval.max_over_avg").record(out.report.max_over_avg);
+    reg.gauge("eval.last_jain_fairness").set(out.report.jain);
+  }
   return out;
 }
 

@@ -54,6 +54,13 @@ std::size_t Graph::remove_edges_of(NodeId u) {
   return incident.size();
 }
 
+void Graph::truncate_nodes(std::size_t node_count) {
+  while (adj_.size() > node_count) {
+    remove_edges_of(adj_.size() - 1);
+    adj_.pop_back();
+  }
+}
+
 bool Graph::has_edge(NodeId u, NodeId v) const {
   if (u >= adj_.size()) return false;
   return std::any_of(adj_[u].begin(), adj_[u].end(),

@@ -56,6 +56,12 @@ class Graph {
   /// id itself stays valid so ids remain dense.
   std::size_t remove_edges_of(NodeId u);
 
+  /// Drops every node with id >= `node_count` along with its incident
+  /// edges. Ids stay dense because only the tail is removed — this is
+  /// the rollback primitive for a failed add_switch, not a general
+  /// delete. No-op when the graph is already at most that large.
+  void truncate_nodes(std::size_t node_count);
+
   /// Weight of edge (u, v); error when absent.
   Result<double> edge_weight(NodeId u, NodeId v) const;
 

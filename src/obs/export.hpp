@@ -1,0 +1,43 @@
+// Serializes the observability state — metrics registry, route-trace
+// ring, dynamics event log — as JSON (the BENCH_*.json house style:
+// flat keys, machine-diffable) and as Prometheus text exposition
+// (`gred_` prefix, counters/gauges/histograms with le-labelled
+// cumulative buckets). Schemas are documented in README.md
+// ("Observability output") and DESIGN.md §10.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gred::obs {
+
+/// Everything export covers, bundled so callers can export a subset
+/// or a test-local instance.
+struct ExportSources {
+  const Registry* registry = nullptr;
+  const RouteTraceRing* trace = nullptr;
+  const EventLog* events = nullptr;
+};
+
+/// The process-wide registry/ring/log.
+ExportSources default_sources();
+
+/// JSON document: {"metrics": {...}, "route_trace": {...},
+/// "events": [...]}. Sections whose source pointer is null are
+/// omitted. `max_trace_samples` caps the embedded sample array
+/// (newest kept); 0 embeds none (summary only).
+std::string to_json(const ExportSources& sources,
+                    std::size_t max_trace_samples = 64);
+
+/// Prometheus text exposition of the metrics (plus trace/event-log
+/// summary gauges when those sources are present).
+std::string to_prometheus(const ExportSources& sources);
+
+/// Writes `text` to `path` (kUnavailable on I/O failure).
+Status write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace gred::obs

@@ -1,0 +1,25 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+
+namespace gred::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool init_from_env() {
+  const char* v = std::getenv("GRED_OBS");
+  if (v != nullptr) {
+    // The variable is authoritative when present: GRED_OBS=0 (or
+    // empty) turns the layer off even if code enabled it earlier.
+    set_enabled(v[0] != '\0' && !(v[0] == '0' && v[1] == '\0'));
+  }
+  return enabled();
+}
+
+}  // namespace gred::obs

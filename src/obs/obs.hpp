@@ -1,0 +1,38 @@
+// Master switch for the gred::obs observability layer.
+//
+// Every instrumentation site in the library (control-plane phase
+// timers, the per-packet route trace, the dynamics event log) is
+// guarded by `obs::enabled()`: a single relaxed atomic load plus one
+// predictable branch. With the switch off — the default — no metric is
+// touched, no sample is written, and the data-plane fast path keeps its
+// zero-allocations-per-packet steady state; the bench harness asserts
+// exactly that. Flipping the switch on requires no rebuild: it is a
+// process-wide runtime flag (set_enabled, or the GRED_OBS environment
+// variable read once via init_from_env).
+#pragma once
+
+#include <atomic>
+
+namespace gred::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True when the observability layer is recording. Hot-path guard:
+/// relaxed load, no fence, no function call.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns the layer on or off at runtime (benches flip it per section).
+void set_enabled(bool on);
+
+/// Applies the GRED_OBS environment variable when it is set: any
+/// non-empty value other than "0" enables the layer, "0" or empty
+/// disables it; when unset the current state is kept. Returns the
+/// resulting enabled state. Call once at process start (benches and
+/// examples); the library never reads the environment on its own.
+bool init_from_env();
+
+}  // namespace gred::obs

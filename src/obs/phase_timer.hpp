@@ -1,0 +1,45 @@
+// Scoped wall-clock timer for control-plane phases. When obs is
+// enabled at construction, the destructor records the elapsed
+// milliseconds into the named histogram of the process registry and
+// bumps a matching `<name>.runs` counter; when disabled, construction
+// is one relaxed load and the destructor does nothing.
+//
+// Phase timers wrap whole control-plane phases (APSP, MDS embed, CVT,
+// DT build, install) — milliseconds of work each — so the
+// registration lookup on the enabled path is noise, not hot-path cost.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace gred::obs {
+
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(const char* name)
+      : name_(enabled() ? name : nullptr) {
+    if (name_ != nullptr) start_ = Clock::now();
+  }
+  ~ScopedPhaseTimer() {
+    if (name_ == nullptr) return;
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start_)
+            .count();
+    Registry& reg = registry();
+    reg.histogram(std::string("control.phase.") + name_ + ".ms").record(ms);
+    reg.counter(std::string("control.phase.") + name_ + ".runs").add();
+  }
+
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  const char* name_;  ///< nullptr when obs was off at construction
+  Clock::time_point start_{};
+};
+
+}  // namespace gred::obs

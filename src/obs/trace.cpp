@@ -1,0 +1,66 @@
+#include "obs/trace.hpp"
+
+namespace gred::obs {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+void RouteTraceRing::enable(std::size_t capacity) {
+  active_.store(false, std::memory_order_release);
+  const std::size_t cap = round_up_pow2(capacity < 2 ? 2 : capacity);
+  slots_ = std::make_unique<Slot[]>(cap);
+  mask_ = cap - 1;
+  head_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_release);
+}
+
+void RouteTraceRing::disable() {
+  active_.store(false, std::memory_order_release);
+  slots_.reset();
+  mask_ = 0;
+}
+
+void RouteTraceRing::record(RouteTraceSample sample) {
+  if (!active_.load(std::memory_order_acquire)) return;
+  const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq & mask_];
+  // Claim the slot; if a lapped writer still holds it, drop rather
+  // than tear the sample.
+  if (slot.busy.exchange(true, std::memory_order_acquire)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  sample.seq = seq;
+  slot.sample = sample;
+  slot.valid.store(true, std::memory_order_release);
+  slot.busy.store(false, std::memory_order_release);
+}
+
+std::vector<RouteTraceSample> RouteTraceRing::snapshot() const {
+  std::vector<RouteTraceSample> out;
+  if (!slots_) return out;
+  const std::size_t cap = mask_ + 1;
+  out.reserve(cap);
+  // Oldest-first: the slot the head would overwrite next is the oldest.
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < cap; ++i) {
+    const Slot& slot = slots_[(head + i) & mask_];
+    if (slot.busy.load(std::memory_order_acquire)) continue;
+    if (!slot.valid.load(std::memory_order_acquire)) continue;
+    out.push_back(slot.sample);
+  }
+  return out;
+}
+
+RouteTraceRing& route_trace() {
+  static RouteTraceRing instance;
+  return instance;
+}
+
+}  // namespace gred::obs

@@ -1,0 +1,85 @@
+// Per-packet route-trace ring buffer. A fixed-capacity, preallocated
+// ring that the data plane writes one POD sample into per routed
+// packet when tracing is enabled. Recording is lock-free and
+// allocation-free: writers claim a slot with an atomic head
+// fetch_add, then take a per-slot busy flag with exchange; a writer
+// that lands on a slot still being written by a lapped writer drops
+// its sample (counted) instead of tearing the slot. Readers snapshot
+// only quiescent slots, so a snapshot never observes a half-written
+// sample.
+//
+// The ring is sized at enable() time and freed at disable(); when
+// disabled (the default) the data plane's only cost is the
+// obs::enabled() branch it already pays.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace gred::obs {
+
+/// One routed packet, as seen at the end of SdenNetwork::route /
+/// inject. POD on purpose: slot writes are field stores, no
+/// allocation, no destructor.
+struct RouteTraceSample {
+  std::uint64_t seq = 0;       ///< global route sequence number
+  std::uint32_t ingress = 0;   ///< ingress switch id
+  std::uint32_t egress = 0;    ///< last switch on the walked path
+  std::uint32_t hops = 0;      ///< physical link traversals
+  std::uint8_t type = 0;       ///< sden::PacketType as integer
+  bool found = false;          ///< retrieval located the payload
+  bool ok = false;             ///< route status was Ok
+  double path_cost = 0.0;      ///< sum of link weights on the path
+};
+
+class RouteTraceRing {
+ public:
+  /// Allocates the ring (capacity rounded up to a power of two,
+  /// minimum 2) and starts accepting samples. Idempotent per size:
+  /// re-enabling reallocates and resets seq/dropped.
+  void enable(std::size_t capacity);
+  /// Stops accepting samples and frees the ring.
+  void disable();
+  bool active() const { return active_.load(std::memory_order_acquire); }
+
+  /// Records one sample (sample.seq is assigned here). No-op when the
+  /// ring is not active. Never allocates, never blocks; may drop the
+  /// sample under writer collision (see dropped()).
+  void record(RouteTraceSample sample);
+
+  /// Samples currently in the ring, oldest first, skipping slots that
+  /// are mid-write. Not linearizable with concurrent writers — meant
+  /// to be read after traffic quiesces or as a best-effort peek.
+  std::vector<RouteTraceSample> snapshot() const;
+
+  /// Total samples offered to record() while active.
+  std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  /// Samples dropped because the target slot was busy.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t capacity() const { return mask_ == 0 ? 0 : mask_ + 1; }
+
+ private:
+  struct Slot {
+    std::atomic<bool> busy{false};
+    std::atomic<bool> valid{false};
+    RouteTraceSample sample;
+  };
+
+  std::atomic<bool> active_{false};
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_ = 0;  ///< capacity - 1 (capacity is a power of two)
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// The process-wide ring the sden data plane records into.
+RouteTraceRing& route_trace();
+
+}  // namespace gred::obs

@@ -7,10 +7,64 @@
 #include <limits>
 #include <mutex>
 
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
 namespace gred::sden {
 
 namespace {
 constexpr double kMissingLink = std::numeric_limits<double>::quiet_NaN();
+
+/// Per-packet observability hook for route(). Decided once at entry
+/// (a single relaxed load); when off, construction and destruction
+/// are a stored bool and one branch — the steady state stays
+/// allocation-free either way, since ring writes and counter bumps
+/// never allocate and the metric references are cached in statics.
+class RouteTraceGuard {
+ public:
+  RouteTraceGuard(const Packet& pkt, const RouteResult& result,
+                  SwitchId ingress)
+      : active_(obs::enabled()),
+        pkt_(pkt),
+        result_(result),
+        ingress_(ingress) {}
+
+  ~RouteTraceGuard() {
+    if (!active_) return;
+    static obs::Counter& packets =
+        obs::registry().counter("sden.packets_routed");
+    static obs::Counter& drops =
+        obs::registry().counter("sden.packets_dropped");
+    static obs::Histogram& hops =
+        obs::registry().histogram("sden.route_hops");
+    packets.add();
+    if (!result_.status.ok()) drops.add();
+    hops.record(static_cast<double>(result_.hop_count()));
+
+    obs::RouteTraceSample s;
+    s.ingress = static_cast<std::uint32_t>(ingress_);
+    s.egress = result_.switch_path.empty()
+                   ? s.ingress
+                   : static_cast<std::uint32_t>(result_.switch_path.back());
+    s.hops = static_cast<std::uint32_t>(result_.hop_count());
+    s.type = static_cast<std::uint8_t>(pkt_.type);
+    s.found = result_.found;
+    s.ok = result_.status.ok();
+    s.path_cost = result_.path_cost;
+    obs::route_trace().record(s);
+  }
+
+  RouteTraceGuard(const RouteTraceGuard&) = delete;
+  RouteTraceGuard& operator=(const RouteTraceGuard&) = delete;
+
+ private:
+  const bool active_;
+  const Packet& pkt_;
+  const RouteResult& result_;
+  const SwitchId ingress_;
+};
+
 }  // namespace
 
 SdenNetwork::SdenNetwork(topology::EdgeNetwork description)
@@ -40,6 +94,9 @@ RouteResult SdenNetwork::inject(Packet pkt, SwitchId ingress) {
 
 void SdenNetwork::route(Packet& pkt, SwitchId ingress, RouteResult& result) {
   result.reset();
+  // Route-trace hook: samples the finished RouteResult at every return
+  // path below, including the compiled fast-path delivery.
+  const RouteTraceGuard trace(pkt, result, ingress);
   if (ingress >= switches_.size()) {
     result.status =
         Status(ErrorCode::kOutOfRange, "inject: ingress switch out of range");
@@ -463,6 +520,25 @@ void SdenNetwork::remove_switch_links(SwitchId sw) {
   description_.mutable_switches().remove_edges_of(sw);
   description_.detach_servers(sw);
   switches_[sw].reset();
+}
+
+void SdenNetwork::truncate_switches(std::size_t switch_count,
+                                    std::size_t server_count) {
+  if (switches_.size() <= switch_count && servers_.size() <= server_count) {
+    return;
+  }
+  invalidate_plan();
+  description_.truncate(switch_count, server_count);
+  if (switches_.size() > switch_count) {
+    switches_.erase(switches_.begin() +
+                        static_cast<std::ptrdiff_t>(switch_count),
+                    switches_.end());
+  }
+  if (servers_.size() > server_count) {
+    servers_.erase(servers_.begin() +
+                       static_cast<std::ptrdiff_t>(server_count),
+                   servers_.end());
+  }
 }
 
 void SdenNetwork::clear_storage() {

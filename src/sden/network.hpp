@@ -129,6 +129,15 @@ class SdenNetwork {
   /// inert transit node so ids remain dense.
   void remove_switch_links(SwitchId sw);
 
+  /// Rolls the network back to earlier switch/server counts, undoing a
+  /// partially-applied add_switch/attach_server sequence (the counts
+  /// come from before the sequence started). Tail-only: dropped
+  /// servers must have attached to dropped-or-tail switches, which the
+  /// add_switch path guarantees. Stored items on dropped servers are
+  /// destroyed with them — callers roll back before any migration.
+  void truncate_switches(std::size_t switch_count,
+                         std::size_t server_count);
+
   /// Marks the compiled route plan stale; the next route() rebuilds it.
   void invalidate_plan() {
     plan_->dirty.store(true, std::memory_order_release);

@@ -38,6 +38,23 @@ void EdgeNetwork::detach_servers(SwitchId sw) {
   by_switch_[sw].clear();
 }
 
+void EdgeNetwork::truncate(std::size_t switch_count,
+                           std::size_t server_count) {
+  while (servers_.size() > server_count) {
+    const EdgeServer& s = servers_.back();
+    // Servers attach in append order, so the victim is the tail of its
+    // switch's list and local_index density survives the pop.
+    if (s.attached_to < by_switch_.size() &&
+        !by_switch_[s.attached_to].empty() &&
+        by_switch_[s.attached_to].back() == s.id) {
+      by_switch_[s.attached_to].pop_back();
+    }
+    servers_.pop_back();
+  }
+  switches_.truncate_nodes(switch_count);
+  if (by_switch_.size() > switch_count) by_switch_.resize(switch_count);
+}
+
 EdgeNetwork uniform_edge_network(graph::Graph switches,
                                  std::size_t per_switch,
                                  std::size_t capacity) {

@@ -50,6 +50,13 @@ class EdgeNetwork {
   /// ids but no longer appear in servers_at(sw)). Used on switch leave.
   void detach_servers(SwitchId sw);
 
+  /// Drops switches and servers back down to the given counts — the
+  /// rollback primitive for a failed add_switch. Only tail entries can
+  /// go (ids are dense and append-only), and a dropped server must
+  /// belong to a surviving-or-dropped switch's tail, which holds for
+  /// the add_switch sequence (servers attach to the new last switch).
+  void truncate(std::size_t switch_count, std::size_t server_count);
+
   const EdgeServer& server(ServerId id) const { return servers_[id]; }
   EdgeServer& mutable_server(ServerId id) { return servers_[id]; }
 

@@ -128,5 +128,95 @@ TEST(SnapshotTest, RestoredControllerSupportsDynamics) {
   }
 }
 
+TEST(SnapshotTest, RewritesRoundTripAndRestoreInstallsThem) {
+  // A network with an active range extension: the snapshot must carry
+  // the rewrite (pre-fix it was silently dropped), serialize/parse must
+  // reach a fixed point, and a restore on an identical fresh network
+  // must reinstall the delegation so new stores land on the delegate.
+  sden::SdenNetwork net_a = fresh_net(7);
+  sden::SdenNetwork net_b = fresh_net(7);
+  Controller a;
+  ASSERT_TRUE(a.initialize(net_a).ok());
+  ASSERT_TRUE(a.extend_range(net_a, 0).ok());
+  const topology::SwitchId home_sw = net_a.server(0).info().attached_to;
+  const auto installed = net_a.switch_at(home_sw).table().match_rewrite(0);
+  ASSERT_TRUE(installed.has_value());
+
+  auto snap = capture_snapshot(a, net_a);
+  ASSERT_TRUE(snap.ok());
+  ASSERT_EQ(snap.value().rewrites.size(), 1u);
+  EXPECT_EQ(snap.value().rewrites[0].first, home_sw);
+  EXPECT_EQ(snap.value().rewrites[0].second.replacement,
+            installed->replacement);
+
+  const std::string text = serialize_snapshot(snap.value());
+  EXPECT_NE(text.find("rewrites 1"), std::string::npos);
+  auto parsed = parse_snapshot(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(serialize_snapshot(parsed.value()), text);
+  ASSERT_EQ(parsed.value().rewrites.size(), 1u);
+
+  Controller b;
+  ASSERT_TRUE(restore_snapshot(b, net_b, parsed.value()).ok());
+  const auto restored = net_b.switch_at(home_sw).table().match_rewrite(0);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->replacement, installed->replacement);
+  EXPECT_EQ(restored->via_switch, installed->via_switch);
+
+  // A store owned by server 0 is delivered to the delegate.
+  GredProtocol proto(net_b, b);
+  bool exercised = false;
+  for (int i = 0; i < 3000 && !exercised; ++i) {
+    const std::string id = "rw-" + std::to_string(i);
+    const auto p = b.expected_placement(net_b, crypto::DataKey(id));
+    ASSERT_TRUE(p.ok());
+    if (p.value().server != 0) continue;
+    auto r = proto.place(id, "v", home_sw);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value().route.delivered_to.size(), 1u);
+    EXPECT_EQ(r.value().route.delivered_to.front(), installed->replacement);
+    exercised = true;
+  }
+  EXPECT_TRUE(exercised) << "no probe id hashed to server 0";
+}
+
+TEST(SnapshotTest, RestoreRejectsInvalidRewrites) {
+  sden::SdenNetwork net(
+      topology::uniform_edge_network(topology::ring(3), 1));
+  Controller seed_ctrl;
+  sden::SdenNetwork seed_net(
+      topology::uniform_edge_network(topology::ring(3), 1));
+  ASSERT_TRUE(seed_ctrl.initialize(seed_net).ok());
+  auto snap = capture_snapshot(seed_ctrl);
+  ASSERT_TRUE(snap.ok());
+
+  // Unknown server id.
+  Snapshot bad = snap.value();
+  sden::RewriteEntry rw;
+  rw.original = 99;
+  rw.replacement = 1;
+  rw.via_switch = 1;
+  bad.rewrites = {{0, rw}};
+  Controller c1;
+  EXPECT_FALSE(restore_snapshot(c1, net, bad).ok());
+
+  // Missing handoff link (ring(3) has all pairs adjacent; use a line).
+  sden::SdenNetwork line_net(
+      topology::uniform_edge_network(topology::line(3), 1));
+  Controller line_seed;
+  sden::SdenNetwork line_seed_net(
+      topology::uniform_edge_network(topology::line(3), 1));
+  ASSERT_TRUE(line_seed.initialize(line_seed_net).ok());
+  auto line_snap = capture_snapshot(line_seed);
+  ASSERT_TRUE(line_snap.ok());
+  Snapshot no_edge = line_snap.value();
+  rw.original = 0;       // server 0 on switch 0
+  rw.replacement = 2;    // server on switch 2
+  rw.via_switch = 2;     // but line(3) has no 0-2 link
+  no_edge.rewrites = {{0, rw}};
+  Controller c2;
+  EXPECT_FALSE(restore_snapshot(c2, line_net, no_edge).ok());
+}
+
 }  // namespace
 }  // namespace gred::core
