@@ -21,6 +21,12 @@ enum class ErrorCode {
   kFailedPrecondition,
   kUnavailable,
   kInternal,
+  // Routing-failure taxonomy (data plane). Distinct codes so retry
+  // logic can tell a retryable drop from an invariant violation
+  // (which stays kInternal).
+  kRoutingLoop,  ///< hop bound exceeded (transient loop under stale tables)
+  kNoRoute,      ///< flow-table miss: no relay/candidate/server to forward to
+  kLinkDown,     ///< forwarding over a dead or missing physical link/switch
 };
 
 /// Human-readable name of an ErrorCode ("invalid_argument", ...).
@@ -32,8 +38,19 @@ constexpr const char* to_string(ErrorCode code) {
     case ErrorCode::kFailedPrecondition: return "failed_precondition";
     case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kRoutingLoop: return "routing_loop";
+    case ErrorCode::kNoRoute: return "no_route";
+    case ErrorCode::kLinkDown: return "link_down";
   }
   return "unknown";
+}
+
+/// True for the routing-failure codes a client may retry (the drop was
+/// caused by transient network state — a loop during reconvergence, a
+/// stale table, a dead link — not by a broken invariant).
+constexpr bool is_retryable_route_error(ErrorCode code) {
+  return code == ErrorCode::kRoutingLoop || code == ErrorCode::kNoRoute ||
+         code == ErrorCode::kLinkDown;
 }
 
 /// An error with a category and a human-readable message.

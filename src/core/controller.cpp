@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <utility>
 
 #include "check/invariants.hpp"
@@ -242,6 +243,138 @@ Result<Controller::Placement> Controller::expected_placement(
   return p;
 }
 
+Status Controller::enable_replication(sden::SdenNetwork& net,
+                                      ReplicationOptions opts) {
+  if (!initialized_) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "enable_replication: Controller not initialized");
+  }
+  if (opts.factor < 1) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "enable_replication: factor must be >= 1");
+  }
+  replication_ = opts;
+  replication_enabled_ = true;
+  // Bring pre-existing items up to the factor right away, so callers
+  // can enable replication on a populated deployment.
+  auto repaired = restore_replication(net);
+  if (!repaired.ok()) {
+    replication_enabled_ = false;
+    return repaired.error();
+  }
+  last_repairs_ = repaired.value();
+  return Status::Ok();
+}
+
+std::vector<topology::SwitchId> Controller::replica_homes(
+    const crypto::DataKey& key) const {
+  const crypto::SpacePoint pos = key.position();
+  return space_.nearest_participants({pos.x, pos.y}, replication_factor());
+}
+
+Result<std::vector<Controller::Placement>> Controller::replica_placements(
+    const sden::SdenNetwork& net, const crypto::DataKey& key) const {
+  if (!initialized_) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "Controller not initialized");
+  }
+  std::vector<Placement> out;
+  for (const SwitchId home : replica_homes(key)) {
+    const auto& servers = net.description().servers_at(home);
+    if (servers.empty()) {
+      return Error(ErrorCode::kInternal, "replica home has no servers");
+    }
+    Placement p;
+    p.sw = home;
+    p.server = servers[static_cast<std::size_t>(key.mod(servers.size()))];
+    out.push_back(p);
+  }
+  return out;
+}
+
+Result<std::vector<ServerId>> Controller::replica_targets(
+    const sden::SdenNetwork& net, const crypto::DataKey& key) const {
+  auto placements = replica_placements(net, key);
+  if (!placements.ok()) return placements.error();
+  std::vector<ServerId> targets;
+  for (const Placement& p : placements.value()) {
+    const sden::RewriteEntry* rw =
+        net.switch_at(p.sw).table().find_rewrite(p.server);
+    const ServerId target = rw != nullptr ? rw->replacement : p.server;
+    if (std::find(targets.begin(), targets.end(), target) == targets.end()) {
+      targets.push_back(target);
+    }
+  }
+  return targets;
+}
+
+Result<std::size_t> Controller::restore_replication(sden::SdenNetwork& net) {
+  if (!initialized_) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "Controller not initialized");
+  }
+  if (replication_factor() <= 1) return std::size_t{0};
+
+  // Per-item holder lists (std::map: deterministic order, so a given
+  // state always produces the same copy plan).
+  std::map<std::string, std::vector<ServerId>> holders;
+  for (ServerId s = 0; s < net.server_count(); ++s) {
+    for (const auto& [id, payload] : net.server(s).items()) {
+      holders[id].push_back(s);
+    }
+  }
+
+  struct Copy {
+    std::string id;
+    ServerId from;
+    ServerId to;
+  };
+  std::vector<Copy> copies;
+  for (const auto& [id, held_by] : holders) {
+    auto targets = replica_targets(net, crypto::DataKey(id));
+    if (!targets.ok()) return targets.error();
+    for (const ServerId t : targets.value()) {
+      if (std::find(held_by.begin(), held_by.end(), t) == held_by.end()) {
+        copies.push_back({id, held_by.front(), t});
+      }
+    }
+  }
+
+  // Store-first; on failure the undo just erases the created copies
+  // (sources were never touched).
+  std::size_t applied = 0;
+  Status failure = Status::Ok();
+  for (const Copy& c : copies) {
+    const std::string* payload = net.server(c.from).find(c.id);
+    if (payload == nullptr) {
+      failure = Status(ErrorCode::kInternal,
+                       "restore_replication: source copy vanished");
+      break;
+    }
+    const Status stored = net.server(c.to).store(c.id, *payload);
+    if (!stored.ok()) {
+      failure = stored;
+      break;
+    }
+    ++applied;
+  }
+  if (failure.ok()) return copies.size();
+  for (std::size_t i = applied; i-- > 0;) {
+    net.server(copies[i].to).erase(copies[i].id);
+  }
+  return failure.error();
+}
+
+Status Controller::repair_replication_after_dynamics(
+    sden::SdenNetwork& net) {
+  last_repairs_ = 0;
+  if (!replication_enabled_) return Status::Ok();
+  auto repaired = restore_replication(net);
+  if (!repaired.ok()) return repaired.error();
+  last_repairs_ = repaired.value();
+  return Status::Ok();
+}
+
 Result<ServerId> Controller::resolve_store_target(
     const sden::SdenNetwork& net, const crypto::DataKey& key) const {
   const auto placement = expected_placement(net, key);
@@ -335,6 +468,7 @@ Status Controller::retract_range_impl(sden::SdenNetwork& net,
 }
 
 Result<std::size_t> Controller::migrate_items(sden::SdenNetwork& net) {
+  if (replication_factor() > 1) return migrate_items_replicated(net);
   struct Move {
     std::string id;
     ServerId from;
@@ -391,6 +525,103 @@ Result<std::size_t> Controller::migrate_items(sden::SdenNetwork& net) {
     }
   }
   return failure.error();
+}
+
+Result<std::size_t> Controller::migrate_items_replicated(
+    sden::SdenNetwork& net) {
+  // Per-item holder lists, deterministic order.
+  std::map<std::string, std::vector<ServerId>> holders;
+  for (ServerId s = 0; s < net.server_count(); ++s) {
+    for (const auto& [id, payload] : net.server(s).items()) {
+      holders[id].push_back(s);
+    }
+  }
+
+  struct Move {
+    std::string id;
+    ServerId from;
+    ServerId to;
+  };
+  struct Drop {
+    std::string id;
+    ServerId from;
+  };
+  std::vector<Move> moves;
+  std::vector<Drop> drops;
+  for (const auto& [id, held_by] : holders) {
+    const crypto::DataKey key(id);
+    auto placements = replica_placements(net, key);
+    if (!placements.ok()) return placements.error();
+    auto targets = replica_targets(net, key);
+    if (!targets.ok()) return targets.error();
+
+    // In place: on a replica home's server, or on the delegate a
+    // rewrite redirects it to (the data plane retrieves from both).
+    const auto in_place = [&](ServerId s) {
+      for (const Placement& p : placements.value()) {
+        if (p.server == s) return true;
+      }
+      return std::find(targets.value().begin(), targets.value().end(), s) !=
+             targets.value().end();
+    };
+
+    std::vector<ServerId> missing;
+    for (const ServerId t : targets.value()) {
+      if (std::find(held_by.begin(), held_by.end(), t) == held_by.end()) {
+        missing.push_back(t);
+      }
+    }
+    // Misplaced copies fill distinct missing targets first — each
+    // (to, id) pair stays unique, which the reverse-order undo needs —
+    // and surplus copies are dropped (restore_replication re-creates
+    // any target the moves could not cover).
+    std::size_t next_missing = 0;
+    for (const ServerId s : held_by) {
+      if (in_place(s)) continue;
+      if (next_missing < missing.size()) {
+        moves.push_back({id, s, missing[next_missing++]});
+      } else {
+        drops.push_back({id, s});
+      }
+    }
+  }
+
+  // Same transactional discipline as the single-copy path: store on
+  // the target first, erase the source after, undo in reverse order.
+  std::size_t applied = 0;
+  Status failure = Status::Ok();
+  for (const Move& m : moves) {
+    const std::string* payload = net.server(m.from).find(m.id);
+    if (payload == nullptr) {
+      failure = Status(ErrorCode::kInternal,
+                       "migrate_items: item vanished mid-migration");
+      break;
+    }
+    const Status stored = net.server(m.to).store(m.id, *payload);
+    if (!stored.ok()) {
+      failure = stored;
+      break;
+    }
+    net.server(m.from).erase(m.id);
+    ++applied;
+  }
+  if (!failure.ok()) {
+    for (std::size_t i = applied; i-- > 0;) {
+      const Move& m = moves[i];
+      auto payload = net.server(m.to).fetch(m.id);
+      net.server(m.to).erase(m.id);
+      if (payload.has_value()) {
+        (void)net.server(m.from).store(m.id, std::move(*payload));
+      }
+    }
+    return failure.error();
+  }
+  // Drops are pure erases and cannot fail; apply them only once the
+  // fallible phase is over so the transaction never needs to undo one.
+  for (const Drop& d : drops) {
+    net.server(d.from).erase(d.id);
+  }
+  return moves.size() + drops.size();
 }
 
 geometry::Point2D Controller::fit_position(const sden::SdenNetwork& net,
@@ -532,7 +763,7 @@ Status Controller::remove_link_impl(sden::SdenNetwork& net, SwitchId u,
     return migrated.error();
   }
   last_migration_ = migrated.value();
-  return Status::Ok();
+  return repair_replication_after_dynamics(net);
 }
 
 Status Controller::rebuild_and_install(sden::SdenNetwork& net) {
@@ -598,6 +829,8 @@ Result<topology::SwitchId> Controller::add_switch_impl(
   auto migrated = migrate_items(net);
   if (!migrated.ok()) return rollback(migrated.error()).error();
   last_migration_ = migrated.value();
+  const Status repaired = repair_replication_after_dynamics(net);
+  if (!repaired.ok()) return rollback(repaired).error();
   return sw;
 }
 
@@ -661,7 +894,9 @@ Status Controller::remove_switch_impl(sden::SdenNetwork& net, SwitchId sw) {
         net.server(target.value()).store(id, std::move(payload));
     if (!stored.ok()) return stored;
   }
-  return Status::Ok();
+  // With replication on, re-create the copies the removal destroyed
+  // (the orphan pass restored only the primary copy of each item).
+  return repair_replication_after_dynamics(net);
 }
 
 // --- Observability wrappers -----------------------------------------

@@ -17,6 +17,16 @@
 
 namespace gred::core {
 
+/// Replication policy of the fault-tolerance layer. Replication is
+/// opt-in: a default-constructed Controller keeps the paper's
+/// single-copy placement; enable_replication() switches every
+/// placement, migration, and dynamics repair to k copies.
+struct ReplicationOptions {
+  /// Total copies per item, including the primary (clamped to the
+  /// participant count when the space is smaller).
+  std::size_t factor = 2;
+};
+
 class Controller {
  public:
   explicit Controller(VirtualSpaceOptions options = {})
@@ -68,6 +78,45 @@ class Controller {
   /// data plane does.
   Result<topology::ServerId> resolve_store_target(
       const sden::SdenNetwork& net, const crypto::DataKey& key) const;
+
+  // --- Replication (fault-tolerance layer) ---
+
+  /// Turns on k-replica placement and immediately brings every stored
+  /// item up to the replication factor (transactionally). With
+  /// replication on, migrate_items becomes replica-aware and every
+  /// dynamics op ends with a restore_replication pass.
+  Status enable_replication(sden::SdenNetwork& net,
+                            ReplicationOptions opts = {});
+  bool replication_enabled() const { return replication_enabled_; }
+  /// Effective copies per item: 1 while replication is disabled.
+  std::size_t replication_factor() const {
+    return replication_enabled_ ? replication_.factor : 1;
+  }
+
+  /// The replica home switches of `key`, ascending by virtual-space
+  /// distance from the key's position (element 0 == home_switch()).
+  std::vector<topology::SwitchId> replica_homes(
+      const crypto::DataKey& key) const;
+
+  /// Expected placement of every replica of `key`: one (switch,
+  /// server) per replica home, H(d) mod s at each home.
+  Result<std::vector<Placement>> replica_placements(
+      const sden::SdenNetwork& net, const crypto::DataKey& key) const;
+
+  /// Distinct rewrite-aware store targets across all replica homes
+  /// (order follows replica_placements; duplicates collapsed).
+  Result<std::vector<topology::ServerId>> replica_targets(
+      const sden::SdenNetwork& net, const crypto::DataKey& key) const;
+
+  /// Re-creates missing replica copies from a surviving holder until
+  /// every item is back at the replication factor. Transactional:
+  /// on failure every created copy is erased again. Returns the number
+  /// of copies created.
+  Result<std::size_t> restore_replication(sden::SdenNetwork& net);
+
+  /// Copies created by the restore_replication pass of the last
+  /// dynamics op (diagnostics).
+  std::size_t last_replication_repairs() const { return last_repairs_; }
 
   // --- Range extension (Section V-B) ---
 
@@ -144,6 +193,15 @@ class Controller {
   /// Returns the number of migrated items.
   Result<std::size_t> migrate_items(sden::SdenNetwork& net);
 
+  /// Replica-aware variant (replication enabled): a copy is in place
+  /// when its server is one of the item's replica targets; misplaced
+  /// copies move onto missing targets, surplus copies are dropped.
+  Result<std::size_t> migrate_items_replicated(sden::SdenNetwork& net);
+
+  /// Shared tail of the dynamics ops: restore the replication factor
+  /// after a topology change (no-op while replication is off).
+  Status repair_replication_after_dynamics(sden::SdenNetwork& net);
+
   /// Local stress-minimizing position for a joining switch.
   geometry::Point2D fit_position(const sden::SdenNetwork& net,
                                  topology::SwitchId sw) const;
@@ -162,6 +220,9 @@ class Controller {
   graph::ApspResult apsp_weighted_;
   bool initialized_ = false;
   std::size_t last_migration_ = 0;
+  ReplicationOptions replication_;
+  bool replication_enabled_ = false;
+  std::size_t last_repairs_ = 0;
 };
 
 }  // namespace gred::core

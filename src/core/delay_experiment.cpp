@@ -23,6 +23,9 @@ struct RoutedRequest {
   double resp_ms = 0.0;
   topology::ServerId responder = topology::kNoServer;
   Error error;
+  std::size_t attempts = 1;
+  std::size_t fallbacks = 0;
+  bool recovered = false;
 };
 
 }  // namespace
@@ -45,27 +48,51 @@ Result<DelayExperimentResult> RetrievalDelayExperiment::run(
         for (std::size_t i = lo; i < hi; ++i) {
           const RetrievalRequest& req = requests[i];
           RoutedRequest& slot = routed[i];
-          auto report = system_->retrieve(req.data_id, req.ingress);
-          if (!report.ok()) {
-            slot.outcome = RoutedRequest::Outcome::kError;
-            slot.error = report.error();
-            continue;
+          OpReport report;
+          double client_backoff_ms = 0.0;
+          if (options_.use_fallback) {
+            auto outcome = system_->retrieve_with_fallback(
+                req.data_id, req.ingress, options_.retry);
+            if (!outcome.ok()) {
+              slot.outcome = RoutedRequest::Outcome::kError;
+              slot.error = outcome.error();
+              continue;
+            }
+            RetrievalOutcome& out = outcome.value();
+            slot.attempts = out.attempts;
+            slot.fallbacks = out.fallbacks;
+            slot.recovered = out.recovered;
+            if (!out.found) {
+              slot.outcome = RoutedRequest::Outcome::kNotFound;
+              continue;
+            }
+            client_backoff_ms = out.backoff_ms;
+            report = std::move(out.report);
+          } else {
+            auto single = system_->retrieve(req.data_id, req.ingress);
+            if (!single.ok()) {
+              slot.outcome = RoutedRequest::Outcome::kError;
+              slot.error = single.error();
+              continue;
+            }
+            if (!single.value().route.found) {
+              slot.outcome = RoutedRequest::Outcome::kNotFound;
+              continue;
+            }
+            report = std::move(single).value();
           }
-          if (!report.value().route.found) {
-            slot.outcome = RoutedRequest::Outcome::kNotFound;
-            continue;
-          }
-          // Request leg: cost of the walked route; response leg:
-          // weighted shortest path back from the responder's switch.
-          slot.responder = report.value().route.responder;
+          // Request leg: cost of the walked route (plus any client
+          // backoff spent retrying); response leg: weighted shortest
+          // path back from the responder's switch.
+          slot.responder = report.route.responder;
           const topology::SwitchId responder_sw =
               system_->network().server(slot.responder).info().attached_to;
           if (options_.weights_are_latencies) {
-            slot.req_ms = report.value().selected_cost;
+            slot.req_ms = report.selected_cost;
             const double back = apsp_lat.dist(responder_sw, req.ingress);
             slot.resp_ms = back == graph::kUnreachable ? 0.0 : back;
           } else {
-            slot.req_ms = static_cast<double>(report.value().selected_hops) *
+            slot.req_ms = static_cast<double>(report.selected_hops) *
                           options_.link_latency_ms;
             const std::size_t back_hops =
                 apsp_hops.hop_count(responder_sw, req.ingress);
@@ -74,6 +101,7 @@ Result<DelayExperimentResult> RetrievalDelayExperiment::run(
                                : static_cast<double>(back_hops) *
                                      options_.link_latency_ms;
           }
+          slot.req_ms += client_backoff_ms;
           slot.outcome = RoutedRequest::Outcome::kOk;
         }
       });
@@ -82,6 +110,11 @@ Result<DelayExperimentResult> RetrievalDelayExperiment::run(
   // first failing request; the parallel one must agree).
   for (const RoutedRequest& slot : routed) {
     if (slot.outcome == RoutedRequest::Outcome::kError) return slot.error;
+  }
+  for (const RoutedRequest& slot : routed) {
+    out.attempts += slot.attempts;
+    out.fallbacks += slot.fallbacks;
+    if (slot.recovered) ++out.recovered;
   }
 
   // --- Phase 2: serial event-queue replay in request order. ---

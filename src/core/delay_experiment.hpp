@@ -39,6 +39,12 @@ struct DelayModelOptions {
   /// Pool for the parallel routing phase; nullptr = the global pool
   /// (GRED_THREADS). Results are thread-count invariant either way.
   ThreadPool* pool = nullptr;
+  /// Route retrievals through retrieve_with_fallback: classified
+  /// routing failures retry against the item's replica homes under
+  /// `retry`, and the simulated client backoff is charged to the
+  /// request leg. Off by default (single attempt, the paper's model).
+  bool use_fallback = false;
+  RetryPolicy retry;
 };
 
 struct DelayExperimentResult {
@@ -46,6 +52,9 @@ struct DelayExperimentResult {
   std::size_t requests = 0;   ///< requests replayed
   std::size_t not_found = 0;  ///< retrievals that missed (excluded)
   double makespan_ms = 0.0;   ///< completion time of the last response
+  std::size_t attempts = 0;   ///< route attempts (= requests unless retrying)
+  std::size_t fallbacks = 0;  ///< attempts re-targeted at a replica home
+  std::size_t recovered = 0;  ///< requests that succeeded only via retry
 };
 
 /// One retrieval request to replay.

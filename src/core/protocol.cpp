@@ -1,5 +1,10 @@
 #include "core/protocol.hpp"
 
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
 namespace gred::core {
 namespace {
 
@@ -62,8 +67,26 @@ Result<OpReport> GredProtocol::run(sden::Packet packet,
 Result<OpReport> GredProtocol::place(const std::string& data_id,
                                      const std::string& payload,
                                      topology::SwitchId ingress) {
-  return run(make_packet(sden::PacketType::kPlacement, data_id, payload),
-             ingress);
+  auto primary = run(
+      make_packet(sden::PacketType::kPlacement, data_id, payload), ingress);
+  if (!primary.ok()) return primary;
+  if (controller_->replication_factor() > 1) {
+    // k-replica placement: each additional copy keeps the same data_id
+    // but re-targets the packet at the replica home's own virtual
+    // position, so greedy routing delivers it there and H(d) mod s
+    // picks that home's server.
+    const crypto::DataKey key(data_id);
+    const std::vector<topology::SwitchId> homes =
+        controller_->replica_homes(key);
+    for (std::size_t c = 1; c < homes.size(); ++c) {
+      sden::Packet pkt =
+          make_packet(sden::PacketType::kPlacement, data_id, payload);
+      pkt.target = net_->const_switch_at(homes[c]).position();
+      auto r = run(std::move(pkt), ingress);
+      if (!r.ok()) return r.error();
+    }
+  }
+  return primary;
 }
 
 Result<OpReport> GredProtocol::retrieve(const std::string& data_id,
@@ -127,6 +150,81 @@ Result<OpReport> GredProtocol::retrieve_nearest_replica(
     }
   }
   return retrieve(crypto::replica_identifier(data_id, best_copy), ingress);
+}
+
+Result<RetrievalOutcome> GredProtocol::retrieve_with_fallback(
+    const std::string& data_id, topology::SwitchId ingress,
+    const RetryPolicy& policy) {
+  if (!controller_->initialized()) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "GredProtocol: controller not initialized");
+  }
+  if (policy.max_attempts < 1) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "retrieve_with_fallback: max_attempts must be >= 1");
+  }
+
+  const crypto::DataKey key(data_id);
+  // Attempt i targets homes[i mod k]: primary first, then the next
+  // replica homes in virtual-space order, wrapping around.
+  const std::vector<topology::SwitchId> homes =
+      controller_->replica_homes(key);
+
+  RetrievalOutcome out;
+  double backoff = policy.backoff_ms;
+  Status last = Status::Ok();
+  for (std::size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Simulated client backoff: charged to the outcome, never slept.
+      out.backoff_ms += backoff;
+      backoff = std::min(backoff * policy.backoff_multiplier,
+                         policy.backoff_cap_ms);
+    }
+    const bool fallback = !homes.empty() && attempt % homes.size() != 0;
+    sden::Packet pkt = make_packet(sden::PacketType::kRetrieval, data_id, {});
+    if (fallback) {
+      pkt.target =
+          net_->const_switch_at(homes[attempt % homes.size()]).position();
+    }
+    ++out.attempts;
+    if (fallback) ++out.fallbacks;
+
+    auto r = run(std::move(pkt), ingress);
+    if (r.ok() && r.value().route.found) {
+      out.found = true;
+      out.recovered = attempt > 0;
+      out.report = std::move(r).value();
+      break;
+    }
+    if (r.ok()) {
+      // Clean miss at this replica: another copy may still exist.
+      last = Status(ErrorCode::kNotFound,
+                    "retrieve_with_fallback: no replica held the item");
+    } else if (is_retryable_route_error(r.error().code)) {
+      last = Status(r.error());
+    } else {
+      // Caller mistake or invariant violation — surface it loudly
+      // instead of masking it as a retries-exhausted miss.
+      return r.error();
+    }
+  }
+  if (!out.found) out.final_status = last;
+
+  if (obs::enabled()) {
+    static obs::Counter& attempts =
+        obs::registry().counter("protocol.retrieval_attempts");
+    static obs::Counter& fallbacks =
+        obs::registry().counter("protocol.retrieval_fallbacks");
+    static obs::Counter& recovered =
+        obs::registry().counter("protocol.retrieval_recovered");
+    static obs::Counter& failed =
+        obs::registry().counter("protocol.retrieval_failed");
+    attempts.add(out.attempts);
+    fallbacks.add(out.fallbacks);
+    if (out.recovered) recovered.add();
+    if (!out.found) failed.add();
+  }
+  return out;
 }
 
 }  // namespace gred::core

@@ -17,6 +17,19 @@
 
 namespace gred::core {
 
+/// Client-side retry policy for retrieve_with_fallback. Backoff is
+/// simulated (accumulated in the outcome, never slept): the simulator
+/// has no wall-clock network, but the delay model charges it.
+struct RetryPolicy {
+  /// Total route attempts, the first included (>= 1).
+  std::size_t max_attempts = 3;
+  /// Backoff charged before the second attempt, in model milliseconds.
+  double backoff_ms = 1.0;
+  /// Multiplier per further attempt (capped below).
+  double backoff_multiplier = 2.0;
+  double backoff_cap_ms = 8.0;
+};
+
 /// Report of one placement or retrieval.
 struct OpReport {
   sden::RouteResult route;
@@ -35,6 +48,25 @@ struct OpReport {
   double latency_stretch = 1.0;
 };
 
+/// What a fallback retrieval did, attempt by attempt.
+struct RetrievalOutcome {
+  /// Report of the successful attempt (valid only when found).
+  OpReport report;
+  bool found = false;
+  /// Classified status of the last attempt when !found: one of the
+  /// retryable routing codes, or kNotFound when routes succeeded but
+  /// no replica held the item. Never kInternal for plain misses.
+  Status final_status = Status::Ok();
+  std::size_t attempts = 0;
+  /// Attempts that were re-targeted at a non-primary replica home.
+  std::size_t fallbacks = 0;
+  /// Simulated client backoff accumulated across retries.
+  double backoff_ms = 0.0;
+  /// True when a retry/fallback succeeded after the first attempt
+  /// failed.
+  bool recovered = false;
+};
+
 class GredProtocol {
  public:
   /// Both objects must outlive the protocol; the controller must be
@@ -43,7 +75,12 @@ class GredProtocol {
       : net_(&net), controller_(&controller) {}
 
   /// Places `payload` under `data_id`, entering the network at
-  /// `ingress` (Section V-A).
+  /// `ingress` (Section V-A). When the controller has replication
+  /// enabled, the primary placement is followed by one placement per
+  /// additional replica home, re-targeted at that home's own virtual
+  /// position (same data_id — the k-replica scheme, unlike the hashed
+  /// "<id>#<c>" scheme of place_replicated). Returns the primary's
+  /// report.
   Result<OpReport> place(const std::string& data_id,
                          const std::string& payload,
                          topology::SwitchId ingress);
@@ -71,6 +108,18 @@ class GredProtocol {
   Result<OpReport> retrieve_nearest_replica(const std::string& data_id,
                                             unsigned copies,
                                             topology::SwitchId ingress);
+
+  /// Fault-tolerant retrieval: tries the primary home first; on a
+  /// classified retryable routing failure (kRoutingLoop / kNoRoute /
+  /// kLinkDown) or a clean miss, re-targets the request at the item's
+  /// next replica home with capped exponential backoff, up to
+  /// `policy.max_attempts`. The Result is an error only for caller
+  /// mistakes (controller not initialized); a retrieval that exhausts
+  /// its attempts returns Ok with found == false and the classified
+  /// final_status.
+  Result<RetrievalOutcome> retrieve_with_fallback(
+      const std::string& data_id, topology::SwitchId ingress,
+      const RetryPolicy& policy = {});
 
   sden::SdenNetwork& network() { return *net_; }
   const Controller& controller() const { return *controller_; }

@@ -50,8 +50,19 @@ class GredSystem {
                                             topology::SwitchId ingress) {
     return protocol().retrieve_nearest_replica(data_id, copies, ingress);
   }
+  /// Fault-tolerant retrieval with replica fallback (see
+  /// GredProtocol::retrieve_with_fallback).
+  Result<RetrievalOutcome> retrieve_with_fallback(
+      const std::string& data_id, topology::SwitchId ingress,
+      const RetryPolicy& policy = {}) {
+    return protocol().retrieve_with_fallback(data_id, ingress, policy);
+  }
 
   // --- management operations ---
+  /// Opts into k-replica placement (fault-tolerance layer).
+  Status enable_replication(ReplicationOptions opts = {}) {
+    return controller_.enable_replication(*net_, opts);
+  }
   Status extend_range(topology::ServerId overloaded) {
     return controller_.extend_range(*net_, overloaded);
   }

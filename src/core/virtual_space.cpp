@@ -210,6 +210,15 @@ topology::SwitchId VirtualSpace::nearest_participant(
   return participants_[grid_.nearest(p)];
 }
 
+std::vector<topology::SwitchId> VirtualSpace::nearest_participants(
+    const geometry::Point2D& p, std::size_t k) const {
+  std::vector<topology::SwitchId> out;
+  for (const std::size_t idx : grid_.nearest_k(p, k)) {
+    out.push_back(participants_[idx]);
+  }
+  return out;
+}
+
 void VirtualSpace::rebuild_grid() {
   grid_ = geometry::SiteGrid(positions_, geometry::Rect{0.0, 0.0, 1.0, 1.0});
   // Every packet's home-switch lookup goes through the grid, so each

@@ -117,6 +117,13 @@ class VirtualSpace {
   /// here.
   topology::SwitchId nearest_participant(const geometry::Point2D& p) const;
 
+  /// The k participants nearest to `p`, ascending by the same total
+  /// order (element 0 == nearest_participant(p)). Fewer than k only
+  /// when the space has fewer participants. Replica placement derives
+  /// the fallback homes of a data position from this list.
+  std::vector<topology::SwitchId> nearest_participants(
+      const geometry::Point2D& p, std::size_t k) const;
+
   /// Appends a participant at an explicit position (node join,
   /// Section VI). The caller computes the position (Controller does a
   /// local stress fit).

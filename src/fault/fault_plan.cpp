@@ -1,0 +1,204 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace gred::fault {
+namespace {
+
+/// Candidate draws per event before degrading to a weaker fault kind
+/// (crash -> link down -> flaky). Bounds the search on topologies where
+/// most switches are articulation points.
+constexpr std::size_t kCandidateTries = 32;
+
+/// True when every alive switch is reachable from the first alive one
+/// over alive switches only — the invariant each permanent failure must
+/// preserve so routing (from any surviving ingress) and the controller
+/// repair both stay well-defined.
+bool alive_connected(const graph::Graph& g,
+                     const std::vector<std::uint8_t>& alive) {
+  const std::size_t n = g.node_count();
+  std::size_t start = n;
+  std::size_t alive_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (alive[i] != 0) {
+      if (start == n) start = i;
+      ++alive_count;
+    }
+  }
+  if (alive_count <= 1) return alive_count == 1;
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<graph::NodeId> stack{start};
+  seen[start] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const graph::NodeId u = stack.back();
+    stack.pop_back();
+    for (const graph::EdgeTo& e : g.neighbors(u)) {
+      if (alive[e.to] == 0 || seen[e.to] != 0) continue;
+      seen[e.to] = 1;
+      ++visited;
+      stack.push_back(e.to);
+    }
+  }
+  return visited == alive_count;
+}
+
+/// A live edge of the probe graph, uniform over edges, or nullopt when
+/// none remain.
+bool pick_edge(const graph::Graph& probe, Rng& rng, graph::NodeId& u,
+               graph::NodeId& v) {
+  const auto edges = probe.edges();
+  if (edges.empty()) return false;
+  const auto& e = edges[rng.next_below(edges.size())];
+  u = e.first;
+  v = e.second;
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSwitchCrash:
+      return "switch-crash";
+    case FaultKind::kLinkDown:
+      return "link-down";
+    case FaultKind::kLinkFlaky:
+      return "link-flaky";
+  }
+  return "unknown";
+}
+
+std::size_t FaultPlan::switch_crashes() const {
+  std::size_t n = 0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kSwitchCrash) ++n;
+  }
+  return n;
+}
+
+Result<FaultPlan> FaultPlan::generate(const topology::EdgeNetwork& net,
+                                      const FaultPlanOptions& options) {
+  if (options.schedule_length <= options.stale_window) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "FaultPlan: schedule_length must exceed stale_window");
+  }
+  const double total_weight = options.crash_weight +
+                              options.link_down_weight +
+                              options.flaky_weight;
+  if (options.crash_weight < 0.0 || options.link_down_weight < 0.0 ||
+      options.flaky_weight < 0.0 || total_weight <= 0.0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "FaultPlan: kind weights must be non-negative with a "
+                 "positive sum");
+  }
+  if (options.flaky_drop_probability <= 0.0 ||
+      options.flaky_drop_probability > 1.0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "FaultPlan: flaky_drop_probability must be in (0, 1]");
+  }
+  const std::size_t n = net.switch_count();
+  if (n < 2) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "FaultPlan: need at least two switches");
+  }
+
+  FaultPlan plan;
+  plan.options_ = options;
+  if (options.event_count == 0) return plan;
+
+  Rng rng(options.seed);
+
+  // Failure times ascending; every repair then fits the timeline and
+  // repairs apply in failure order (constant window).
+  std::vector<std::size_t> times(options.event_count);
+  const std::size_t horizon = options.schedule_length - options.stale_window;
+  for (std::size_t& t : times) t = rng.next_below(horizon);
+  std::sort(times.begin(), times.end());
+
+  // Sequential probe: the topology after every permanent failure
+  // planned so far. Candidates are validated against it, so the
+  // controller repairs stay applicable when replayed in order.
+  graph::Graph probe = net.switches();
+  std::vector<std::uint8_t> alive(n, 1);
+
+  for (const std::size_t at : times) {
+    // Weighted kind draw; degraded below when no valid candidate
+    // exists (flaky always has one while any edge is live).
+    const double r = rng.next_double() * total_weight;
+    FaultKind kind = FaultKind::kLinkFlaky;
+    if (r < options.crash_weight) {
+      kind = FaultKind::kSwitchCrash;
+    } else if (r < options.crash_weight + options.link_down_weight) {
+      kind = FaultKind::kLinkDown;
+    }
+
+    FaultEvent event;
+    event.at_event = at;
+    event.repair_at = at + options.stale_window;
+    bool placed = false;
+
+    if (kind == FaultKind::kSwitchCrash) {
+      for (std::size_t attempt = 0; attempt < kCandidateTries && !placed;
+           ++attempt) {
+        const graph::NodeId s = rng.next_below(n);
+        if (alive[s] == 0) continue;
+        alive[s] = 0;
+        if (alive_connected(probe, alive)) {
+          probe.remove_edges_of(s);
+          event.kind = FaultKind::kSwitchCrash;
+          event.subject = s;
+          placed = true;
+        } else {
+          alive[s] = 1;
+        }
+      }
+      if (!placed) kind = FaultKind::kLinkDown;
+    }
+
+    if (kind == FaultKind::kLinkDown && !placed) {
+      for (std::size_t attempt = 0; attempt < kCandidateTries && !placed;
+           ++attempt) {
+        graph::NodeId u = 0;
+        graph::NodeId v = 0;
+        if (!pick_edge(probe, rng, u, v)) break;
+        const auto weight = probe.edge_weight(u, v);
+        if (!weight.ok()) break;
+        probe.remove_edge(u, v);
+        if (alive_connected(probe, alive)) {
+          event.kind = FaultKind::kLinkDown;
+          event.subject = u;
+          event.peer = v;
+          placed = true;
+        } else {
+          (void)probe.add_edge(u, v, weight.value());
+        }
+      }
+      if (!placed) kind = FaultKind::kLinkFlaky;
+    }
+
+    if (kind == FaultKind::kLinkFlaky && !placed) {
+      graph::NodeId u = 0;
+      graph::NodeId v = 0;
+      if (pick_edge(probe, rng, u, v)) {
+        event.kind = FaultKind::kLinkFlaky;
+        event.subject = u;
+        event.peer = v;
+        event.drop_probability = options.flaky_drop_probability;
+        placed = true;
+      }
+    }
+
+    // No candidate of any kind (the probe ran out of edges): the
+    // remaining timeline cannot host more failures.
+    if (!placed) break;
+    plan.events_.push_back(event);
+  }
+  return plan;
+}
+
+}  // namespace gred::fault

@@ -1,0 +1,87 @@
+// gred::fault — deterministic failure injection for the fault-tolerance
+// layer. A FaultPlan is a seeded, pre-validated schedule of failures
+// (switch crash, link down, flaky link) on an event-index timeline.
+// Each failure carries a repair time `stale_window` events later: the
+// window models the delay between the physical fault and the
+// controller's recompute, during which the data plane routes on stale
+// tables and packets fall into the hole (classified kLinkDown).
+//
+// Generation is validated against a sequential probe of the topology:
+// crash and link-down candidates are accepted only when the surviving
+// switches stay connected after every previously planned permanent
+// failure, so the matching controller repairs (remove_switch /
+// remove_link) are guaranteed applicable in repair order. Link events
+// draw from the probe's live edges, so no event touches an
+// already-crashed switch. The plan is a pure function of
+// (topology, options) — same seed, same plan.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "topology/edge_network.hpp"
+
+namespace gred::fault {
+
+enum class FaultKind : std::uint8_t {
+  kSwitchCrash,  ///< switch dies; its stored items are lost
+  kLinkDown,     ///< permanent link failure (repaired by remove_link)
+  kLinkFlaky,    ///< transient loss: link drops packets with probability p
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSwitchCrash;
+  /// Event-clock index at which the fault appears in the data plane.
+  std::size_t at_event = 0;
+  /// Crashed switch, or link endpoint u.
+  topology::SwitchId subject = 0;
+  /// Link endpoint v (link events only).
+  topology::SwitchId peer = 0;
+  /// Per-packet drop probability while injected (1.0 = hard down).
+  double drop_probability = 1.0;
+  /// Event-clock index of the controller recompute
+  /// (= at_event + stale_window).
+  std::size_t repair_at = 0;
+};
+
+struct FaultPlanOptions {
+  std::size_t event_count = 8;
+  /// Length of the event-clock timeline; failures are drawn from
+  /// [0, schedule_length - stale_window) so every repair fits.
+  std::size_t schedule_length = 1000;
+  /// Relative frequencies of the three fault kinds.
+  double crash_weight = 1.0;
+  double link_down_weight = 1.0;
+  double flaky_weight = 1.0;
+  /// Drop probability of a kLinkFlaky event.
+  double flaky_drop_probability = 0.3;
+  /// Events between a failure and its controller recompute (the
+  /// stale-position window of the fault model).
+  std::size_t stale_window = 4;
+  std::uint64_t seed = 1;
+};
+
+class FaultPlan {
+ public:
+  /// Builds a schedule against `net`'s switch topology. Fails on a
+  /// degenerate request (empty timeline, non-positive weights, fewer
+  /// than two switches).
+  static Result<FaultPlan> generate(const topology::EdgeNetwork& net,
+                                    const FaultPlanOptions& options = {});
+
+  /// Events ascending by at_event; repair_at is ascending too (the
+  /// stale window is constant), so repairs apply in the same order.
+  const std::vector<FaultEvent>& events() const { return events_; }
+  const FaultPlanOptions& options() const { return options_; }
+
+  std::size_t switch_crashes() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+  FaultPlanOptions options_;
+};
+
+}  // namespace gred::fault

@@ -1,0 +1,113 @@
+#include "fault/fault_session.hpp"
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace gred::fault {
+
+FaultSession::FaultSession(core::GredSystem& system, FaultPlan plan)
+    : system_(&system), plan_(std::move(plan)) {
+  state_.seed = plan_.options().seed;
+  system_->network().set_fault_state(&state_);
+}
+
+FaultSession::~FaultSession() {
+  system_->network().set_fault_state(nullptr);
+}
+
+Result<std::size_t> FaultSession::advance(std::size_t now) {
+  const std::vector<FaultEvent>& events = plan_.events();
+  std::size_t applied = 0;
+  while (true) {
+    const bool can_inject =
+        next_inject_ < events.size() && events[next_inject_].at_event <= now;
+    const bool can_repair =
+        next_repair_ < events.size() && events[next_repair_].repair_at <= now;
+    if (!can_inject && !can_repair) break;
+    const bool do_inject =
+        can_inject &&
+        (!can_repair ||
+         events[next_inject_].at_event <= events[next_repair_].repair_at);
+    if (do_inject) {
+      inject(events[next_inject_]);
+      ++next_inject_;
+    } else {
+      Status repaired = repair(events[next_repair_]);
+      if (!repaired.ok()) return repaired.error();
+      ++next_repair_;
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+Result<std::size_t> FaultSession::finish() {
+  return advance(std::numeric_limits<std::size_t>::max());
+}
+
+void FaultSession::inject(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kSwitchCrash:
+      state_.set_switch_down(event.subject, true);
+      break;
+    case FaultKind::kLinkDown:
+      state_.set_link_drop(event.subject, event.peer, 1.0);
+      break;
+    case FaultKind::kLinkFlaky:
+      state_.set_link_drop(event.subject, event.peer,
+                           event.drop_probability);
+      break;
+  }
+  if (obs::enabled()) {
+    static obs::Counter& injected =
+        obs::registry().counter("fault.injected");
+    injected.add();
+  }
+}
+
+Status FaultSession::repair(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kSwitchCrash: {
+      // The crash destroyed the switch's storage: wipe its servers
+      // before the controller tears it down, so remove_switch's
+      // graceful orphan rescue has nothing to save and the data is
+      // genuinely lost unless replicas exist elsewhere.
+      for (const topology::ServerId sid :
+           system_->network().description().servers_at(event.subject)) {
+        sden::ServerNode& server = system_->network().server(sid);
+        std::vector<std::string> ids;
+        ids.reserve(server.item_count());
+        for (const auto& [id, payload] : server.items()) ids.push_back(id);
+        for (const std::string& id : ids) server.erase(id);
+        items_wiped_ += ids.size();
+      }
+      Status removed = system_->remove_switch(event.subject);
+      if (!removed.ok()) return removed;
+      state_.set_switch_down(event.subject, false);
+      break;
+    }
+    case FaultKind::kLinkDown: {
+      Status removed = system_->remove_link(event.subject, event.peer);
+      if (!removed.ok()) return removed;
+      state_.clear_link(event.subject, event.peer);
+      break;
+    }
+    case FaultKind::kLinkFlaky:
+      // Transient loss subsides on its own; the topology is intact.
+      state_.clear_link(event.subject, event.peer);
+      break;
+  }
+  if (obs::enabled()) {
+    static obs::Counter& repaired =
+        obs::registry().counter("fault.repaired");
+    repaired.add();
+  }
+  return Status::Ok();
+}
+
+}  // namespace gred::fault

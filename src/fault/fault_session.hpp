@@ -1,0 +1,74 @@
+// FaultSession: replays a FaultPlan against a live GredSystem. The
+// session owns the data-plane FaultState and installs it on the
+// network for its lifetime; advancing the event clock first *injects*
+// due failures (packets start dropping, classified kLinkDown) and then
+// *repairs* due events — the delayed controller recompute:
+//
+//   switch crash -> wipe the dead switch's servers (those copies are
+//                   genuinely lost; only replicas survive), then
+//                   Controller::remove_switch
+//   link down    -> Controller::remove_link
+//   flaky link   -> the transient loss clears; no topology change
+//
+// Each repair also clears the matching data-plane fault, so after a
+// fully advanced plan the FaultState is empty again. With replication
+// enabled on the controller, every repair ends in a
+// restore_replication pass that brings surviving items back to the
+// replication factor.
+#pragma once
+
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "core/system.hpp"
+#include "fault/fault_plan.hpp"
+#include "sden/fault_state.hpp"
+
+namespace gred::fault {
+
+class FaultSession {
+ public:
+  /// Installs this session's FaultState on `system`'s network. The
+  /// system must outlive the session.
+  FaultSession(core::GredSystem& system, FaultPlan plan);
+  ~FaultSession();
+
+  FaultSession(const FaultSession&) = delete;
+  FaultSession& operator=(const FaultSession&) = delete;
+  FaultSession(FaultSession&&) = delete;
+  FaultSession& operator=(FaultSession&&) = delete;
+
+  /// Applies everything due at or before `now` on the event clock:
+  /// injections and repairs interleaved in time order (injections
+  /// first on ties, so a zero stale window still injects before it
+  /// repairs). Returns the number of actions applied. A failed
+  /// controller repair aborts with its status.
+  Result<std::size_t> advance(std::size_t now);
+
+  /// Runs the remainder of the plan to completion.
+  Result<std::size_t> finish();
+
+  std::size_t injected() const { return next_inject_; }
+  std::size_t repaired() const { return next_repair_; }
+  bool done() const { return next_repair_ == plan_.events().size(); }
+
+  /// Items wiped from crashed switches' servers so far — copies the
+  /// fault genuinely destroyed; only replication can recover them.
+  std::size_t items_wiped() const { return items_wiped_; }
+
+  const FaultPlan& plan() const { return plan_; }
+  const sden::FaultState& state() const { return state_; }
+
+ private:
+  void inject(const FaultEvent& event);
+  Status repair(const FaultEvent& event);
+
+  core::GredSystem* system_;
+  FaultPlan plan_;
+  sden::FaultState state_;
+  std::size_t next_inject_ = 0;
+  std::size_t next_repair_ = 0;
+  std::size_t items_wiped_ = 0;
+};
+
+}  // namespace gred::fault

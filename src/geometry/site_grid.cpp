@@ -17,6 +17,15 @@ bool better_candidate(const Point2D& p, const std::vector<Point2D>& sites,
   return sites[i] == sites[best] && i < best;
 }
 
+/// Strict total order "i ranks before j as a neighbor of p": distance,
+/// then lexicographic position, then site index — the k-candidate
+/// generalization of better_candidate.
+bool rank_before(const Point2D& p, const std::vector<Point2D>& sites,
+                 std::size_t i, std::size_t j) {
+  if (closer_to(p, sites[i], sites[j])) return true;
+  return sites[i] == sites[j] && i < j;
+}
+
 }  // namespace
 
 SiteGrid::SiteGrid(std::vector<Point2D> sites, const Rect& domain)
@@ -97,6 +106,88 @@ void SiteGrid::scan_cell(const Point2D& p, std::size_t cx, std::size_t cy,
       best_sq = squared_distance(p, sites_[i]);
     }
   }
+}
+
+void SiteGrid::scan_cell_k(const Point2D& p, std::size_t cx, std::size_t cy,
+                           std::size_t k, std::vector<std::size_t>& best,
+                           double& worst_sq) const {
+  const std::size_t cell = cy * nx_ + cx;
+  const std::size_t lo = cell_start_[cell];
+  const std::size_t hi = cell_start_[cell + 1];
+  if (lo == hi) return;
+
+  if (best.size() == k) {
+    const double bx0 = min_x_ + static_cast<double>(cx) * cell_w_;
+    const double by0 = min_y_ + static_cast<double>(cy) * cell_h_;
+    const double dx = std::max({bx0 - p.x, 0.0, p.x - (bx0 + cell_w_)});
+    const double dy = std::max({by0 - p.y, 0.0, p.y - (by0 + cell_h_)});
+    if (dx * dx + dy * dy > worst_sq + 1e-12 * (1.0 + worst_sq)) return;
+  }
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    const std::size_t i = cell_items_[idx];
+    if (best.size() == k && !rank_before(p, sites_, i, best.back())) {
+      continue;
+    }
+    // Sorted insert (k is tiny — replica factors of 2-4).
+    auto pos = best.begin();
+    while (pos != best.end() && rank_before(p, sites_, *pos, i)) ++pos;
+    best.insert(pos, i);
+    if (best.size() > k) best.pop_back();
+    if (best.size() == k) {
+      worst_sq = squared_distance(p, sites_[best.back()]);
+    }
+  }
+}
+
+std::vector<std::size_t> SiteGrid::nearest_k(const Point2D& p,
+                                             std::size_t k) const {
+  std::vector<std::size_t> best;
+  if (sites_.empty() || k == 0) return best;
+  k = std::min(k, sites_.size());
+  best.reserve(k + 1);
+
+  const auto ix = static_cast<std::ptrdiff_t>(cell_x(p.x));
+  const auto iy = static_cast<std::ptrdiff_t>(cell_y(p.y));
+  const auto snx = static_cast<std::ptrdiff_t>(nx_);
+  const auto sny = static_cast<std::ptrdiff_t>(ny_);
+  const std::ptrdiff_t max_ring =
+      std::max(std::max(ix, snx - 1 - ix), std::max(iy, sny - 1 - iy));
+  const double min_cell = std::min(cell_w_, cell_h_);
+
+  double worst_sq = 0.0;
+  for (std::ptrdiff_t r = 0; r <= max_ring; ++r) {
+    if (best.size() == k && r >= 1) {
+      // Same ring cutoff as nearest(), against the k-th best distance.
+      const double gap = static_cast<double>(r - 1) * min_cell;
+      if (gap * gap > worst_sq) break;
+    }
+    const auto in_x = [&](std::ptrdiff_t x) { return x >= 0 && x < snx; };
+    const auto in_y = [&](std::ptrdiff_t y) { return y >= 0 && y < sny; };
+    if (r == 0) {
+      scan_cell_k(p, static_cast<std::size_t>(ix),
+                  static_cast<std::size_t>(iy), k, best, worst_sq);
+      continue;
+    }
+    for (std::ptrdiff_t x = ix - r; x <= ix + r; ++x) {
+      if (!in_x(x)) continue;
+      for (std::ptrdiff_t y : {iy - r, iy + r}) {
+        if (in_y(y)) {
+          scan_cell_k(p, static_cast<std::size_t>(x),
+                      static_cast<std::size_t>(y), k, best, worst_sq);
+        }
+      }
+    }
+    for (std::ptrdiff_t y = iy - r + 1; y <= iy + r - 1; ++y) {
+      if (!in_y(y)) continue;
+      for (std::ptrdiff_t x : {ix - r, ix + r}) {
+        if (in_x(x)) {
+          scan_cell_k(p, static_cast<std::size_t>(x),
+                      static_cast<std::size_t>(y), k, best, worst_sq);
+        }
+      }
+    }
+  }
+  return best;
 }
 
 std::size_t SiteGrid::nearest(const Point2D& p) const {

@@ -32,6 +32,12 @@ class SiteGrid {
   /// kNoSite when the grid is empty.
   std::size_t nearest(const Point2D& p) const;
 
+  /// The k sites nearest to `p`, ascending under the same total order
+  /// as nearest() (so nearest_k(p, 1)[0] == nearest(p)). Returns fewer
+  /// than k entries only when the grid holds fewer than k sites.
+  /// Replica placement uses this to pick fallback homes.
+  std::vector<std::size_t> nearest_k(const Point2D& p, std::size_t k) const;
+
  private:
   std::size_t cell_x(double x) const;
   std::size_t cell_y(double y) const;
@@ -40,6 +46,12 @@ class SiteGrid {
   /// is strictly farther than `best_sq`.
   void scan_cell(const Point2D& p, std::size_t cx, std::size_t cy,
                  std::size_t& best, double& best_sq) const;
+  /// k-candidate variant: keeps `best` sorted ascending under the
+  /// total order, capped at `k` entries; `worst_sq` tracks the squared
+  /// distance of best.back() once the list is full.
+  void scan_cell_k(const Point2D& p, std::size_t cx, std::size_t cy,
+                   std::size_t k, std::vector<std::size_t>& best,
+                   double& worst_sq) const;
 
   std::vector<Point2D> sites_;
   double min_x_ = 0.0;

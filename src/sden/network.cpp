@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "sden/route_errors.hpp"
 
 namespace gred::sden {
 
@@ -115,6 +116,18 @@ void SdenNetwork::route(Packet& pkt, SwitchId ingress, RouteResult& result) {
   const double tx = pkt.target.x;
   const double ty = pkt.target.y;
 
+  // Injected physical faults: null in normal operation, so the healthy
+  // steady state pays one predicted branch per traversal. The salt is
+  // derived once per packet (both routers derive the same value).
+  const FaultState* const faults =
+      (faults_ != nullptr && faults_->any()) ? faults_ : nullptr;
+  const std::uint64_t salt =
+      faults != nullptr ? fault_packet_salt(pkt) : 0;
+  if (faults != nullptr && faults->switch_is_down(ingress)) {
+    result.fail(route_errors::ingress_down(ingress));
+    return;
+  }
+
   std::uint32_t cur = static_cast<std::uint32_t>(ingress);
   result.switch_path.reserve(path_reserve_hint_);
   result.switch_path.push_back(cur);
@@ -134,20 +147,20 @@ void SdenNetwork::route(Packet& pkt, SwitchId ingress, RouteResult& result) {
         const PlanRelay* relay = plan.relays.find(
             Key2{cur, static_cast<std::uint64_t>(pkt.vlink_dest)});
         if (relay == nullptr) {
-          result.status =
-              Status(ErrorCode::kInternal,
-                     std::string("packet dropped at switch ") +
-                         std::to_string(cur) +
-                         ": no relay entry for virtual-link destination");
+          result.fail(route_errors::no_relay(cur));
           return;
         }
         if (std::isnan(relay->weight)) {
-          result.status = Status(
-              ErrorCode::kInternal,
-              "switch " + std::to_string(cur) +
-                  " forwarded over a non-existent link to switch " +
-                  std::to_string(relay->succ));
+          result.fail(route_errors::missing_link(cur, relay->succ));
           return;
+        }
+        if (faults != nullptr) {
+          Status hop =
+              route_errors::check_traversal(*faults, cur, relay->succ, salt);
+          if (!hop.ok()) {
+            result.fail(std::move(hop));
+            return;
+          }
         }
         result.path_cost += relay->weight;
         cur = relay->succ;
@@ -159,11 +172,7 @@ void SdenNetwork::route(Packet& pkt, SwitchId ingress, RouteResult& result) {
     const double* const base = hot + offsets[cur];
     const std::uint32_t flags = plan_lo(base[3]);
     if ((flags & kPlanFlagDt) == 0) {
-      result.status =
-          Status(ErrorCode::kInternal,
-                 std::string("packet dropped at switch ") +
-                     std::to_string(cur) +
-                     ": greedy packet at non-DT transit switch");
+      result.fail(route_errors::non_dt_transit(cur));
       return;
     }
 
@@ -228,12 +237,16 @@ void SdenNetwork::route(Packet& pkt, SwitchId ingress, RouteResult& result) {
           pkt.vlink_sour = cur;
         }
         if (std::isnan(weight)) {
-          result.status = Status(
-              ErrorCode::kInternal,
-              "switch " + std::to_string(cur) +
-                  " forwarded over a non-existent link to switch " +
-                  std::to_string(plan_hi(act)));
+          result.fail(route_errors::missing_link(cur, plan_hi(act)));
           return;
+        }
+        if (faults != nullptr) {
+          Status hop = route_errors::check_traversal(*faults, cur,
+                                                     plan_hi(act), salt);
+          if (!hop.ok()) {
+            result.fail(std::move(hop));
+            return;
+          }
         }
         result.path_cost += weight;
         cur = plan_hi(act);
@@ -243,11 +256,13 @@ void SdenNetwork::route(Packet& pkt, SwitchId ingress, RouteResult& result) {
     }
 
     // No neighbor is closer: this switch owns the data.
-    result.status = deliver_compiled(plan, base, pkt, cur, result);
+    Status delivered = deliver_compiled(plan, base, pkt, cur, result);
+    if (!delivered.ok()) {
+      result.fail(std::move(delivered));
+    }
     return;
   }
-  result.status =
-      Status(ErrorCode::kInternal, "routing loop: hop bound exceeded");
+  result.fail(route_errors::hop_bound());
 }
 
 Status SdenNetwork::deliver_compiled(const RoutePlan& plan, const double* base,
@@ -265,21 +280,15 @@ Status SdenNetwork::deliver_compiled(const RoutePlan& plan, const double* base,
       return deliver_to_targets(decision, pkt, terminal, result);
     }
     if (decision.kind == Decision::Kind::kDrop) {
-      return Status(
-          ErrorCode::kInternal,
-          std::string("packet dropped at switch ") + std::to_string(terminal) +
-              ": " +
-              (decision.drop_reason ? decision.drop_reason : "unknown"));
+      return route_errors::pipeline_drop(terminal, decision.drop_code,
+                                         decision.drop_reason);
     }
     return Status(ErrorCode::kInternal,
                   "compiled plan and live pipeline diverged at delivery");
   }
 
   if (server_count == 0) {
-    return Status(ErrorCode::kInternal,
-                  std::string("packet dropped at switch ") +
-                      std::to_string(terminal) +
-                      ": terminal switch has no attached servers");
+    return route_errors::no_servers(terminal);
   }
 
   // Section V-B: serial number H(d) mod s. The cached digest (filled in
@@ -436,8 +445,12 @@ Status SdenNetwork::deliver_to_targets(const Decision& decision, Packet& pkt,
       const graph::EdgeTo* edge =
           description_.switches().find_edge(terminal, target.via);
       if (edge == nullptr) {
-        return Status(ErrorCode::kInternal,
-                      "range-extension handoff over non-existent link");
+        return route_errors::handoff_missing_link();
+      }
+      if (faults_ != nullptr && faults_->any()) {
+        Status hop = route_errors::check_traversal(
+            *faults_, terminal, target.via, fault_packet_salt(pkt));
+        if (!hop.ok()) return hop;
       }
       result.path_cost += edge->weight;
       result.switch_path.push_back(target.via);

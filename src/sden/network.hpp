@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "sden/fault_state.hpp"
 #include "sden/packet.hpp"
 #include "sden/route_plan.hpp"
 #include "sden/server_node.hpp"
@@ -46,6 +47,18 @@ struct RouteResult {
     return switch_path.empty() ? 0 : switch_path.size() - 1;
   }
 
+  /// Marks the route failed with `s`, enforcing the failure-path
+  /// contract (route_errors.hpp): the partial switch_path and
+  /// path_cost walked so far are kept, but delivery state is cleared —
+  /// a failed route never reports delivered_to/responder/payload.
+  void fail(Status s) {
+    status = std::move(s);
+    delivered_to.clear();
+    responder = topology::kNoServer;
+    payload.clear();
+    found = false;
+  }
+
   /// Back to the just-constructed state, retaining heap capacity.
   void reset() {
     status = Status::Ok();
@@ -76,6 +89,12 @@ class SdenNetwork {
     return switches_[id];
   }
   const Switch& switch_at(SwitchId id) const { return switches_[id]; }
+  /// Read-only switch access that does NOT invalidate the compiled
+  /// route plan, callable through a non-const network reference.
+  /// Inspection passes (validators, reference routers, metrics) must
+  /// use this — going through the mutable switch_at() silently
+  /// destroys the fast path on every call.
+  const Switch& const_switch_at(SwitchId id) const { return switches_[id]; }
   ServerNode& server(ServerId id) { return servers_[id]; }
   const ServerNode& server(ServerId id) const { return servers_[id]; }
 
@@ -143,6 +162,21 @@ class SdenNetwork {
     plan_->dirty.store(true, std::memory_order_release);
   }
 
+  /// Whether the compiled plan is currently marked stale (diagnostics
+  /// and regression tests: a read-only inspection pass must leave a
+  /// fresh plan intact).
+  bool route_plan_stale() const {
+    return plan_->dirty.load(std::memory_order_acquire);
+  }
+
+  /// Installs (or clears, with nullptr) the injected physical-fault
+  /// state. Not owned; the pointer must stay valid while set. Both the
+  /// compiled fast path and the reference router consult it, so their
+  /// differential stays bit-identical under faults. Routing with
+  /// faults installed classifies drops as kLinkDown.
+  void set_fault_state(const FaultState* faults) { faults_ = faults; }
+  const FaultState* fault_state() const { return faults_; }
+
  private:
   Status deliver_to_targets(const Decision& decision, Packet& pkt,
                             SwitchId terminal, RouteResult& result);
@@ -162,6 +196,7 @@ class SdenNetwork {
   std::vector<ServerNode> servers_;
   std::size_t path_reserve_hint_ = 16;
   std::unique_ptr<PlanState> plan_;
+  const FaultState* faults_ = nullptr;
 };
 
 }  // namespace gred::sden

@@ -52,6 +52,7 @@ Decision P4GredProgram::process(Packet& pkt) const {
       if (hit == relay_table_.end()) {
         decision.kind = Decision::Kind::kDrop;
         decision.drop_reason = "no relay entry for virtual-link destination";
+        decision.drop_code = ErrorCode::kNoRoute;
         return decision;
       }
       decision.kind = Decision::Kind::kForward;
@@ -63,6 +64,7 @@ Decision P4GredProgram::process(Packet& pkt) const {
   if (!dt_participant_) {
     decision.kind = Decision::Kind::kDrop;
     decision.drop_reason = "greedy packet at non-DT transit switch";
+    decision.drop_code = ErrorCode::kNoRoute;
     return decision;
   }
 
@@ -123,6 +125,7 @@ Decision P4GredProgram::process(Packet& pkt) const {
   if (server_rows_.empty()) {
     decision.kind = Decision::Kind::kDrop;
     decision.drop_reason = "terminal switch has no attached servers";
+    decision.drop_code = ErrorCode::kNoRoute;
     return decision;
   }
   const crypto::DataKey key = pkt.key();

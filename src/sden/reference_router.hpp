@@ -3,19 +3,23 @@
 // a fresh RouteResult per packet) exactly as SdenNetwork::inject did
 // before the compiled route plan existed. It is deliberately naive —
 // the differential tests and bench_data_plane hold the compiled fast
-// path bit-identical to this walk, and the bench reports the speedup
-// of the fast path over it.
+// path bit-identical to this walk (statuses and messages included, via
+// the shared route_errors constructors), and the bench reports the
+// speedup of the fast path over it.
 #pragma once
 
 #include <string>
 
 #include "sden/network.hpp"
+#include "sden/route_errors.hpp"
 
 namespace gred::sden {
 
 /// Routes `pkt` from `ingress` over the live pipeline. Storage side
 /// effects are applied through the same ServerNode objects the fast
-/// path uses, so interleaving the two on retrievals is safe.
+/// path uses, so interleaving the two on retrievals is safe. Consults
+/// the network's injected FaultState exactly like the fast path does,
+/// so the differential holds under faults too.
 inline RouteResult reference_route(SdenNetwork& net, Packet pkt,
                                    SwitchId ingress) {
   RouteResult result;
@@ -25,33 +29,47 @@ inline RouteResult reference_route(SdenNetwork& net, Packet pkt,
     return result;
   }
 
+  const FaultState* const faults =
+      (net.fault_state() != nullptr && net.fault_state()->any())
+          ? net.fault_state()
+          : nullptr;
+  const std::uint64_t salt =
+      faults != nullptr ? fault_packet_salt(pkt) : 0;
+  if (faults != nullptr && faults->switch_is_down(ingress)) {
+    result.fail(route_errors::ingress_down(ingress));
+    return result;
+  }
+
   const graph::Graph& links = net.description().switches();
   SwitchId cur = ingress;
   result.switch_path.push_back(cur);
 
   const std::size_t max_hops = 4 * net.switch_count() + 16;
   for (std::size_t step = 0; step < max_hops; ++step) {
-    const Switch& sw = static_cast<const SdenNetwork&>(net).switch_at(cur);
+    // Read-only inspection: const_switch_at keeps the compiled plan
+    // valid (the mutable switch_at() would invalidate it every hop).
+    const Switch& sw = net.const_switch_at(cur);
     Decision decision = sw.process(pkt);
 
     if (decision.kind == Decision::Kind::kDrop) {
-      result.status = Status(
-          ErrorCode::kInternal,
-          std::string("packet dropped at switch ") + std::to_string(cur) +
-              ": " +
-              (decision.drop_reason ? decision.drop_reason : "unknown"));
+      result.fail(route_errors::pipeline_drop(cur, decision.drop_code,
+                                              decision.drop_reason));
       return result;
     }
 
     if (decision.kind == Decision::Kind::kForward) {
       const graph::EdgeTo* edge = links.find_edge(cur, decision.next_hop);
       if (edge == nullptr) {
-        result.status = Status(
-            ErrorCode::kInternal,
-            "switch " + std::to_string(cur) +
-                " forwarded over a non-existent link to switch " +
-                std::to_string(decision.next_hop));
+        result.fail(route_errors::missing_link(cur, decision.next_hop));
         return result;
+      }
+      if (faults != nullptr) {
+        Status hop = route_errors::check_traversal(*faults, cur,
+                                                   decision.next_hop, salt);
+        if (!hop.ok()) {
+          result.fail(std::move(hop));
+          return result;
+        }
       }
       result.path_cost += edge->weight;
       cur = decision.next_hop;
@@ -64,17 +82,22 @@ inline RouteResult reference_route(SdenNetwork& net, Packet pkt,
     for (std::size_t t = 0; t < target_count; ++t) {
       const Decision::DeliveryTarget& target = decision.targets[t];
       if (target.server >= net.server_count()) {
-        result.status =
-            Status(ErrorCode::kInternal, "delivery to unknown server");
+        result.fail(Status(ErrorCode::kInternal, "delivery to unknown server"));
         return result;
       }
       if (target.via != cur) {
         const graph::EdgeTo* edge = links.find_edge(cur, target.via);
         if (edge == nullptr) {
-          result.status =
-              Status(ErrorCode::kInternal,
-                     "range-extension handoff over non-existent link");
+          result.fail(route_errors::handoff_missing_link());
           return result;
+        }
+        if (faults != nullptr) {
+          Status hop =
+              route_errors::check_traversal(*faults, cur, target.via, salt);
+          if (!hop.ok()) {
+            result.fail(std::move(hop));
+            return result;
+          }
         }
         result.path_cost += edge->weight;
         result.switch_path.push_back(target.via);
@@ -85,7 +108,7 @@ inline RouteResult reference_route(SdenNetwork& net, Packet pkt,
       if (pkt.type == PacketType::kPlacement) {
         const Status stored = node.store(pkt.data_id, pkt.payload);
         if (!stored.ok()) {
-          result.status = stored;
+          result.fail(stored);
           return result;
         }
       } else if (pkt.type == PacketType::kRetrieval) {
@@ -104,8 +127,7 @@ inline RouteResult reference_route(SdenNetwork& net, Packet pkt,
     }
     return result;
   }
-  result.status =
-      Status(ErrorCode::kInternal, "routing loop: hop bound exceeded");
+  result.fail(route_errors::hop_bound());
   return result;
 }
 

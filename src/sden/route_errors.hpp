@@ -1,0 +1,105 @@
+// Routing-failure status constructors shared by the compiled fast path
+// (SdenNetwork::route), the live-pipeline reference router, and the
+// delivery paths. Centralizing the (code, message) pairs is what keeps
+// the fast-path/reference differential bit-identical on FAILED routes:
+// both sides build the same classified status for the same drop.
+//
+// Failure-path semantics of RouteResult (enforced by both routers):
+//   * status holds one of the classified codes below,
+//   * switch_path keeps the partial path walked up to the drop,
+//   * path_cost keeps the cost of that partial path,
+//   * found == false, delivered_to empty, responder == kNoServer,
+//     payload empty — a failed route never reports delivery state.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "sden/fault_state.hpp"
+#include "sden/packet.hpp"
+
+namespace gred::sden::route_errors {
+
+/// Flow-table miss while relaying over a virtual link.
+inline Status no_relay(SwitchId at) {
+  return Status(ErrorCode::kNoRoute,
+                "packet dropped at switch " + std::to_string(at) +
+                    ": no relay entry for virtual-link destination");
+}
+
+/// Greedy packet reached a switch that is not a DT participant.
+inline Status non_dt_transit(SwitchId at) {
+  return Status(ErrorCode::kNoRoute,
+                "packet dropped at switch " + std::to_string(at) +
+                    ": greedy packet at non-DT transit switch");
+}
+
+/// Terminal switch owns the data but has no attached servers.
+inline Status no_servers(SwitchId at) {
+  return Status(ErrorCode::kNoRoute,
+                "packet dropped at switch " + std::to_string(at) +
+                    ": terminal switch has no attached servers");
+}
+
+/// A flow entry points over a link that does not exist in the topology.
+inline Status missing_link(SwitchId from, SwitchId to) {
+  return Status(ErrorCode::kLinkDown,
+                "switch " + std::to_string(from) +
+                    " forwarded over a non-existent link to switch " +
+                    std::to_string(to));
+}
+
+/// Hop bound exceeded: transient loop (stale tables) or table bug.
+inline Status hop_bound() {
+  return Status(ErrorCode::kRoutingLoop, "routing loop: hop bound exceeded");
+}
+
+/// Range-extension handoff rides a link missing from the topology.
+inline Status handoff_missing_link() {
+  return Status(ErrorCode::kLinkDown,
+                "range-extension handoff over non-existent link");
+}
+
+/// A drop decision from the live pipeline, classified by the decision's
+/// drop_code with the pipeline's reason text.
+inline Status pipeline_drop(SwitchId at, ErrorCode code,
+                            const char* reason) {
+  return Status(code, "packet dropped at switch " + std::to_string(at) +
+                          ": " + (reason != nullptr ? reason : "unknown"));
+}
+
+/// The packet entered the network at a crashed switch.
+inline Status ingress_down(SwitchId at) {
+  return Status(ErrorCode::kLinkDown,
+                "ingress switch " + std::to_string(at) + " is down");
+}
+
+/// Forwarding toward a crashed switch black-holes the packet.
+inline Status next_switch_down(SwitchId at, SwitchId next) {
+  return Status(ErrorCode::kLinkDown,
+                "packet dropped at switch " + std::to_string(at) +
+                    ": next switch " + std::to_string(next) + " is down");
+}
+
+/// The link itself is down or dropped this packet probabilistically.
+inline Status link_faulted(SwitchId at, SwitchId next, bool hard_down) {
+  return Status(ErrorCode::kLinkDown,
+                "packet dropped at switch " + std::to_string(at) +
+                    ": link to switch " + std::to_string(next) +
+                    (hard_down ? " is down" : " dropped the packet"));
+}
+
+/// Checks the injected fault state for one physical traversal
+/// `from -> to`. Returns Ok when the traversal survives. Callers guard
+/// with `faults != nullptr` so the healthy steady state pays nothing.
+inline Status check_traversal(const FaultState& faults, SwitchId from,
+                              SwitchId to, std::uint64_t packet_salt) {
+  if (faults.switch_is_down(to)) return next_switch_down(from, to);
+  const double p = faults.link_drop_probability(from, to);
+  if (p > 0.0 && faults.drops(p, from, to, packet_salt)) {
+    return link_faulted(from, to, p >= 1.0);
+  }
+  return Status::Ok();
+}
+
+}  // namespace gred::sden::route_errors

@@ -16,6 +16,7 @@ Decision Switch::process(Packet& pkt) const {
         Decision d;
         d.kind = Decision::Kind::kDrop;
         d.drop_reason = "no relay entry for virtual-link destination";
+        d.drop_code = ErrorCode::kNoRoute;
         return d;
       }
       Decision d;
@@ -29,6 +30,7 @@ Decision Switch::process(Packet& pkt) const {
     Decision d;
     d.kind = Decision::Kind::kDrop;
     d.drop_reason = "greedy packet at non-DT transit switch";
+    d.drop_code = ErrorCode::kNoRoute;
     return d;
   }
 
@@ -69,6 +71,7 @@ Decision Switch::deliver(const Packet& pkt) const {
   if (local_servers_.empty()) {
     d.kind = Decision::Kind::kDrop;
     d.drop_reason = "terminal switch has no attached servers";
+    d.drop_code = ErrorCode::kNoRoute;
     return d;
   }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/error.hpp"
 #include "crypto/data_key.hpp"
 #include "geometry/point.hpp"
 #include "sden/flow_table.hpp"
@@ -51,6 +52,9 @@ struct Decision {
   SwitchId next_hop = kNoSwitch;          ///< kForward
   TargetList targets;                     ///< kDeliver
   const char* drop_reason = nullptr;      ///< kDrop diagnostics
+  /// Classified failure for kDrop (kNoRoute for table misses; routers
+  /// surface it verbatim so retry logic can filter retryable drops).
+  ErrorCode drop_code = ErrorCode::kInternal;
 };
 
 class Switch {

@@ -56,6 +56,12 @@ sden::Packet make_packet(const std::string& id, sden::PacketType type,
 void expect_identical(const sden::RouteResult& a, const sden::RouteResult& b,
                       const std::string& what) {
   EXPECT_EQ(a.status.ok(), b.status.ok()) << what;
+  if (!a.status.ok() && !b.status.ok()) {
+    // FAILED routes must stay bit-identical too: same classified code,
+    // same message (both sides build them via route_errors).
+    EXPECT_EQ(a.status.error().code, b.status.error().code) << what;
+    EXPECT_EQ(a.status.error().message, b.status.error().message) << what;
+  }
   EXPECT_EQ(a.switch_path, b.switch_path) << what;
   EXPECT_EQ(a.delivered_to, b.delivered_to) << what;
   EXPECT_EQ(a.responder, b.responder) << what;
@@ -142,6 +148,148 @@ TEST(DataPlaneDifferential, PlanRebuildsAfterMutation) {
   net.route(pkt, terminal, result);
   EXPECT_FALSE(result.status.ok());
   EXPECT_FALSE(result.found);
+}
+
+// FAILED routes must match the live pipeline bit for bit: classified
+// error code, message, partial switch_path, path_cost — and the
+// failure-path contract (found == false, delivered_to empty) holds.
+TEST(DataPlaneDifferential, FailedRoutesMatchLivePipeline) {
+  auto sys =
+      core::GredSystem::create(make_net(32, 611), core::VirtualSpaceOptions{});
+  ASSERT_TRUE(sys.ok());
+  sden::SdenNetwork& net = sys.value().network();
+
+  // Find an item whose route covers at least 3 switches so we can
+  // break state mid-path.
+  std::string id;
+  sden::RouteResult healthy;
+  for (std::size_t i = 0; i < 200 && healthy.switch_path.size() < 3; ++i) {
+    id = "fail-" + std::to_string(i);
+    ASSERT_TRUE(sys.value().place(id, "v", i % 32).ok());
+    sden::Packet pkt = make_packet(id, sden::PacketType::kRetrieval);
+    net.route(pkt, (i * 7) % 32, healthy);
+    ASSERT_TRUE(healthy.status.ok());
+  }
+  ASSERT_GE(healthy.switch_path.size(), 3u);
+  const sden::SwitchId ingress = healthy.switch_path.front();
+  const sden::SwitchId terminal = healthy.switch_path.back();
+
+  const auto run_both = [&](const std::string& what) {
+    sden::RouteResult fast;
+    sden::Packet pkt = make_packet(id, sden::PacketType::kRetrieval);
+    net.route(pkt, ingress, fast);
+    const sden::RouteResult ref = sden::reference_route(
+        net, make_packet(id, sden::PacketType::kRetrieval), ingress);
+    expect_identical(fast, ref, what);
+    EXPECT_FALSE(fast.status.ok()) << what;
+    EXPECT_FALSE(fast.found) << what;
+    EXPECT_TRUE(fast.delivered_to.empty()) << what;
+    EXPECT_EQ(fast.responder, topology::kNoServer) << what;
+    EXPECT_TRUE(fast.payload.empty()) << what;
+    return fast;
+  };
+
+  // Crashed terminal switch: the packet black-holes on the approach
+  // hop, keeping the partial path up to the drop.
+  sden::FaultState faults;
+  faults.seed = 99;
+  faults.set_switch_down(terminal, true);
+  net.set_fault_state(&faults);
+  {
+    const sden::RouteResult r = run_both("terminal switch down");
+    EXPECT_EQ(r.status.error().code, ErrorCode::kLinkDown);
+    EXPECT_LT(r.switch_path.size(), healthy.switch_path.size());
+    EXPECT_FALSE(r.switch_path.empty());
+  }
+
+  // Crashed ingress: the packet never enters; the path stays empty.
+  faults.set_switch_down(terminal, false);
+  faults.set_switch_down(ingress, true);
+  {
+    const sden::RouteResult r = run_both("ingress switch down");
+    EXPECT_EQ(r.status.error().code, ErrorCode::kLinkDown);
+    EXPECT_TRUE(r.switch_path.empty());
+  }
+
+  // Hard-down link on the first healthy hop.
+  faults.set_switch_down(ingress, false);
+  faults.set_link_drop(healthy.switch_path[0], healthy.switch_path[1], 1.0);
+  {
+    const sden::RouteResult r = run_both("hard-down link");
+    EXPECT_EQ(r.status.error().code, ErrorCode::kLinkDown);
+    EXPECT_EQ(r.switch_path.size(), 1u);
+  }
+
+  // Flaky links everywhere: both routers must agree packet by packet
+  // on the deterministic drop decision (same hash inputs both sides).
+  faults.clear_link(healthy.switch_path[0], healthy.switch_path[1]);
+  for (const auto& [u, v] : net.description().switches().edges()) {
+    faults.set_link_drop(u, v, 0.35);
+  }
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const std::string flaky_id = "flaky-" + std::to_string(i);
+    ASSERT_TRUE(net.fault_state() != nullptr);
+    sden::RouteResult fast;
+    sden::Packet pkt = make_packet(flaky_id, sden::PacketType::kRetrieval);
+    net.route(pkt, ingress, fast);
+    const sden::RouteResult ref = sden::reference_route(
+        net, make_packet(flaky_id, sden::PacketType::kRetrieval), ingress);
+    expect_identical(fast, ref, flaky_id);
+    if (!fast.status.ok()) ++dropped;
+  }
+  EXPECT_GT(dropped, 0u);
+  EXPECT_LT(dropped, 40u);
+  net.set_fault_state(nullptr);
+
+  // With faults cleared, the original route works again.
+  sden::RouteResult after;
+  sden::Packet pkt = make_packet(id, sden::PacketType::kRetrieval);
+  net.route(pkt, ingress, after);
+  EXPECT_TRUE(after.status.ok());
+  EXPECT_TRUE(after.found);
+
+  // Table-miss classification: a reset switch mid-path turns into a
+  // non-DT transit node; both routers report kNoRoute identically.
+  net.switch_at(terminal).reset();
+  {
+    const sden::RouteResult r = run_both("reset terminal switch");
+    EXPECT_EQ(r.status.error().code, ErrorCode::kNoRoute);
+    EXPECT_EQ(r.switch_path, healthy.switch_path);
+  }
+}
+
+// A read-only inspection pass (reference router, metrics, validators)
+// must leave a freshly built plan intact: only mutating accessors may
+// invalidate it.
+TEST(DataPlaneDifferential, PlanSurvivesReadOnlyInspection) {
+  auto sys =
+      core::GredSystem::create(make_net(24, 303), core::VirtualSpaceOptions{});
+  ASSERT_TRUE(sys.ok());
+  sden::SdenNetwork& net = sys.value().network();
+  ASSERT_TRUE(sys.value().place("inspect", "v", 0).ok());
+
+  // First route builds the plan.
+  sden::RouteResult r;
+  sden::Packet pkt = make_packet("inspect", sden::PacketType::kRetrieval);
+  net.route(pkt, 0, r);
+  ASSERT_TRUE(r.status.ok());
+  ASSERT_FALSE(net.route_plan_stale());
+
+  // Reference-route the same packet (walks const_switch_at every hop)
+  // and sweep every switch read-only: the plan must stay fresh.
+  (void)sden::reference_route(
+      net, make_packet("inspect", sden::PacketType::kRetrieval), 0);
+  std::size_t dt = 0;
+  for (sden::SwitchId s = 0; s < net.switch_count(); ++s) {
+    if (net.const_switch_at(s).dt_participant()) ++dt;
+  }
+  EXPECT_GT(dt, 0u);
+  EXPECT_FALSE(net.route_plan_stale());
+
+  // The mutable accessor conservatively invalidates.
+  (void)net.switch_at(0);
+  EXPECT_TRUE(net.route_plan_stale());
 }
 
 TEST(FlowTableIndex, RelayFirstInstalledWinsAndDedup) {

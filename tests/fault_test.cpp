@@ -1,0 +1,350 @@
+// Unit tests of the fault-tolerance layer: k-nearest site queries,
+// replica placement and repair on the controller, retry-with-fallback
+// retrieval, and the deterministic fault plan / session machinery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/system.hpp"
+#include "crypto/data_key.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/fault_session.hpp"
+#include "geometry/site_grid.hpp"
+#include "sden/fault_state.hpp"
+#include "topology/presets.hpp"
+
+namespace gred {
+namespace {
+
+using core::GredSystem;
+using core::ReplicationOptions;
+using core::RetryPolicy;
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::FaultPlanOptions;
+using fault::FaultSession;
+using topology::SwitchId;
+
+// --- SiteGrid k-nearest ---
+
+TEST(SiteGridNearestK, SingleNearestMatchesNearest) {
+  Rng rng(41);
+  std::vector<geometry::Point2D> sites;
+  for (int i = 0; i < 64; ++i) {
+    sites.push_back({rng.next_double(), rng.next_double()});
+  }
+  geometry::SiteGrid grid(sites, geometry::Rect{});
+  for (int q = 0; q < 200; ++q) {
+    const geometry::Point2D p{rng.uniform(-0.2, 1.2),
+                              rng.uniform(-0.2, 1.2)};
+    const auto k1 = grid.nearest_k(p, 1);
+    ASSERT_EQ(k1.size(), 1u);
+    EXPECT_EQ(k1[0], grid.nearest(p));
+  }
+}
+
+TEST(SiteGridNearestK, MatchesBruteForceOrder) {
+  Rng rng(42);
+  std::vector<geometry::Point2D> sites;
+  for (int i = 0; i < 48; ++i) {
+    sites.push_back({rng.next_double(), rng.next_double()});
+  }
+  geometry::SiteGrid grid(sites, geometry::Rect{});
+  for (int q = 0; q < 100; ++q) {
+    const geometry::Point2D p{rng.next_double(), rng.next_double()};
+    const std::size_t k = 1 + q % 5;
+    const auto got = grid.nearest_k(p, k);
+    // Brute force under the grid's exact total order: distance, then
+    // lexicographic position, then site index.
+    std::vector<std::size_t> want(sites.size());
+    for (std::size_t i = 0; i < want.size(); ++i) want[i] = i;
+    std::sort(want.begin(), want.end(), [&](std::size_t a, std::size_t b) {
+      if (geometry::closer_to(p, sites[a], sites[b])) return true;
+      if (geometry::closer_to(p, sites[b], sites[a])) return false;
+      return a < b;
+    });
+    want.resize(std::min(k, want.size()));
+    EXPECT_EQ(got, want) << "query " << q;
+  }
+}
+
+TEST(SiteGridNearestK, ClampsToSiteCount) {
+  std::vector<geometry::Point2D> sites{{0.1, 0.1}, {0.9, 0.9}};
+  geometry::SiteGrid grid(sites, geometry::Rect{});
+  const auto all = grid.nearest_k({0.0, 0.0}, 5);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], 0u);
+  EXPECT_EQ(all[1], 1u);
+  EXPECT_TRUE(grid.nearest_k({0.5, 0.5}, 0).empty());
+}
+
+// --- Controller replication ---
+
+GredSystem make_system(std::size_t width, std::size_t height,
+                       std::size_t servers_per_switch = 2) {
+  auto built = GredSystem::create(topology::uniform_edge_network(
+      topology::grid(width, height), servers_per_switch));
+  EXPECT_TRUE(built.ok());
+  return std::move(built).value();
+}
+
+std::vector<topology::ServerId> holders(const GredSystem& sys,
+                                        const std::string& id) {
+  std::vector<topology::ServerId> out;
+  const auto& net = sys.network();
+  for (topology::ServerId s = 0; s < net.server_count(); ++s) {
+    if (net.server(s).contains(id)) out.push_back(s);
+  }
+  return out;
+}
+
+TEST(Replication, ReplicaHomesStartAtPrimaryAndAreDistinct) {
+  GredSystem sys = make_system(3, 4);
+  ASSERT_TRUE(sys.enable_replication().ok());
+  for (int i = 0; i < 20; ++i) {
+    const crypto::DataKey key("homes-" + std::to_string(i));
+    const auto homes = sys.controller().replica_homes(key);
+    ASSERT_EQ(homes.size(), 2u);
+    EXPECT_NE(homes[0], homes[1]);
+    const crypto::SpacePoint pos = key.position();
+    EXPECT_EQ(homes[0], sys.controller().home_switch({pos.x, pos.y}));
+  }
+}
+
+TEST(Replication, PlaceStoresFactorCopiesAtReplicaTargets) {
+  GredSystem sys = make_system(3, 4);
+  ASSERT_TRUE(sys.enable_replication(ReplicationOptions{2}).ok());
+  EXPECT_EQ(sys.controller().replication_factor(), 2u);
+  for (int i = 0; i < 25; ++i) {
+    const std::string id = "rep-" + std::to_string(i);
+    ASSERT_TRUE(sys.place(id, "v", static_cast<SwitchId>(i % 12)).ok());
+    auto targets =
+        sys.controller().replica_targets(sys.network(), crypto::DataKey(id));
+    ASSERT_TRUE(targets.ok());
+    const auto held_by = holders(sys, id);
+    EXPECT_EQ(held_by.size(), targets.value().size()) << id;
+    for (const auto target : targets.value()) {
+      EXPECT_TRUE(std::find(held_by.begin(), held_by.end(), target) !=
+                  held_by.end())
+          << id << " missing from server " << target;
+    }
+  }
+}
+
+TEST(Replication, EnableReplicationBackfillsExistingItems) {
+  GredSystem sys = make_system(3, 4);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(
+        sys.place("pre-" + std::to_string(i), "v", static_cast<SwitchId>(i % 12))
+            .ok());
+  }
+  ASSERT_TRUE(sys.enable_replication().ok());
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(holders(sys, "pre-" + std::to_string(i)).size(), 2u);
+  }
+}
+
+TEST(Replication, RemoveSwitchRestoresFactor) {
+  GredSystem sys = make_system(4, 4);
+  ASSERT_TRUE(sys.enable_replication().ok());
+  std::vector<std::string> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back("dyn-" + std::to_string(i));
+    ASSERT_TRUE(sys.place(ids.back(), "v", static_cast<SwitchId>(i % 16)).ok());
+  }
+  // Removing any switch loses its copies; the dynamics tail must bring
+  // every item straight back to two holders.
+  ASSERT_TRUE(sys.remove_switch(5).ok());
+  for (const std::string& id : ids) {
+    EXPECT_EQ(holders(sys, id).size(), 2u) << id;
+  }
+}
+
+TEST(Replication, RetrieveWithFallbackSurvivesDeadPrimary) {
+  GredSystem sys = make_system(3, 4);
+  ASSERT_TRUE(sys.enable_replication().ok());
+  const std::string id = "failover-item";
+  ASSERT_TRUE(sys.place(id, "precious", 0).ok());
+  const auto homes = sys.controller().replica_homes(crypto::DataKey(id));
+  ASSERT_EQ(homes.size(), 2u);
+
+  // Healthy network: the first attempt succeeds, nothing recovers.
+  auto healthy = sys.retrieve_with_fallback(id, homes[1]);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_TRUE(healthy.value().found);
+  EXPECT_EQ(healthy.value().attempts, 1u);
+  EXPECT_FALSE(healthy.value().recovered);
+
+  // Primary home crashes (stale tables still point at it): the first
+  // attempt black-holes with kLinkDown, the fallback re-targets the
+  // replica and recovers.
+  sden::FaultState faults;
+  faults.set_switch_down(homes[0], true);
+  sys.network().set_fault_state(&faults);
+  auto out = sys.retrieve_with_fallback(id, homes[1]);
+  sys.network().set_fault_state(nullptr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().found);
+  EXPECT_TRUE(out.value().recovered);
+  EXPECT_GE(out.value().fallbacks, 1u);
+  EXPECT_GT(out.value().backoff_ms, 0.0);
+  EXPECT_EQ(out.value().report.route.payload, "precious");
+}
+
+TEST(Replication, FallbackMissIsClassifiedNotFound) {
+  GredSystem sys = make_system(3, 4);
+  ASSERT_TRUE(sys.enable_replication().ok());
+  RetryPolicy policy;
+  auto out = sys.retrieve_with_fallback("never-stored", 3, policy);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out.value().found);
+  EXPECT_EQ(out.value().attempts, policy.max_attempts);
+  EXPECT_EQ(out.value().final_status.error().code, ErrorCode::kNotFound);
+}
+
+// --- FaultPlan ---
+
+TEST(FaultPlanTest, DeterministicForSeed) {
+  const auto net = topology::uniform_edge_network(topology::grid(4, 4), 2);
+  FaultPlanOptions opts;
+  opts.event_count = 8;
+  opts.seed = 7;
+  auto a = FaultPlan::generate(net, opts);
+  auto b = FaultPlan::generate(net, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const auto& ea = a.value().events();
+  const auto& eb = b.value().events();
+  ASSERT_EQ(ea.size(), eb.size());
+  ASSERT_FALSE(ea.empty());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].kind, eb[i].kind);
+    EXPECT_EQ(ea[i].at_event, eb[i].at_event);
+    EXPECT_EQ(ea[i].subject, eb[i].subject);
+    EXPECT_EQ(ea[i].peer, eb[i].peer);
+    EXPECT_EQ(ea[i].repair_at, eb[i].repair_at);
+  }
+  opts.seed = 8;
+  auto c = FaultPlan::generate(net, opts);
+  ASSERT_TRUE(c.ok());
+  bool differs = c.value().events().size() != ea.size();
+  for (std::size_t i = 0; !differs && i < ea.size(); ++i) {
+    differs = c.value().events()[i].at_event != ea[i].at_event ||
+              c.value().events()[i].subject != ea[i].subject;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced the same plan";
+}
+
+TEST(FaultPlanTest, EventsAreOrderedAndWellFormed) {
+  const auto net = topology::uniform_edge_network(topology::grid(4, 4), 2);
+  FaultPlanOptions opts;
+  opts.event_count = 12;
+  opts.stale_window = 6;
+  opts.seed = 99;
+  auto plan = FaultPlan::generate(net, opts);
+  ASSERT_TRUE(plan.ok());
+  std::size_t prev = 0;
+  std::set<SwitchId> crashed;
+  for (const auto& e : plan.value().events()) {
+    EXPECT_GE(e.at_event, prev);
+    prev = e.at_event;
+    EXPECT_EQ(e.repair_at, e.at_event + opts.stale_window);
+    EXPECT_LT(e.repair_at, opts.schedule_length);
+    if (e.kind == FaultKind::kSwitchCrash) {
+      EXPECT_LT(e.subject, net.switch_count());
+      EXPECT_TRUE(crashed.insert(e.subject).second)
+          << "switch " << e.subject << " crashed twice";
+    } else {
+      // Link events reference a real link and never touch a switch
+      // that an earlier event crashed.
+      EXPECT_TRUE(net.switches().has_edge(e.subject, e.peer));
+      EXPECT_EQ(crashed.count(e.subject), 0u);
+      EXPECT_EQ(crashed.count(e.peer), 0u);
+      if (e.kind == FaultKind::kLinkFlaky) {
+        EXPECT_EQ(e.drop_probability, opts.flaky_drop_probability);
+      } else {
+        EXPECT_EQ(e.drop_probability, 1.0);
+      }
+    }
+  }
+}
+
+TEST(FaultPlanTest, RejectsDegenerateOptions) {
+  const auto net = topology::uniform_edge_network(topology::grid(3, 3), 1);
+  FaultPlanOptions opts;
+  opts.schedule_length = 4;
+  opts.stale_window = 4;
+  EXPECT_FALSE(FaultPlan::generate(net, opts).ok());
+  opts = {};
+  opts.crash_weight = 0.0;
+  opts.link_down_weight = 0.0;
+  opts.flaky_weight = 0.0;
+  EXPECT_FALSE(FaultPlan::generate(net, opts).ok());
+  opts = {};
+  opts.flaky_drop_probability = 0.0;
+  EXPECT_FALSE(FaultPlan::generate(net, opts).ok());
+}
+
+// --- FaultSession ---
+
+TEST(FaultSessionTest, InjectsThenRepairsAndEndsClean) {
+  GredSystem sys = make_system(4, 4);
+  ASSERT_TRUE(sys.enable_replication().ok());
+  std::vector<std::string> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back("sess-" + std::to_string(i));
+    ASSERT_TRUE(sys.place(ids.back(), "v", static_cast<SwitchId>(i % 16)).ok());
+  }
+
+  FaultPlanOptions opts;
+  opts.event_count = 6;
+  opts.schedule_length = 120;
+  opts.stale_window = 5;
+  opts.seed = 3;
+  auto plan = FaultPlan::generate(sys.network().description(), opts);
+  ASSERT_TRUE(plan.ok());
+  const std::size_t planned = plan.value().events().size();
+  ASSERT_GT(planned, 0u);
+
+  FaultSession session(sys, std::move(plan).value());
+  EXPECT_EQ(sys.network().fault_state(), &session.state());
+
+  // Advance to just past the first failure: it is injected (the data
+  // plane sees it) but not yet repaired (the controller is stale).
+  const std::size_t first_at = session.plan().events().front().at_event;
+  auto step = session.advance(first_at);
+  ASSERT_TRUE(step.ok());
+  EXPECT_GE(session.injected(), 1u);
+  EXPECT_EQ(session.repaired(), 0u);
+  EXPECT_TRUE(session.state().any());
+
+  auto rest = session.finish();
+  ASSERT_TRUE(rest.ok()) << rest.error().to_string();
+  EXPECT_TRUE(session.done());
+  EXPECT_EQ(session.injected(), planned);
+  EXPECT_EQ(session.repaired(), planned);
+  // Every repair clears its data-plane fault: a finished session
+  // leaves the network healthy.
+  EXPECT_FALSE(session.state().any());
+
+  // Replication repair ran after every topology change: any item that
+  // still exists is back at the full factor.
+  std::size_t lost = 0;
+  for (const std::string& id : ids) {
+    const auto held_by = holders(sys, id);
+    if (held_by.empty()) {
+      ++lost;
+      continue;
+    }
+    EXPECT_EQ(held_by.size(), 2u) << id;
+  }
+  // k = 2 tolerates every single-failure window in this plan.
+  EXPECT_EQ(lost, 0u);
+}
+
+}  // namespace
+}  // namespace gred

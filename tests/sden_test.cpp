@@ -444,7 +444,7 @@ TEST(SdenNetworkTest, ForwardOverMissingLinkRejected) {
   const RouteResult r = net.inject(
       make_packet(PacketType::kPlacement, "k", {0.88, 0.5}, "v"), 0);
   EXPECT_FALSE(r.status.ok());
-  EXPECT_EQ(r.status.error().code, ErrorCode::kInternal);
+  EXPECT_EQ(r.status.error().code, ErrorCode::kLinkDown);
 }
 
 TEST(SdenNetworkTest, LoadsAndTableCounts) {

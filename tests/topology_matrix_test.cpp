@@ -134,7 +134,7 @@ TEST(ProtocolErrorPathTest, PlacementAtTransitIngressFails) {
   ASSERT_TRUE(sys.ok());
   auto r = sys.value().place("x", "v", 1);
   ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.error().code, ErrorCode::kInternal);
+  EXPECT_EQ(r.error().code, ErrorCode::kNoRoute);
 }
 
 }  // namespace
