@@ -1,0 +1,91 @@
+#include "common/shard_partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace gred {
+
+namespace {
+
+/// Spreads the low 21 bits of v onto even bit positions (0, 2, 4, ...).
+std::uint64_t interleave_21(std::uint64_t v) {
+  v &= 0x1fffffULL;
+  v = (v | (v << 16)) & 0x0000ffff0000ffffULL;
+  v = (v | (v << 8)) & 0x00ff00ff00ff00ffULL;
+  v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+std::uint64_t quantize_21(double v01) {
+  constexpr double kMax = static_cast<double>((1u << 21) - 1);
+  if (!(v01 > 0.0)) return 0;  // also maps NaN to 0
+  if (v01 >= 1.0) return (1u << 21) - 1;
+  return static_cast<std::uint64_t>(v01 * kMax);
+}
+
+}  // namespace
+
+std::uint64_t morton_key_2d(double x01, double y01) {
+  return interleave_21(quantize_21(x01)) |
+         (interleave_21(quantize_21(y01)) << 1);
+}
+
+std::vector<std::uint32_t> partition_by_position(
+    const double* xs, const double* ys, const unsigned char* valid,
+    std::size_t n, std::size_t shards) {
+  std::vector<std::uint32_t> map(n, 0);
+  if (n == 0) return map;
+  if (shards < 1) shards = 1;
+  if (shards > n) shards = n;
+
+  // Normalize over the valid positions' bounding box so the 21-bit
+  // quantization uses the full resolution regardless of the embedding's
+  // scale (MDS coordinates are not confined to the unit square).
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = min_x;
+  double max_x = -min_x;
+  double max_y = -min_x;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (valid != nullptr && valid[i] == 0) continue;
+    min_x = std::min(min_x, xs[i]);
+    max_x = std::max(max_x, xs[i]);
+    min_y = std::min(min_y, ys[i]);
+    max_y = std::max(max_y, ys[i]);
+  }
+  const double span_x = max_x > min_x ? max_x - min_x : 1.0;
+  const double span_y = max_y > min_y ? max_y - min_y : 1.0;
+
+  // Sort ids by (key, id): Morton key for positioned nodes, and a
+  // beyond-maximum sentinel for position-less ones so they form one
+  // deterministic id-ordered run at the tail.
+  constexpr std::uint64_t kNoPositionKey =
+      std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool has_pos = valid == nullptr || valid[i] != 0;
+    const std::uint64_t key =
+        has_pos ? morton_key_2d((xs[i] - min_x) / span_x,
+                                (ys[i] - min_y) / span_y)
+                : kNoPositionKey;
+    order.emplace_back(key, static_cast<std::uint32_t>(i));
+  }
+  std::sort(order.begin(), order.end());
+
+  // Cut into contiguous runs of size ceil/floor(n / shards): the first
+  // (n % shards) shards take one extra node.
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;
+  std::size_t pos = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t run = base + (s < extra ? 1 : 0);
+    for (std::size_t j = 0; j < run; ++j, ++pos) {
+      map[order[pos].second] = static_cast<std::uint32_t>(s);
+    }
+  }
+  return map;
+}
+
+}  // namespace gred

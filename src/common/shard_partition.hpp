@@ -1,0 +1,32 @@
+// Shard partitioner: maps n nodes with 2-D virtual positions onto k
+// shards as contiguous ranges of a space-filling (Morton / Z-order)
+// traversal of the positions. Greedy routing moves between virtually
+// adjacent switches, so neighbors along the curve — which are close in
+// the plane — usually land in the same shard, keeping most hops
+// shard-local. Deterministic: the same (positions, validity, k) input
+// always yields the same map, independent of thread or shard count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gred {
+
+/// Morton key of (x, y) after quantizing each normalized coordinate to
+/// 21 bits (positions are pre-normalized to [0, 1] by the caller or by
+/// partition_by_position below). Interleaves x into even bits.
+std::uint64_t morton_key_2d(double x01, double y01);
+
+/// Assigns each of the n nodes (arrays xs/ys, with valid[i] != 0 when
+/// node i has a meaningful position) to one of `shards` shards:
+/// nodes are ordered by (Morton key of the min/max-normalized
+/// position, then id) — invalid-position nodes sort after all valid
+/// ones, by id — and the order is cut into `shards` contiguous runs
+/// whose sizes differ by at most one. Returns the node -> shard map.
+/// `shards` is clamped to [1, n] (n == 0 yields an empty map).
+std::vector<std::uint32_t> partition_by_position(
+    const double* xs, const double* ys, const unsigned char* valid,
+    std::size_t n, std::size_t shards);
+
+}  // namespace gred

@@ -1,0 +1,116 @@
+// Bounded single-producer/single-consumer ring for cross-shard packet
+// handoff. Wait-free on both sides: the producer writes a slot and
+// publishes it with one release store of the tail; the consumer reads
+// with one acquire load and retires slots with a release store of the
+// head. Head and tail live on their own cache lines, and each side
+// keeps a cached copy of the other side's index (the redpanda/folly
+// idiom) so the steady state touches the remote line only when its
+// cached view says the ring looks full/empty — a batched drain
+// amortizes that one coherence miss over the whole batch.
+//
+// Capacity is rounded up to a power of two at construction and never
+// changes; push/pop never allocate. T must be trivially copyable —
+// handoffs carry plain packet-continuation words, not owning objects.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace gred {
+
+template <typename T>
+class SpscRing {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscRing carries raw continuation words; wrap owning "
+                "state behind an index instead");
+
+ public:
+  /// Rounds `capacity` up to a power of two (minimum 2). All storage is
+  /// allocated here; the ring never allocates afterwards.
+  explicit SpscRing(std::size_t capacity)
+      : slots_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)),
+        mask_(slots_.size() - 1) {}
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. False when the ring is full (caller keeps the item).
+  bool push(const T& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ == slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ == slots_.size()) return false;
+    }
+    slots_[tail & mask_] = v;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: pushes up to `n` items from `v`, returning how many
+  /// fit. One tail publish for the whole batch.
+  std::size_t push_batch(const T* v, std::size_t n) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = slots_.size() - (tail - head_cache_);
+    if (free < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free = slots_.size() - (tail - head_cache_);
+    }
+    const std::size_t count = n < free ? n : free;
+    for (std::size_t i = 0; i < count; ++i) {
+      slots_[(tail + i) & mask_] = v[i];
+    }
+    if (count != 0) tail_.store(tail + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Consumer side. False when the ring is empty.
+  bool pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: drains up to `max` items into `out`, returning the
+  /// count. One head retire for the whole batch.
+  std::size_t pop_batch(T* out, std::size_t max) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = tail_cache_ - head;
+    if (avail < max) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = tail_cache_ - head;
+    }
+    const std::size_t count = max < avail ? max : avail;
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = slots_[(head + i) & mask_];
+    }
+    if (count != 0) head_.store(head + count, std::memory_order_release);
+    return count;
+  }
+
+  /// Consumer-side emptiness check (exact for the consumer: a false
+  /// return means at least one item is ready to pop).
+  bool empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  // Consumer-written fields share one line; producer-written fields
+  // share another — neither side dirties the other's line on its own
+  // writes.
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer-owned
+  std::size_t tail_cache_ = 0;                    ///< consumer's view of tail
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer-owned
+  std::size_t head_cache_ = 0;                    ///< producer's view of head
+};
+
+}  // namespace gred

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
+
+#include "common/env.hpp"
 
 namespace gred {
 
@@ -115,15 +116,10 @@ void ThreadPool::run_all(const std::vector<std::function<void()>>& tasks) {
 }
 
 std::size_t ThreadPool::default_thread_count() {
-  if (const char* env = std::getenv("GRED_THREADS")) {
-    char* tail = nullptr;
-    const unsigned long v = std::strtoul(env, &tail, 10);
-    if (tail != env && *tail == '\0' && v >= 1) {
-      return static_cast<std::size_t>(v);
-    }
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  // Validated: a malformed or absurd GRED_THREADS logs a warning and
+  // falls back to the hardware instead of silently misconfiguring the
+  // pool (env.hpp).
+  return env_parallelism_or_hardware("GRED_THREADS");
 }
 
 ThreadPool& global_pool() {

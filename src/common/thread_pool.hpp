@@ -48,8 +48,9 @@ class ThreadPool {
   /// done.
   void run_all(const std::vector<std::function<void()>>& tasks);
 
-  /// GRED_THREADS when set to a positive integer, otherwise
-  /// std::thread::hardware_concurrency() (minimum 1).
+  /// GRED_THREADS when set to a plain positive integer (validated —
+  /// see common/env.hpp; garbage values warn and are ignored),
+  /// otherwise std::thread::hardware_concurrency() (minimum 1).
   static std::size_t default_thread_count();
 
  private:

@@ -39,12 +39,21 @@ void atomic_max_double(std::atomic<std::uint64_t>& bits, double v) {
 
 std::atomic<std::size_t> g_next_shard{0};
 
+constexpr std::size_t kUnassignedShard = static_cast<std::size_t>(-1);
+thread_local std::size_t t_shard = kUnassignedShard;
+
 }  // namespace
 
 std::size_t this_thread_shard() {
-  thread_local const std::size_t shard =
-      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
-  return shard;
+  if (t_shard == kUnassignedShard) {
+    t_shard =
+        g_next_shard.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  }
+  return t_shard;
+}
+
+void pin_this_thread_shard(std::size_t slot) {
+  t_shard = slot % kMetricShards;
 }
 
 std::uint64_t Counter::value() const {

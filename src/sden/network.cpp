@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "sden/plan_walk.hpp"
 #include "sden/route_errors.hpp"
 
 namespace gred::sden {
@@ -109,12 +110,9 @@ void SdenNetwork::route(Packet& pkt, SwitchId ingress, RouteResult& result) {
   // forwarding actions contiguous per switch), and every link weight
   // (and link-existence check) was precompiled into the chosen
   // candidate/relay, so no Switch, FlowTable, or Graph memory is
-  // touched until delivery.
+  // touched until delivery. The per-iteration logic lives in
+  // plan_step (sden/plan_walk.hpp), shared with the sharded runtime.
   const RoutePlan& plan = ensure_plan();
-  const std::uint32_t* const offsets = plan.offset.data();
-  const double* const hot = plan.hot.data();
-  const double tx = pkt.target.x;
-  const double ty = pkt.target.y;
 
   // Injected physical faults: null in normal operation, so the healthy
   // steady state pays one predicted branch per traversal. The salt is
@@ -135,132 +133,42 @@ void SdenNetwork::route(Packet& pkt, SwitchId ingress, RouteResult& result) {
   // A greedy walk strictly decreases distance-to-target and each
   // virtual link is a simple path, so 4n + 16 hops is a generous bound;
   // exceeding it means a forwarding-table bug.
-  const std::size_t max_hops = 4 * switches_.size() + 16;
+  const std::size_t max_hops = max_route_hops();
   for (std::size_t step = 0; step < max_hops; ++step) {
-    // Stage 1: virtual-link relay (Section V-A). While d.relay != null
-    // and we are not the link endpoint, the packet moves along
-    // pre-installed relay tuples without greedy logic.
-    if (pkt.on_virtual_link()) {
-      if (pkt.vlink_dest == cur) {
-        pkt.clear_virtual_link();
-      } else {
-        const PlanRelay* relay = plan.relays.find(
-            Key2{cur, static_cast<std::uint64_t>(pkt.vlink_dest)});
-        if (relay == nullptr) {
-          result.fail(route_errors::no_relay(cur));
-          return;
-        }
-        if (std::isnan(relay->weight)) {
-          result.fail(route_errors::missing_link(cur, relay->succ));
-          return;
-        }
+    const PlanStep st = plan_step(plan, cur, pkt);
+    switch (st.kind) {
+      case PlanStep::Kind::kHop:
         if (faults != nullptr) {
           Status hop =
-              route_errors::check_traversal(*faults, cur, relay->succ, salt);
+              route_errors::check_traversal(*faults, cur, st.next, salt);
           if (!hop.ok()) {
             result.fail(std::move(hop));
             return;
           }
         }
-        result.path_cost += relay->weight;
-        cur = relay->succ;
+        result.path_cost += st.weight;
+        cur = st.next;
         result.switch_path.push_back(cur);
-        continue;
+        break;
+      case PlanStep::Kind::kDeliver: {
+        // No neighbor is closer: this switch owns the data.
+        const double* const base = plan.hot.data() + plan.offset[cur];
+        Status delivered = deliver_compiled(plan, base, pkt, cur, result);
+        if (!delivered.ok()) {
+          result.fail(std::move(delivered));
+        }
+        return;
       }
+      case PlanStep::Kind::kNoRelay:
+        result.fail(route_errors::no_relay(cur));
+        return;
+      case PlanStep::Kind::kNonDtTransit:
+        result.fail(route_errors::non_dt_transit(cur));
+        return;
+      case PlanStep::Kind::kMissingLink:
+        result.fail(route_errors::missing_link(cur, st.next));
+        return;
     }
-
-    const double* const base = hot + offsets[cur];
-    const std::uint32_t flags = plan_lo(base[3]);
-    if ((flags & kPlanFlagDt) == 0) {
-      result.fail(route_errors::non_dt_transit(cur));
-      return;
-    }
-
-    // Algorithm 2: one pass over the contiguous candidate columns under
-    // the paper's total order (squared distance, ties by lex position)
-    // — same unique minimizer as FlowTable::best_candidate. The compile
-    // step sorted the columns by lex position, so the FIRST index
-    // achieving the minimum distance is the lex-smallest tie winner,
-    // and a strict-less argmin (two independent accumulator chains,
-    // branch-free minsd + cmov, no rescan) is exact.
-    const std::size_t k = plan_hi(base[2]);
-    const double* const xs = base + kPlanHeaderWords;
-    const double* const ys = xs + k;
-    double m0 = std::numeric_limits<double>::infinity();
-    double m1 = m0;
-    std::size_t b0 = k;
-    std::size_t b1 = k;
-    std::size_t i = 0;
-    for (; i + 1 < k; i += 2) {
-      const double dx0 = xs[i] - tx;
-      const double dy0 = ys[i] - ty;
-      const double d0 = dx0 * dx0 + dy0 * dy0;
-      const double dx1 = xs[i + 1] - tx;
-      const double dy1 = ys[i + 1] - ty;
-      const double d1 = dx1 * dx1 + dy1 * dy1;
-      b0 = d0 < m0 ? i : b0;
-      m0 = d0 < m0 ? d0 : m0;
-      b1 = d1 < m1 ? i + 1 : b1;
-      m1 = d1 < m1 ? d1 : m1;
-    }
-    if (i < k) {
-      const double dx = xs[i] - tx;
-      const double dy = ys[i] - ty;
-      const double d2 = dx * dx + dy * dy;
-      b0 = d2 < m0 ? i : b0;
-      m0 = d2 < m0 ? d2 : m0;
-    }
-    // Merge the even/odd chains; on equal distance the smaller index
-    // (lex-smaller position) wins.
-    const double best_d2 = m1 < m0 ? m1 : m0;
-    const std::size_t best =
-        (m1 < m0 || (m1 == m0 && b1 < b0)) ? b1 : b0;
-
-    if (best != k) {
-      // closer_to(target, best, self): strictly smaller distance, or
-      // equal distance and lexicographically smaller position.
-      const double px = base[0];
-      const double py = base[1];
-      const double bx = xs[best];
-      const double by = ys[best];
-      const double sdx = px - tx;
-      const double sdy = py - ty;
-      const double self_d2 = sdx * sdx + sdy * sdy;
-      if (best_d2 < self_d2 ||
-          (best_d2 == self_d2 && (bx != px ? bx < px : by < py))) {
-        const double act = ys[k + best];         // packed action word
-        const double weight = ys[2 * k + best];  // link-weight column
-        const std::uint32_t vlink_dest = plan_lo(act);
-        if (vlink_dest != kNoPlanSwitch) {
-          // Enter the virtual link toward the multi-hop DT neighbor.
-          pkt.vlink_dest = vlink_dest;
-          pkt.vlink_sour = cur;
-        }
-        if (std::isnan(weight)) {
-          result.fail(route_errors::missing_link(cur, plan_hi(act)));
-          return;
-        }
-        if (faults != nullptr) {
-          Status hop = route_errors::check_traversal(*faults, cur,
-                                                     plan_hi(act), salt);
-          if (!hop.ok()) {
-            result.fail(std::move(hop));
-            return;
-          }
-        }
-        result.path_cost += weight;
-        cur = plan_hi(act);
-        result.switch_path.push_back(cur);
-        continue;
-      }
-    }
-
-    // No neighbor is closer: this switch owns the data.
-    Status delivered = deliver_compiled(plan, base, pkt, cur, result);
-    if (!delivered.ok()) {
-      result.fail(std::move(delivered));
-    }
-    return;
   }
   result.fail(route_errors::hop_bound());
 }
@@ -341,19 +249,32 @@ const RoutePlan& SdenNetwork::ensure_plan() {
 }
 
 void SdenNetwork::rebuild_plan(RoutePlan& plan) const {
+  // The whole-network plan is the subset plan that owns every switch.
+  std::vector<std::uint32_t> owned(switches_.size());
+  for (std::size_t i = 0; i < owned.size(); ++i) {
+    owned[i] = static_cast<std::uint32_t>(i);
+  }
+  compile_plan_subset(plan, owned.data(), owned.size());
+}
+
+void SdenNetwork::compile_plan_subset(RoutePlan& plan,
+                                      const std::uint32_t* owned,
+                                      std::size_t count) const {
   plan.clear();
-  plan.offset.resize(switches_.size());
+  plan.offset.assign(switches_.size(), kPlanNoRegion);
   const graph::Graph& links = description_.switches();
 
   // Blob size up front: header words plus four columns per candidate,
-  // for every switch, each region rounded up to a cache line.
+  // for every owned switch, each region rounded up to a cache line.
   std::size_t words = 0;
-  for (const Switch& sw : switches_) {
+  for (std::size_t j = 0; j < count; ++j) {
+    const Switch& sw = switches_[owned[j]];
     words += (kPlanHeaderWords + 4 * sw.table().neighbors().size() + 7) & ~7u;
   }
   plan.hot.reserve(words);
 
-  for (std::size_t i = 0; i < switches_.size(); ++i) {
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::size_t i = owned[j];
     const Switch& sw = switches_[i];
     const FlowTable& table = sw.table();
     const std::size_t k = table.neighbors().size();

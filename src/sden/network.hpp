@@ -169,6 +169,34 @@ class SdenNetwork {
     return plan_->dirty.load(std::memory_order_acquire);
   }
 
+  /// Compiles a shard-local route plan covering exactly the `count`
+  /// switches listed in `owned`: their regions, their attached-server
+  /// slices, and the relay entries whose source switch is owned. The
+  /// offset table spans all switches, with kPlanNoRegion for non-owned
+  /// ones. The sharded runtime builds one such plan per shard from the
+  /// same flow tables the whole-network plan compiles from, so a walk
+  /// stepping only through owned regions (sden/plan_walk.hpp) stays
+  /// bit-identical to the single-plan walk. Read-only: does not touch
+  /// the network's own cached plan or its dirty flag.
+  void compile_plan_subset(RoutePlan& plan, const std::uint32_t* owned,
+                           std::size_t count) const;
+
+  /// Hop bound of a single walk (relay hops included): exceeding it
+  /// means a forwarding-table bug, classified as kRoutingLoop. Shared
+  /// by route() and the sharded runtime so their bound trips at the
+  /// identical step.
+  std::size_t max_route_hops() const { return 4 * switches_.size() + 16; }
+
+  /// Compiled delivery at a terminal switch owning the packet's data.
+  /// `base` is the terminal's region inside `plan` (which may be a
+  /// shard-subset plan — its servers array is self-contained). Public
+  /// for the sharded runtime; switches with rewrites installed take the
+  /// live pipeline via the deliver-fallback flag. Concurrent calls are
+  /// safe for retrievals/removals on disjoint (pkt, result) pairs.
+  Status deliver_compiled(const RoutePlan& plan, const double* base,
+                          Packet& pkt, std::uint32_t terminal,
+                          RouteResult& result);
+
   /// Installs (or clears, with nullptr) the injected physical-fault
   /// state. Not owned; the pointer must stay valid while set. Both the
   /// compiled fast path and the reference router consult it, so their
@@ -180,12 +208,6 @@ class SdenNetwork {
  private:
   Status deliver_to_targets(const Decision& decision, Packet& pkt,
                             SwitchId terminal, RouteResult& result);
-  /// Compiled delivery at a terminal switch (single target attached to
-  /// `terminal`); switches with rewrites installed take the live
-  /// pipeline via deliver_to_targets instead.
-  Status deliver_compiled(const RoutePlan& plan, const double* base,
-                          Packet& pkt, std::uint32_t terminal,
-                          RouteResult& result);
   /// Returns the up-to-date compiled plan, rebuilding it first when a
   /// mutating accessor flagged it dirty.
   const RoutePlan& ensure_plan();
