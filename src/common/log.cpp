@@ -21,11 +21,20 @@ const char* level_tag(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
-LogLevel log_level() { return g_level.load(); }
+// relaxed: the level is an independent filter flag; no other data is
+// published through it, so no ordering is needed.
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+// relaxed: see set_log_level.
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  // relaxed: a racing level change may drop or admit one borderline
+  // line; the filter itself stays consistent.
+  if (static_cast<int>(level) <
+      static_cast<int>(g_level.load(std::memory_order_relaxed)))
+    return;
   std::fprintf(stderr, "[gred %s] %s\n", level_tag(level), msg.c_str());
 }
 

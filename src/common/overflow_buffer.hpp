@@ -1,0 +1,107 @@
+// Fixed-capacity spill queue for the sharded data plane's cross-shard
+// handoffs. When an SPSC ring is full, the producing shard parks the
+// continuation here and re-offers it on later poll-loop passes.
+//
+// This replaces a plain std::vector spill whose partial-drain handling
+// had a real mid-round-allocation defect: the vector only reset once
+// FULLY drained, so under a sustained ring-full ping-pong (drain a
+// little, spill a little more) the dead prefix in front of the
+// unretired items grew without bound and the vector eventually
+// reallocated — violating the round's documented no-allocation
+// invariant. tests/overflow_buffer_test.cpp replays that adversarial
+// schedule against this class and asserts the storage address never
+// moves.
+//
+// The fix is an indexed buffer with bounded compaction:
+//   * reset(live_capacity, compact_threshold) sizes the storage ONCE to
+//     live_capacity + compact_threshold (the only allocation, made
+//     during round setup);
+//   * push() is a bounds-checked indexed store — structurally incapable
+//     of allocating, which is what lets tools/hotpath_check.py prove
+//     the spill path clean (a reserved push_back still statically
+//     reaches operator new);
+//   * consume(n) retires the oldest n items and, when the dead prefix
+//     reaches compact_threshold, memmoves the pending tail to the
+//     front. Since a single consume() retires at most one ring's worth
+//     of items, the prefix stays < compact_threshold at every push, so
+//     size() <= compact_threshold + live items and the storage bound
+//     holds whenever live items <= live_capacity.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "check/check.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace gred {
+
+template <typename T>
+class OverflowBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "OverflowBuffer compacts with memmove; spill plain "
+                "continuation words, not owning objects");
+
+ public:
+  /// Sizes the storage to hold `live_capacity` unretired items with a
+  /// dead prefix of up to `compact_threshold`, and empties the buffer.
+  /// The only allocating call; growth-only (a smaller request keeps the
+  /// larger storage), so reusing a buffer across rounds of the same
+  /// size allocates once.
+  void reset(std::size_t live_capacity, std::size_t compact_threshold) {
+    compact_at_ = compact_threshold < 1 ? 1 : compact_threshold;
+    const std::size_t want = live_capacity + compact_at_;
+    if (buf_.size() < want) buf_.resize(want);
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Parks one item. Never allocates: an indexed store into the
+  /// pre-sized storage. The capacity invariant (reset's contract) makes
+  /// overflow impossible; checked builds verify it.
+  GRED_HOT_PATH void push(const T& v) {
+    GRED_INVARIANT(size_ < buf_.size(),
+                   "OverflowBuffer overflow: live items exceed the "
+                   "capacity reset() was sized for");
+    buf_[size_++] = v;
+  }
+
+  /// Oldest unretired item (valid while pending() > 0).
+  const T* data() const { return buf_.data() + head_; }
+  /// Unretired items.
+  std::size_t pending() const { return size_ - head_; }
+  bool empty() const { return head_ == size_; }
+
+  /// Retires the oldest `n` items (n <= pending()). Fully drained
+  /// buffers rewind to the front for free; otherwise, once the dead
+  /// prefix reaches the compaction threshold, the pending tail is
+  /// memmoved down so the prefix can never grow unboundedly.
+  GRED_HOT_PATH void consume(std::size_t n) {
+    GRED_INVARIANT(n <= size_ - head_, "OverflowBuffer: consuming more than pending");
+    head_ += n;
+    if (head_ == size_) {
+      head_ = 0;
+      size_ = 0;
+    } else if (head_ >= compact_at_) {
+      const std::size_t live = size_ - head_;
+      std::memmove(buf_.data(), buf_.data() + head_, live * sizeof(T));
+      head_ = 0;
+      size_ = live;
+    }
+  }
+
+  /// Storage address, exposed so tests can assert reallocation never
+  /// happens mid-round.
+  const T* storage() const { return buf_.data(); }
+  std::size_t storage_capacity() const { return buf_.size(); }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;       ///< first unretired item
+  std::size_t size_ = 0;       ///< one past the last item
+  std::size_t compact_at_ = 1; ///< dead-prefix bound triggering compaction
+};
+
+}  // namespace gred

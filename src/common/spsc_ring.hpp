@@ -19,6 +19,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace gred {
 
 template <typename T>
@@ -37,23 +39,29 @@ class SpscRing {
   std::size_t capacity() const { return slots_.size(); }
 
   /// Producer side. False when the ring is full (caller keeps the item).
-  bool push(const T& v) {
+  GRED_HOT_PATH bool push(const T& v) {
+    // relaxed: tail_ is producer-owned; only the producer writes it.
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_cache_ == slots_.size()) {
+      // acquire: pairs with the consumer's release head retire so the
+      // producer sees slots as free only after they were consumed.
       head_cache_ = head_.load(std::memory_order_acquire);
       if (tail - head_cache_ == slots_.size()) return false;
     }
     slots_[tail & mask_] = v;
+    // release: publishes the slot write before the new tail.
     tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
 
   /// Producer side: pushes up to `n` items from `v`, returning how many
   /// fit. One tail publish for the whole batch.
-  std::size_t push_batch(const T* v, std::size_t n) {
+  GRED_HOT_PATH std::size_t push_batch(const T* v, std::size_t n) {
+    // relaxed: tail_ is producer-owned (see push).
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     std::size_t free = slots_.size() - (tail - head_cache_);
     if (free < n) {
+      // acquire: see push.
       head_cache_ = head_.load(std::memory_order_acquire);
       free = slots_.size() - (tail - head_cache_);
     }
@@ -61,28 +69,35 @@ class SpscRing {
     for (std::size_t i = 0; i < count; ++i) {
       slots_[(tail + i) & mask_] = v[i];
     }
+    // release: publishes the whole batch of slot writes.
     if (count != 0) tail_.store(tail + count, std::memory_order_release);
     return count;
   }
 
   /// Consumer side. False when the ring is empty.
-  bool pop(T& out) {
+  GRED_HOT_PATH bool pop(T& out) {
+    // relaxed: head_ is consumer-owned; only the consumer writes it.
     const std::size_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_cache_) {
+      // acquire: pairs with the producer's release tail publish so the
+      // slot reads below see the published contents.
       tail_cache_ = tail_.load(std::memory_order_acquire);
       if (head == tail_cache_) return false;
     }
     out = slots_[head & mask_];
+    // release: retires the slot only after its contents were copied out.
     head_.store(head + 1, std::memory_order_release);
     return true;
   }
 
   /// Consumer side: drains up to `max` items into `out`, returning the
   /// count. One head retire for the whole batch.
-  std::size_t pop_batch(T* out, std::size_t max) {
+  GRED_HOT_PATH std::size_t pop_batch(T* out, std::size_t max) {
+    // relaxed: head_ is consumer-owned (see pop).
     const std::size_t head = head_.load(std::memory_order_relaxed);
     std::size_t avail = tail_cache_ - head;
     if (avail < max) {
+      // acquire: see pop.
       tail_cache_ = tail_.load(std::memory_order_acquire);
       avail = tail_cache_ - head;
     }
@@ -90,6 +105,7 @@ class SpscRing {
     for (std::size_t i = 0; i < count; ++i) {
       out[i] = slots_[(head + i) & mask_];
     }
+    // release: retires the whole batch after the copies.
     if (count != 0) head_.store(head + count, std::memory_order_release);
     return count;
   }
@@ -97,6 +113,8 @@ class SpscRing {
   /// Consumer-side emptiness check (exact for the consumer: a false
   /// return means at least one item is ready to pop).
   bool empty() const {
+    // relaxed: head_ is consumer-owned.
+    // acquire: tail pairs with the producer's release publish.
     return head_.load(std::memory_order_relaxed) ==
            tail_.load(std::memory_order_acquire);
   }

@@ -18,9 +18,9 @@ struct ThreadPool::Batch {
   const std::function<void(std::size_t, std::size_t)>* chunk = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex m;
-  std::condition_variable cv;
-  bool finished = false;  // guarded by m
+  Mutex m;
+  CondVar cv;
+  bool finished GRED_GUARDED_BY(m) = false;
 
   bool exhausted() const { return next.load() >= end; }
 };
@@ -35,7 +35,7 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -50,7 +50,7 @@ void ThreadPool::help(Batch& b) {
     (*b.chunk)(lo, hi);
     const std::size_t items = hi - lo;
     if (b.done.fetch_add(items) + items == b.end - b.begin) {
-      std::lock_guard<std::mutex> lock(b.m);
+      MutexLock lock(b.m);
       b.finished = true;
       b.cv.notify_all();
     }
@@ -61,8 +61,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit wait loop (not a predicate lambda) so the guarded
+      // reads sit syntactically inside the locked scope for
+      // -Wthread-safety (common/mutex.hpp header comment).
+      while (!stop_ && queue_.empty()) work_cv_.wait(lock);
       if (queue_.empty()) return;  // stop_ set and nothing left to help
       batch = queue_.front();
       if (batch->exhausted()) {
@@ -71,7 +74,7 @@ void ThreadPool::worker_loop() {
       }
     }
     help(*batch);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::erase(queue_, batch);
   }
 }
@@ -95,17 +98,17 @@ void ThreadPool::parallel_for(
   batch->chunk = &chunk;
   batch->next.store(begin);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(batch);
   }
   work_cv_.notify_all();
 
   help(*batch);
   {
-    std::unique_lock<std::mutex> lock(batch->m);
-    batch->cv.wait(lock, [&] { return batch->finished; });
+    MutexLock lock(batch->m);
+    while (!batch->finished) batch->cv.wait(lock);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::erase(queue_, batch);
 }
 

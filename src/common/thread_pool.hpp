@@ -11,14 +11,15 @@
 // inline, making the serial path bit-identical to the parallel one.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace gred {
 
@@ -57,15 +58,16 @@ class ThreadPool {
   struct Batch;
 
   void worker_loop();
-  /// Claims and executes chunks of `b` until none are left.
-  void help(Batch& b);
+  /// Claims and executes chunks of `b` until none are left. Takes no
+  /// pool lock: chunk claiming is an atomic cursor on the batch.
+  void help(Batch& b) GRED_EXCLUDES(mu_);
 
   std::size_t thread_count_ = 1;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<Batch>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<std::shared_ptr<Batch>> queue_ GRED_GUARDED_BY(mu_);
+  bool stop_ GRED_GUARDED_BY(mu_) = false;
 };
 
 /// The process-wide pool, created on first use with

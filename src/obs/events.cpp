@@ -21,24 +21,24 @@ const char* event_kind_name(EventKind kind) {
 }
 
 std::uint64_t EventLog::append(DynamicsEvent ev) {
-  std::lock_guard<std::mutex> lock(mu_);
+  gred::MutexLock lock(mu_);
   ev.seq = next_seq_++;
   events_.push_back(std::move(ev));
   return events_.back().seq;
 }
 
 std::vector<DynamicsEvent> EventLog::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  gred::MutexLock lock(mu_);
   return events_;
 }
 
 std::size_t EventLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  gred::MutexLock lock(mu_);
   return events_.size();
 }
 
 void EventLog::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  gred::MutexLock lock(mu_);
   events_.clear();
   next_seq_ = 0;
 }

@@ -12,9 +12,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace gred::obs {
 
@@ -56,9 +58,9 @@ class EventLog {
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<DynamicsEvent> events_;
-  std::uint64_t next_seq_ = 0;
+  mutable gred::Mutex mu_;
+  std::vector<DynamicsEvent> events_ GRED_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ GRED_GUARDED_BY(mu_) = 0;
 };
 
 /// The process-wide log the controller appends to.

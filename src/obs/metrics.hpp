@@ -23,10 +23,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace gred::obs {
 
@@ -48,9 +50,11 @@ void pin_this_thread_shard(std::size_t slot);
 /// Monotonic event counter.
 class Counter {
  public:
-  void add(std::uint64_t delta = 1) {
-    slots_[this_thread_shard()].v.fetch_add(delta,
-                                            std::memory_order_relaxed);
+  GRED_HOT_PATH void add(std::uint64_t delta = 1) {
+    // relaxed: per-slot tally; readers merge slots and only need each
+    // slot's own modification order, not cross-slot ordering.
+    slots_[gred::obs::this_thread_shard()].v.fetch_add(
+        delta, std::memory_order_relaxed);
   }
   /// Shards merged in slot order.
   std::uint64_t value() const;
@@ -67,8 +71,12 @@ class Counter {
 /// state, not a stream, and the last writer wins by definition).
 class Gauge {
  public:
-  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  // relaxed: a gauge is a standalone last-writer-wins scalar; nothing
+  // is published through it.
+  GRED_HOT_PATH void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  // relaxed: see set().
   double value() const { return v_.load(std::memory_order_relaxed); }
+  // relaxed: see set().
   void reset() { v_.store(0.0, std::memory_order_relaxed); }
 
  private:
@@ -84,7 +92,7 @@ class Histogram {
   static constexpr std::size_t kBins = 40;
   static constexpr int kMinExp = -20;  ///< bin 0 holds v < 2^(kMinExp+1)
 
-  void record(double v);
+  GRED_HOT_PATH void record(double v);
 
   struct Snapshot {
     std::uint64_t count = 0;
@@ -135,10 +143,12 @@ class Registry {
   void reset_values();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable gred::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GRED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GRED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GRED_GUARDED_BY(mu_);
 };
 
 /// The process-wide registry every library instrumentation site uses.

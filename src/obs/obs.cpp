@@ -9,6 +9,8 @@ std::atomic<bool> g_enabled{false};
 }  // namespace detail
 
 void set_enabled(bool on) {
+  // relaxed: an independent on/off flag; instrumentation sites that see
+  // it flip need no other data published with it.
   detail::g_enabled.store(on, std::memory_order_relaxed);
 }
 

@@ -22,6 +22,8 @@ extern std::atomic<bool> g_enabled;
 /// True when the observability layer is recording. Hot-path guard:
 /// relaxed load, no fence, no function call.
 inline bool enabled() {
+  // relaxed: an independent on/off flag — consumers (trace ring,
+  // metrics) do their own synchronization; see set_enabled.
   return detail::g_enabled.load(std::memory_order_relaxed);
 }
 

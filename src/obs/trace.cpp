@@ -11,33 +11,49 @@ std::size_t round_up_pow2(std::size_t n) {
 }  // namespace
 
 void RouteTraceRing::enable(std::size_t capacity) {
+  // release: quiesce the ring before swapping storage (writers that
+  // already saw active==true may still be in flight; enable/disable
+  // are control-plane calls made while the data plane is stopped).
   active_.store(false, std::memory_order_release);
   const std::size_t cap = round_up_pow2(capacity < 2 ? 2 : capacity);
   slots_ = std::make_unique<Slot[]>(cap);
   mask_ = cap - 1;
+  // relaxed: counters reset before the release store below publishes
+  // them together with the new storage.
   head_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
+  // release: publishes slots_/mask_/counters to writers that acquire
+  // active_ in record().
   active_.store(true, std::memory_order_release);
 }
 
 void RouteTraceRing::disable() {
+  // release: see enable(); called with the data plane stopped.
   active_.store(false, std::memory_order_release);
   slots_.reset();
   mask_ = 0;
 }
 
 void RouteTraceRing::record(RouteTraceSample sample) {
+  // acquire: pairs with enable()'s release so slots_/mask_ are visible.
   if (!active_.load(std::memory_order_acquire)) return;
+  // relaxed: slot claim only needs a unique ticket; slot contents are
+  // ordered by the per-slot busy/valid flags below.
   const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[seq & mask_];
   // Claim the slot; if a lapped writer still holds it, drop rather
   // than tear the sample.
+  // acquire: pairs with the release store of busy=false so this writer
+  // sees the previous writer's completed sample fields.
   if (slot.busy.exchange(true, std::memory_order_acquire)) {
+    // relaxed: standalone statistic.
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   sample.seq = seq;
   slot.sample = sample;
+  // release: publish the sample fields before marking the slot
+  // readable / reclaimable.
   slot.valid.store(true, std::memory_order_release);
   slot.busy.store(false, std::memory_order_release);
 }
@@ -48,9 +64,12 @@ std::vector<RouteTraceSample> RouteTraceRing::snapshot() const {
   const std::size_t cap = mask_ + 1;
   out.reserve(cap);
   // Oldest-first: the slot the head would overwrite next is the oldest.
+  // acquire: order the slot scans after the head read.
   const std::uint64_t head = head_.load(std::memory_order_acquire);
   for (std::size_t i = 0; i < cap; ++i) {
     const Slot& slot = slots_[(head + i) & mask_];
+    // acquire: pair with record()'s release stores so a slot observed
+    // quiescent-and-valid has fully written sample fields.
     if (slot.busy.load(std::memory_order_acquire)) continue;
     if (!slot.valid.load(std::memory_order_acquire)) continue;
     out.push_back(slot.sample);

@@ -19,6 +19,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace gred::obs {
 
 /// One routed packet, as seen at the end of SdenNetwork::route /
@@ -43,12 +45,14 @@ class RouteTraceRing {
   void enable(std::size_t capacity);
   /// Stops accepting samples and frees the ring.
   void disable();
+  // acquire: pairs with enable()'s release store so a reader that sees
+  // active==true also sees the allocated slots_/mask_.
   bool active() const { return active_.load(std::memory_order_acquire); }
 
   /// Records one sample (sample.seq is assigned here). No-op when the
   /// ring is not active. Never allocates, never blocks; may drop the
   /// sample under writer collision (see dropped()).
-  void record(RouteTraceSample sample);
+  GRED_HOT_PATH void record(RouteTraceSample sample);
 
   /// Samples currently in the ring, oldest first, skipping slots that
   /// are mid-write. Not linearizable with concurrent writers — meant
@@ -57,10 +61,12 @@ class RouteTraceRing {
 
   /// Total samples offered to record() while active.
   std::uint64_t recorded() const {
+    // relaxed: standalone statistic; no data is published through it.
     return head_.load(std::memory_order_relaxed);
   }
   /// Samples dropped because the target slot was busy.
   std::uint64_t dropped() const {
+    // relaxed: standalone statistic; no data is published through it.
     return dropped_.load(std::memory_order_relaxed);
   }
   std::size_t capacity() const { return mask_ == 0 ? 0 : mask_ + 1; }

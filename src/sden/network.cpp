@@ -5,8 +5,8 @@
 #include <bit>
 #include <cmath>
 #include <limits>
-#include <mutex>
 
+#include "common/mutex.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
@@ -18,11 +18,33 @@ namespace gred::sden {
 namespace {
 constexpr double kMissingLink = std::numeric_limits<double>::quiet_NaN();
 
+/// Metric references route() records into, resolved once. Looking them
+/// up involves registry locks, allocation, and static-init guards, so
+/// the lookup sits behind a cold boundary and the hot recording path
+/// only ever touches the returned cached references.
+struct RouteMetrics {
+  obs::Counter& packets;
+  obs::Counter& drops;
+  obs::Histogram& hops;
+  obs::RouteTraceRing& ring;
+};
+
+// cold: one registry lookup (locks + may allocate) per process; every
+// later call is a guarded static read, off the per-packet closure.
+GRED_COLD_PATH const RouteMetrics& route_metrics() {
+  static RouteMetrics m{obs::registry().counter("sden.packets_routed"),
+                        obs::registry().counter("sden.packets_dropped"),
+                        obs::registry().histogram("sden.route_hops"),
+                        obs::route_trace()};
+  return m;
+}
+
 /// Per-packet observability hook for route(). Decided once at entry
 /// (a single relaxed load); when off, construction and destruction
 /// are a stored bool and one branch — the steady state stays
 /// allocation-free either way, since ring writes and counter bumps
-/// never allocate and the metric references are cached in statics.
+/// never allocate and the metric references are cached behind
+/// route_metrics().
 class RouteTraceGuard {
  public:
   RouteTraceGuard(const Packet& pkt, const RouteResult& result,
@@ -32,17 +54,12 @@ class RouteTraceGuard {
         result_(result),
         ingress_(ingress) {}
 
-  ~RouteTraceGuard() {
+  GRED_HOT_PATH ~RouteTraceGuard() {
     if (!active_) return;
-    static obs::Counter& packets =
-        obs::registry().counter("sden.packets_routed");
-    static obs::Counter& drops =
-        obs::registry().counter("sden.packets_dropped");
-    static obs::Histogram& hops =
-        obs::registry().histogram("sden.route_hops");
-    packets.add();
-    if (!result_.status.ok()) drops.add();
-    hops.record(static_cast<double>(result_.hop_count()));
+    const RouteMetrics& m = route_metrics();
+    m.packets.add();
+    if (!result_.status.ok()) m.drops.add();
+    m.hops.record(static_cast<double>(result_.hop_count()));
 
     obs::RouteTraceSample s;
     s.ingress = static_cast<std::uint32_t>(ingress_);
@@ -54,7 +71,7 @@ class RouteTraceGuard {
     s.found = result_.found;
     s.ok = result_.status.ok();
     s.path_cost = result_.path_cost;
-    obs::route_trace().record(s);
+    m.ring.record(s);
   }
 
   RouteTraceGuard(const RouteTraceGuard&) = delete;
@@ -100,8 +117,7 @@ void SdenNetwork::route(Packet& pkt, SwitchId ingress, RouteResult& result) {
   // path below, including the compiled fast-path delivery.
   const RouteTraceGuard trace(pkt, result, ingress);
   if (ingress >= switches_.size()) {
-    result.status =
-        Status(ErrorCode::kOutOfRange, "inject: ingress switch out of range");
+    result.status = route_errors::bad_ingress();
     return;
   }
 
@@ -233,19 +249,29 @@ Status SdenNetwork::deliver_compiled(const RoutePlan& plan, const double* base,
 }
 
 const RoutePlan& SdenNetwork::ensure_plan() {
-  PlanState& state = *plan_;
-  if (state.dirty.load(std::memory_order_acquire)) {
-    // First router after an invalidation rebuilds; concurrent routers
-    // wait on the mutex and then read the fresh plan. (Mutating the
-    // network while packets are in flight was never supported; this
-    // only coordinates the rebuild itself.)
-    std::lock_guard<std::mutex> lock(state.rebuild_mutex);
-    if (state.dirty.load(std::memory_order_relaxed)) {
-      rebuild_plan(state.plan);
-      state.dirty.store(false, std::memory_order_release);
-    }
+  // acquire: a clean flag read here pairs with rebuild_plan_slow's
+  // release store, publishing the rebuilt plan to this router.
+  if (plan_->dirty.load(std::memory_order_acquire)) {
+    rebuild_plan_slow();
   }
-  return state.plan;
+  return plan_->plan;
+}
+
+void SdenNetwork::rebuild_plan_slow() {
+  PlanState& state = *plan_;
+  // First router after an invalidation rebuilds; concurrent routers
+  // wait on the mutex and then read the fresh plan. (Mutating the
+  // network while packets are in flight was never supported; this
+  // only coordinates the rebuild itself.)
+  MutexLock lock(state.rebuild_mutex);
+  // relaxed: the mutex orders this re-check against the previous
+  // holder's store; only the flag value matters here.
+  if (state.dirty.load(std::memory_order_relaxed)) {
+    rebuild_plan(state.plan);
+    // release: publishes the rebuilt plan to lock-free readers that
+    // acquire dirty==false in ensure_plan.
+    state.dirty.store(false, std::memory_order_release);
+  }
 }
 
 void SdenNetwork::rebuild_plan(RoutePlan& plan) const {

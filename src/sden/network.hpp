@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "sden/fault_state.hpp"
 #include "sden/packet.hpp"
 #include "sden/route_plan.hpp"
@@ -119,7 +120,7 @@ class SdenNetwork {
   /// reused `out` and a cached key digest on the packet, the steady
   /// state performs no heap allocations. Concurrent calls are safe for
   /// retrievals/removals on disjoint (pkt, out) pairs.
-  void route(Packet& pkt, SwitchId ingress, RouteResult& out);
+  GRED_HOT_PATH void route(Packet& pkt, SwitchId ingress, RouteResult& out);
 
   /// Capacity hint for RouteResult::switch_path: comfortably above the
   /// greedy walk's typical length (≈ network diameter + virtual-link
@@ -159,6 +160,9 @@ class SdenNetwork {
 
   /// Marks the compiled route plan stale; the next route() rebuilds it.
   void invalidate_plan() {
+    // release: not needed for publication (the REBUILDER's release
+    // store of dirty=false publishes the plan), kept so a stale flag
+    // observed by route_plan_stale() orders after the mutation.
     plan_->dirty.store(true, std::memory_order_release);
   }
 
@@ -166,6 +170,7 @@ class SdenNetwork {
   /// and regression tests: a read-only inspection pass must leave a
   /// fresh plan intact).
   bool route_plan_stale() const {
+    // acquire: pairs with invalidate_plan / the rebuilder's stores.
     return plan_->dirty.load(std::memory_order_acquire);
   }
 
@@ -193,9 +198,12 @@ class SdenNetwork {
   /// for the sharded runtime; switches with rewrites installed take the
   /// live pipeline via the deliver-fallback flag. Concurrent calls are
   /// safe for retrievals/removals on disjoint (pkt, result) pairs.
-  Status deliver_compiled(const RoutePlan& plan, const double* base,
-                          Packet& pkt, std::uint32_t terminal,
-                          RouteResult& result);
+  // cold: delivery mutates server storage / copies the payload string —
+  // out of the hop loop's closure; one call per packet, not per hop.
+  GRED_COLD_PATH Status deliver_compiled(const RoutePlan& plan,
+                                         const double* base, Packet& pkt,
+                                         std::uint32_t terminal,
+                                         RouteResult& result);
 
   /// Installs (or clears, with nullptr) the injected physical-fault
   /// state. Not owned; the pointer must stay valid while set. Both the
@@ -209,8 +217,13 @@ class SdenNetwork {
   Status deliver_to_targets(const Decision& decision, Packet& pkt,
                             SwitchId terminal, RouteResult& result);
   /// Returns the up-to-date compiled plan, rebuilding it first when a
-  /// mutating accessor flagged it dirty.
+  /// mutating accessor flagged it dirty. The dirty check itself stays
+  /// on the hot path (one acquire load); the lock-and-rebuild lives in
+  /// rebuild_plan_slow behind a cold boundary.
   const RoutePlan& ensure_plan();
+  // cold: takes the rebuild mutex and recompiles the whole plan; runs
+  // only after a control-plane mutation, never in the steady state.
+  GRED_COLD_PATH void rebuild_plan_slow();
   void rebuild_plan(RoutePlan& plan) const;
 
   topology::EdgeNetwork description_;

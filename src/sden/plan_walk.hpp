@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/thread_annotations.hpp"
 #include "sden/packet.hpp"
 #include "sden/route_plan.hpp"
 
@@ -43,8 +44,8 @@ struct PlanStep {
 /// matching SdenNetwork::route's historical order; a failed result
 /// discards the scratch packet anyway). `plan` must contain a region
 /// for `cur` — sharded callers check ownership first.
-inline PlanStep plan_step(const RoutePlan& plan, std::uint32_t cur,
-                          Packet& pkt) {
+GRED_HOT_PATH inline PlanStep plan_step(const RoutePlan& plan,
+                                        std::uint32_t cur, Packet& pkt) {
   const double* const hot = plan.hot.data();
   const double tx = pkt.target.x;
   const double ty = pkt.target.y;

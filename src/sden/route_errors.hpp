@@ -15,34 +15,43 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "sden/fault_state.hpp"
 #include "sden/packet.hpp"
 
 namespace gred::sden::route_errors {
 
 /// Flow-table miss while relaying over a virtual link.
-inline Status no_relay(SwitchId at) {
+// cold: failure-path status construction builds a std::string
+// message; drops are the exception, not the steady state.
+GRED_COLD_PATH inline Status no_relay(SwitchId at) {
   return Status(ErrorCode::kNoRoute,
                 "packet dropped at switch " + std::to_string(at) +
                     ": no relay entry for virtual-link destination");
 }
 
 /// Greedy packet reached a switch that is not a DT participant.
-inline Status non_dt_transit(SwitchId at) {
+// cold: failure-path status construction builds a std::string
+// message; drops are the exception, not the steady state.
+GRED_COLD_PATH inline Status non_dt_transit(SwitchId at) {
   return Status(ErrorCode::kNoRoute,
                 "packet dropped at switch " + std::to_string(at) +
                     ": greedy packet at non-DT transit switch");
 }
 
 /// Terminal switch owns the data but has no attached servers.
-inline Status no_servers(SwitchId at) {
+// cold: failure-path status construction builds a std::string
+// message; drops are the exception, not the steady state.
+GRED_COLD_PATH inline Status no_servers(SwitchId at) {
   return Status(ErrorCode::kNoRoute,
                 "packet dropped at switch " + std::to_string(at) +
                     ": terminal switch has no attached servers");
 }
 
 /// A flow entry points over a link that does not exist in the topology.
-inline Status missing_link(SwitchId from, SwitchId to) {
+// cold: failure-path status construction builds a std::string
+// message; drops are the exception, not the steady state.
+GRED_COLD_PATH inline Status missing_link(SwitchId from, SwitchId to) {
   return Status(ErrorCode::kLinkDown,
                 "switch " + std::to_string(from) +
                     " forwarded over a non-existent link to switch " +
@@ -50,39 +59,61 @@ inline Status missing_link(SwitchId from, SwitchId to) {
 }
 
 /// Hop bound exceeded: transient loop (stale tables) or table bug.
-inline Status hop_bound() {
+// cold: failure-path status construction builds a std::string
+// message; drops are the exception, not the steady state.
+GRED_COLD_PATH inline Status hop_bound() {
   return Status(ErrorCode::kRoutingLoop, "routing loop: hop bound exceeded");
 }
 
 /// Range-extension handoff rides a link missing from the topology.
-inline Status handoff_missing_link() {
+// cold: failure-path status construction builds a std::string
+// message; drops are the exception, not the steady state.
+GRED_COLD_PATH inline Status handoff_missing_link() {
   return Status(ErrorCode::kLinkDown,
                 "range-extension handoff over non-existent link");
 }
 
 /// A drop decision from the live pipeline, classified by the decision's
 /// drop_code with the pipeline's reason text.
-inline Status pipeline_drop(SwitchId at, ErrorCode code,
+// cold: failure-path status construction builds a std::string
+// message; drops are the exception, not the steady state.
+GRED_COLD_PATH inline Status pipeline_drop(SwitchId at, ErrorCode code,
                             const char* reason) {
   return Status(code, "packet dropped at switch " + std::to_string(at) +
                           ": " + (reason != nullptr ? reason : "unknown"));
 }
 
+/// Injection at a switch id outside the network. Shared by every
+/// router front-end (compiled, reference, seed, sharded) so the
+/// terminal status stays bit-identical across them.
+// cold: failure-path status construction builds a std::string
+// message; drops are the exception, not the steady state.
+GRED_COLD_PATH inline Status bad_ingress() {
+  return Status(ErrorCode::kOutOfRange,
+                "inject: ingress switch out of range");
+}
+
 /// The packet entered the network at a crashed switch.
-inline Status ingress_down(SwitchId at) {
+// cold: failure-path status construction builds a std::string
+// message; drops are the exception, not the steady state.
+GRED_COLD_PATH inline Status ingress_down(SwitchId at) {
   return Status(ErrorCode::kLinkDown,
                 "ingress switch " + std::to_string(at) + " is down");
 }
 
 /// Forwarding toward a crashed switch black-holes the packet.
-inline Status next_switch_down(SwitchId at, SwitchId next) {
+// cold: failure-path status construction builds a std::string
+// message; drops are the exception, not the steady state.
+GRED_COLD_PATH inline Status next_switch_down(SwitchId at, SwitchId next) {
   return Status(ErrorCode::kLinkDown,
                 "packet dropped at switch " + std::to_string(at) +
                     ": next switch " + std::to_string(next) + " is down");
 }
 
 /// The link itself is down or dropped this packet probabilistically.
-inline Status link_faulted(SwitchId at, SwitchId next, bool hard_down) {
+// cold: failure-path status construction builds a std::string
+// message; drops are the exception, not the steady state.
+GRED_COLD_PATH inline Status link_faulted(SwitchId at, SwitchId next, bool hard_down) {
   return Status(ErrorCode::kLinkDown,
                 "packet dropped at switch " + std::to_string(at) +
                     ": link to switch " + std::to_string(next) +

@@ -35,10 +35,10 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/flat_map.hpp"
+#include "common/mutex.hpp"
 
 namespace gred::sden {
 
@@ -101,8 +101,14 @@ struct RoutePlan {
 /// mutex while late arrivals wait, then everyone reads the immutable
 /// result.
 struct PlanState {
-  std::mutex rebuild_mutex;
+  gred::Mutex rebuild_mutex;
   std::atomic<bool> dirty{true};
+  /// tsa: deliberately NOT GRED_GUARDED_BY(rebuild_mutex) — the steady
+  /// state
+  /// reads `plan` lock-free after an acquire load of dirty==false
+  /// (double-checked publication — the rebuilder's release store of
+  /// dirty publishes the finished plan). Only rebuilds, which do hold
+  /// rebuild_mutex, write it.
   RoutePlan plan;
 };
 

@@ -27,8 +27,7 @@ inline RouteResult seed_faithful_route(SdenNetwork& net, Packet pkt,
                                        SwitchId ingress) {
   RouteResult result;
   if (ingress >= net.switch_count()) {
-    result.status =
-        Status(ErrorCode::kOutOfRange, "inject: ingress switch out of range");
+    result.status = route_errors::bad_ingress();
     return result;
   }
 

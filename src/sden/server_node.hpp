@@ -78,6 +78,7 @@ class ServerNode {
   std::size_t placements_received() const { return placements_received_; }
   /// Cumulative retrievals served (diagnostics).
   std::size_t retrievals_served() const {
+    // relaxed: standalone diagnostic tally (see note_retrieval).
     return retrievals_served_.load(std::memory_order_relaxed);
   }
 
@@ -88,11 +89,11 @@ class ServerNode {
   /// Remaining capacity; SIZE_MAX when unbounded.
   std::size_t remaining_capacity() const;
 
-  /// Records a served retrieval (called by the network walk). Relaxed
-  /// atomic: the parallel retrieval replay routes independent requests
-  /// concurrently, and a commutative counter bump is the only write
-  /// they share.
+  /// Records a served retrieval (called by the network walk).
   void note_retrieval() {
+    // relaxed: the parallel retrieval replay routes independent
+    // requests concurrently, and this commutative counter bump is the
+    // only write they share — no ordering with other data needed.
     retrievals_served_.fetch_add(1, std::memory_order_relaxed);
   }
 

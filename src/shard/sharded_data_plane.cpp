@@ -61,7 +61,7 @@ ShardedDataPlane::ShardedDataPlane(sden::SdenNetwork& net, std::size_t shards)
 
 ShardedDataPlane::~ShardedDataPlane() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     exiting_ = true;
   }
   round_cv_.notify_all();
@@ -123,17 +123,16 @@ void ShardedDataPlane::setup_round(const sden::Packet* pkts,
     sh.local_hops = 0;
     sh.handoffs_out = 0;
     sh.spills = 0;
+    // relaxed: reset happens before the round's threads are released by
+    // run_round()'s lock, which orders it.
     sh.completed.store(0, std::memory_order_relaxed);
     sh.overflow.resize(s);
-    for (std::vector<Handoff>& v : sh.overflow) {
-      // Worst case every in-flight packet spills to one destination, so
-      // reserving `count` here keeps the round itself allocation-free.
-      if (v.capacity() < count) {
-        v.reserve(count < kRingCapacity ? kRingCapacity : count);
-      }
-      v.clear();
+    for (OverflowBuffer<Handoff>& v : sh.overflow) {
+      // Worst case every in-flight packet spills to one destination;
+      // sizing for `count` live items (plus the compaction prefix, see
+      // common/overflow_buffer.hpp) keeps the round allocation-free.
+      v.reset(count, kRingCapacity);
     }
-    sh.overflow_head.assign(s, 0);
     sh.drain.resize(kDrainBatch);
   }
 
@@ -146,8 +145,7 @@ void ShardedDataPlane::setup_round(const sden::Packet* pkts,
     if (ingresses[i] >= net_.switch_count()) {
       // Same terminal status as SdenNetwork::route, decided before any
       // shard runs; the packet never enters the network.
-      res.status = Status(ErrorCode::kOutOfRange,
-                          "inject: ingress switch out of range");
+      res.status = sden::route_errors::bad_ingress();
       if (open_loop && latencies_s_ != nullptr) latencies_s_[i] = -1.0;
       continue;
     }
@@ -223,28 +221,30 @@ void ShardedDataPlane::run_round() {
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     workers_running_ = shards_.size() - 1;
     ++round_seq_;
   }
   round_cv_.notify_all();
   run_shard(0);
-  std::unique_lock<std::mutex> lk(mu_);
-  done_cv_.wait(lk, [&] { return workers_running_ == 0; });
+  MutexLock lk(mu_);
+  // Explicit wait loops (common/mutex.hpp): the guarded reads sit
+  // inside the locked scope where -Wthread-safety can check them.
+  while (workers_running_ != 0) done_cv_.wait(lk);
 }
 
 void ShardedDataPlane::worker_main(std::size_t me) {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      round_cv_.wait(lk, [&] { return exiting_ || round_seq_ != seen; });
+      MutexLock lk(mu_);
+      while (!exiting_ && round_seq_ == seen) round_cv_.wait(lk);
       if (exiting_) return;
       seen = round_seq_;
     }
     run_shard(me);
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       --workers_running_;
     }
     done_cv_.notify_one();
@@ -380,18 +380,21 @@ void ShardedDataPlane::complete(std::size_t me, std::uint32_t pi) {
   if (open_loop_ && latencies_s_ != nullptr) {
     latencies_s_[pi] = (now_s() - t0_s_) - arrival_s_[pi];
   }
+  // relaxed: a monotonic completion tally; all_done only needs each
+  // counter's own modification order (and result-lane writes are
+  // ordered by the handoff rings, not by this counter).
   shards_[me]->completed.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ShardedDataPlane::handoff(std::size_t me, std::uint32_t dest,
                                Handoff h) {
   if (!ring(me, dest).push(h)) {
-    // Never block, never drop: spill into the pre-reserved overflow
-    // vector and retry at the top of the poll loop. Cross-packet
+    // Never block, never drop: park in the fixed-capacity overflow
+    // buffer and retry at the top of the poll loop. Cross-packet
     // reordering against ring occupants is harmless — lanes are
     // independent.
     Shard& sh = *shards_[me];
-    sh.overflow[dest].push_back(h);
+    sh.overflow[dest].push(h);
     ++sh.spills;
   }
 }
@@ -400,17 +403,12 @@ bool ShardedDataPlane::flush_overflow(std::size_t me) {
   Shard& sh = *shards_[me];
   bool any = false;
   for (std::size_t dest = 0; dest < sh.overflow.size(); ++dest) {
-    std::vector<Handoff>& v = sh.overflow[dest];
-    std::size_t& head = sh.overflow_head[dest];
-    if (head == v.size()) continue;
+    OverflowBuffer<Handoff>& v = sh.overflow[dest];
+    if (v.empty()) continue;
     const std::size_t pushed =
-        ring(me, dest).push_batch(v.data() + head, v.size() - head);
-    head += pushed;
+        ring(me, dest).push_batch(v.data(), v.pending());
+    v.consume(pushed);
     any |= pushed != 0;
-    if (head == v.size()) {
-      v.clear();
-      head = 0;
-    }
   }
   return any;
 }
@@ -418,6 +416,7 @@ bool ShardedDataPlane::flush_overflow(std::size_t me) {
 bool ShardedDataPlane::all_done() const {
   std::size_t done = 0;
   for (const std::unique_ptr<Shard>& sh : shards_) {
+    // relaxed: see complete().
     done += sh->completed.load(std::memory_order_relaxed);
   }
   return done >= round_target_;
@@ -430,6 +429,7 @@ RoundStats ShardedDataPlane::last_round_stats() const {
     out.local_hops += sh->local_hops;
     out.cross_handoffs += sh->handoffs_out;
     out.overflow_spills += sh->spills;
+    // relaxed: read after the round joined; the join ordered the writes.
     out.completed_per_shard.push_back(
         sh->completed.load(std::memory_order_relaxed));
   }
@@ -437,3 +437,10 @@ RoundStats ShardedDataPlane::last_round_stats() const {
 }
 
 }  // namespace gred::shard
+
+// Explicit instantiation: the runtime drains rings with pop_batch, so
+// the single-item pop() would otherwise never be instantiated in any
+// src/ TU and the hot-path closure over its GRED_HOT_PATH marker
+// (tools/hotpath_check.py) would be vacuous. Instantiating the whole
+// class keeps every ring member in the analyzed call graph.
+template class gred::SpscRing<gred::shard::Handoff>;

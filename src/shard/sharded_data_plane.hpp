@@ -25,14 +25,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
+#include "common/overflow_buffer.hpp"
 #include "common/spsc_ring.hpp"
+#include "common/thread_annotations.hpp"
 #include "sden/event_queue.hpp"
 #include "sden/network.hpp"
 
@@ -128,8 +129,10 @@ class ShardedDataPlane {
     // Round-local state, touched only by the owning shard's thread.
     std::vector<std::uint32_t> initial;  ///< packet indices ingressing here
     sden::EventQueue events;             ///< open-loop arrival schedule
-    std::vector<std::vector<Handoff>> overflow;  ///< [dest] ring spill
-    std::vector<std::size_t> overflow_head;
+    /// [dest] ring spill. Fixed-capacity with bounded compaction: a
+    /// plain vector spill here once reallocated mid-round under
+    /// sustained partial drains (see common/overflow_buffer.hpp).
+    std::vector<OverflowBuffer<Handoff>> overflow;
     std::vector<Handoff> drain;  ///< batched ring-pop buffer
     std::size_t local_hops = 0;
     std::size_t handoffs_out = 0;
@@ -148,14 +151,15 @@ class ShardedDataPlane {
   void setup_round(const sden::Packet* pkts, const sden::SwitchId* ingresses,
                    std::size_t count, sden::RouteResult* results,
                    bool open_loop);
-  void run_round();
-  void worker_main(std::size_t me);
+  void run_round() GRED_EXCLUDES(mu_);
+  void worker_main(std::size_t me) GRED_EXCLUDES(mu_);
   void run_shard(std::size_t me);
-  void start_packet(std::size_t me, std::uint32_t pi);
-  void walk(std::size_t me, std::uint32_t pi, std::uint32_t cur);
-  void complete(std::size_t me, std::uint32_t pi);
-  void handoff(std::size_t me, std::uint32_t dest, Handoff h);
-  bool flush_overflow(std::size_t me);
+  GRED_HOT_PATH void start_packet(std::size_t me, std::uint32_t pi);
+  GRED_HOT_PATH void walk(std::size_t me, std::uint32_t pi,
+                          std::uint32_t cur);
+  GRED_HOT_PATH void complete(std::size_t me, std::uint32_t pi);
+  GRED_HOT_PATH void handoff(std::size_t me, std::uint32_t dest, Handoff h);
+  GRED_HOT_PATH bool flush_overflow(std::size_t me);
   bool all_done() const;
 
   sden::SdenNetwork& net_;
@@ -182,12 +186,12 @@ class ShardedDataPlane {
   double t0_s_ = 0;  ///< wall-clock epoch of the open-loop schedule
 
   // Round protocol for the persistent workers (none when shards == 1).
-  std::mutex mu_;
-  std::condition_variable round_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t round_seq_ = 0;
-  std::size_t workers_running_ = 0;
-  bool exiting_ = false;
+  gred::Mutex mu_;
+  gred::CondVar round_cv_;
+  gred::CondVar done_cv_;
+  std::uint64_t round_seq_ GRED_GUARDED_BY(mu_) = 0;
+  std::size_t workers_running_ GRED_GUARDED_BY(mu_) = 0;
+  bool exiting_ GRED_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

@@ -3,17 +3,44 @@
 
 Project-specific rules that clang-tidy does not cover:
 
-  rand          naked rand()/srand() — all randomness must flow through
-                gred::Rng so experiments stay reproducible.
-  cout          std::cout/std::cerr/printf in library code (src/): the
-                library reports through gred::log or typed errors;
-                stdout belongs to the example/bench binaries.
-                (src/common/log.cpp and src/check — the reporting
-                layers themselves — are exempt.)
-  pragma-once   every header must open with #pragma once.
-  catch-value   `catch (SomeType e)` slices; catch by (const) reference.
+  rand           naked rand()/srand() — all randomness must flow through
+                 gred::Rng so experiments stay reproducible.
+  cout           std::cout/std::cerr/printf in library code (src/): the
+                 library reports through gred::log or typed errors;
+                 stdout belongs to the example/bench binaries.
+                 (src/common/log.cpp and src/check — the reporting
+                 layers themselves — are exempt.)
+  pragma-once    every header must open with #pragma once.
+  catch-value    `catch (SomeType e)` slices; catch by (const) reference.
 
-Usage: lint.py <repo-root> [--list-rules]
+Concurrency rules (DESIGN.md §13):
+
+  memory-order   an explicit std::memory_order_* argument in src/ needs
+                 a justification comment — `relaxed:`, `acquire:`,
+                 `release:`, `acq_rel:`, `seq_cst:`, or `consume:` —
+                 on the same line or within the 8 lines above. Default
+                 (seq_cst) operations need no comment: the rule exists
+                 because WEAKENING an order is the decision that needs
+                 a recorded argument.
+  sleep          std::this_thread::sleep_for/sleep_until, sleep(),
+                 usleep(), nanosleep() in src/ — library code never
+                 sleeps; polling loops yield, blocking waits use
+                 gred::CondVar.
+  volatile-sync  `volatile` in src/ — it is not a synchronization
+                 primitive in C++; use std::atomic.
+  mutable-global namespace-scope mutable state (the repo's g_* naming)
+                 in src/ must be std::atomic, GRED_GUARDED_BY a
+                 capability, thread_local, or const/constexpr.
+  cold-doc       every GRED_COLD_PATH use needs a `cold:` justification
+                 comment (same line or the 3 lines above) naming why
+                 the boundary is off the hot path.
+  tsa-doc        every GRED_NO_THREAD_SAFETY_ANALYSIS use needs a
+                 `tsa:` comment explaining what the analysis cannot
+                 see.
+
+Usage: lint.py <repo-root> [--list-rules] [--self-test]
+  --self-test lints tools/tests/fixtures/lint/ and verifies each
+  fixture produces exactly the findings its EXPECT comments declare.
 Exit status 0 when clean, 1 with findings (one `path:line: [rule]` per
 line), 2 on usage errors.
 """
@@ -28,16 +55,59 @@ RE_CATCH_VALUE = re.compile(r"catch\s*\(\s*(?:const\s+)?(?!\.\.\.)[\w:<>]+\s+\w+
 RE_LINE_COMMENT = re.compile(r"//.*$")
 RE_STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
 
+RE_MEMORY_ORDER = re.compile(r"\bmemory_order(_|::)\w+")
+RE_ORDER_JUSTIFICATION = re.compile(
+    r"\b(relaxed|acquire|release|acq_rel|seq_cst|consume)\s*:", re.IGNORECASE)
+RE_SLEEP = re.compile(
+    r"std::this_thread::sleep_(for|until)|(?<![\w:.])(sleep|usleep|nanosleep)\s*\(")
+RE_VOLATILE = re.compile(r"(?<!\w)volatile(?!\w)")
+# Namespace-scope mutable state uses the g_ prefix by repo convention;
+# thread-locals use t_.
+RE_GLOBAL_DEF = re.compile(r"^[\w:<>,*&\s]*?[\s*&]g_\w+\s*(=|\{|;)")
+RE_GLOBAL_SAFE = re.compile(
+    r"std::atomic|GRED_GUARDED_BY|thread_local|\bconstexpr\b|\bconst\b")
+RE_COLD = re.compile(r"\bGRED_COLD_PATH\b")
+RE_COLD_JUSTIFICATION = re.compile(r"\bcold\s*:", re.IGNORECASE)
+RE_TSA = re.compile(r"\bGRED_NO_THREAD_SAFETY_ANALYSIS\b")
+RE_TSA_JUSTIFICATION = re.compile(r"\btsa\s*:", re.IGNORECASE)
+
+# How far above a memory_order use its justification comment may sit.
+# Wide enough for one comment to cover a slot-merge loop; narrow enough
+# that the comment is still next to the code it argues about.
+ORDER_WINDOW = 8
+COLD_WINDOW = 3
+
 # Library code that is allowed to write to stdio: the logging layer and
 # the invariant reporters (their whole job is to print), and the
 # benchmark harness's table printer.
 COUT_EXEMPT = ("src/common/log", "src/check/", "src/common/table")
+# The macro definitions themselves.
+ANNOTATION_HEADER = "src/common/thread_annotations.hpp"
+
+RULES = ("rand cout pragma-once catch-value memory-order sleep "
+         "volatile-sync mutable-global cold-doc tsa-doc")
 
 
 def strip_noise(line: str) -> str:
     """Removes string literals and // comments so rules match code only."""
     line = RE_STRING.sub('""', line)
     return RE_LINE_COMMENT.sub("", line)
+
+
+def comment_of(raw_line: str) -> str:
+    """The // comment text of a raw line ('' when none)."""
+    m = RE_LINE_COMMENT.search(RE_STRING.sub('""', raw_line))
+    return m.group(0) if m else ""
+
+
+def has_justification(lines, idx, window, pattern) -> bool:
+    """True when `pattern` appears in a comment on lines[idx] or within
+    `window` lines above it."""
+    lo = max(0, idx - window)
+    for raw in lines[lo:idx + 1]:
+        if pattern.search(comment_of(raw)):
+            return True
+    return False
 
 
 def lint_file(path: Path, rel: str, findings: list) -> None:
@@ -55,6 +125,7 @@ def lint_file(path: Path, rel: str, findings: list) -> None:
         findings.append((rel, 1, "pragma-once", "header lacks #pragma once"))
 
     lib_code = rel.startswith("src/") and not rel.startswith(COUT_EXEMPT)
+    src_code = rel.startswith("src/")
 
     for ln, raw in enumerate(lines, start=1):
         line = raw
@@ -92,18 +163,89 @@ def lint_file(path: Path, rel: str, findings: list) -> None:
                              "catch by value slices; catch by "
                              "(const) reference"))
 
+        if not src_code:
+            continue
+
+        if RE_MEMORY_ORDER.search(code) and not has_justification(
+                lines, ln - 1, ORDER_WINDOW, RE_ORDER_JUSTIFICATION):
+            findings.append((rel, ln, "memory-order",
+                             "explicit memory order without a "
+                             "`relaxed:`/`acquire:`/... justification "
+                             "comment nearby (DESIGN.md §13)"))
+        if RE_SLEEP.search(code):
+            findings.append((rel, ln, "sleep",
+                             "library code never sleeps; yield in poll "
+                             "loops, gred::CondVar for blocking waits"))
+        if RE_VOLATILE.search(code):
+            findings.append((rel, ln, "volatile-sync",
+                             "volatile is not a synchronization "
+                             "primitive; use std::atomic"))
+        if RE_GLOBAL_DEF.search(code) and not RE_GLOBAL_SAFE.search(code):
+            findings.append((rel, ln, "mutable-global",
+                             "mutable global without a concurrency "
+                             "story: make it std::atomic, guard it "
+                             "with a capability, or const it"))
+        if rel != ANNOTATION_HEADER:
+            if RE_COLD.search(code) and not has_justification(
+                    lines, ln - 1, COLD_WINDOW, RE_COLD_JUSTIFICATION):
+                findings.append((rel, ln, "cold-doc",
+                                 "GRED_COLD_PATH without a `cold:` "
+                                 "justification comment"))
+            if RE_TSA.search(code) and not has_justification(
+                    lines, ln - 1, COLD_WINDOW, RE_TSA_JUSTIFICATION):
+                findings.append((rel, ln, "tsa-doc",
+                                 "GRED_NO_THREAD_SAFETY_ANALYSIS without "
+                                 "a `tsa:` justification comment"))
+
+
+RE_EXPECT = re.compile(r"EXPECT-LINT:\s*([\w-]+)")
+
+
+def self_test(root: Path) -> int:
+    """Lints each fixture under tools/tests/fixtures/lint/, comparing
+    the produced rule set per file against its EXPECT-LINT comments."""
+    fixture_dir = root / "tools" / "tests" / "fixtures" / "lint"
+    fixtures = sorted(fixture_dir.glob("*.cpp")) + sorted(
+        fixture_dir.glob("*.hpp"))
+    if not fixtures:
+        print(f"lint.py --self-test: no fixtures in {fixture_dir}",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    for path in fixtures:
+        text = path.read_text(encoding="utf-8")
+        expected = sorted(RE_EXPECT.findall(text))
+        findings = []
+        # Fixtures are linted as if they lived in src/ so the
+        # src-only rules apply.
+        lint_file(path, "src/" + path.name, findings)
+        got = sorted(rule for _, _, rule, _ in findings)
+        if got == expected:
+            print(f"  PASS {path.name}: {expected or ['clean']}")
+        else:
+            failures += 1
+            print(f"  FAIL {path.name}: expected {expected}, got {got}")
+            for relf, ln, rule, msg in findings:
+                print(f"    {relf}:{ln}: [{rule}] {msg}")
+    print(f"lint self-test: {len(fixtures)} fixtures, {failures} failure(s)")
+    return 1 if failures else 0
+
 
 def main(argv):
     if "--list-rules" in argv:
-        print("rand cout pragma-once catch-value")
+        print(RULES)
         return 0
-    if len(argv) != 2:
+    args = [a for a in argv[1:] if a != "--self-test"]
+    if len(args) != 1:
         print(__doc__, file=sys.stderr)
         return 2
-    root = Path(argv[1])
+    root = Path(args[0])
     if not root.is_dir():
         print(f"lint.py: not a directory: {root}", file=sys.stderr)
         return 2
+    if "--self-test" in argv:
+        return self_test(root)
 
     findings = []
     scanned = 0

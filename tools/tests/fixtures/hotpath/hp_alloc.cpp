@@ -1,0 +1,16 @@
+// Fixture: a hot function whose vector growth survives to codegen
+// must be caught reaching operator new.
+// HOTPATH-EXPECT: error:allocates
+
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace fx {
+
+GRED_HOT_PATH int hot_push(std::vector<int>& v, int n) {
+  v.push_back(n);
+  return v.back();
+}
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+// Fixture: a hot function that sleeps must be caught.
+// HOTPATH-EXPECT: error:blocks
+
+#include <unistd.h>
+
+#include "common/thread_annotations.hpp"
+
+namespace fx {
+
+GRED_HOT_PATH int hot_backoff(int spins) {
+  if (spins > 100) usleep(1);
+  return spins + 1;
+}
+
+}  // namespace fx

@@ -1,0 +1,22 @@
+// Fixture: arithmetic, struct copies (memcpy), and math calls are all
+// allowed in a hot function.
+
+#include <cmath>
+#include <cstring>
+
+#include "common/thread_annotations.hpp"
+
+namespace fx {
+
+struct Sample {
+  double values[16];
+};
+
+GRED_HOT_PATH double hot_mix(Sample& dst, const Sample& src, double x) {
+  std::memcpy(&dst, &src, sizeof(Sample));
+  int exponent = 0;
+  (void)std::frexp(x, &exponent);
+  return dst.values[0] + static_cast<double>(exponent);
+}
+
+}  // namespace fx

@@ -1,0 +1,20 @@
+// Fixture: an allocation behind a GRED_COLD_PATH boundary is fine —
+// the traversal prunes at the (noinline) cold node. This is the
+// route-errors pattern: failure paths may build messages.
+
+#include "common/thread_annotations.hpp"
+
+namespace fx {
+
+extern int* spill_sink;
+
+// cold: failure-path reporting; allocation is deliberate and off the
+// steady state.
+GRED_COLD_PATH void spill_report(int n) { spill_sink = new int(n); }
+
+GRED_HOT_PATH int hot_guarded(int n) {
+  if (n < 0) spill_report(n);
+  return n * 2 + 1;
+}
+
+}  // namespace fx

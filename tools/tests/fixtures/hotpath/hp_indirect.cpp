@@ -1,0 +1,13 @@
+// Fixture: an indirect call in a hot function is unprovable and must
+// be an error (waivable, with justification, in the repo gate).
+// HOTPATH-EXPECT: error:indirect
+
+#include "common/thread_annotations.hpp"
+
+namespace fx {
+
+extern int (*volatile_hook)(int);
+
+GRED_HOT_PATH int hot_dispatch(int x) { return volatile_hook(x); }
+
+}  // namespace fx

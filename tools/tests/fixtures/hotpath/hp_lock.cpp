@@ -1,0 +1,17 @@
+// Fixture: a hot function taking a mutex must be caught reaching
+// pthread_mutex_lock (through however many libstdc++ wrappers inlining
+// leaves behind).
+// HOTPATH-EXPECT: error:locks
+
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace fx {
+
+GRED_HOT_PATH int hot_locked_read(std::mutex& mu, const int& value) {
+  std::lock_guard<std::mutex> lk(mu);
+  return value;
+}
+
+}  // namespace fx

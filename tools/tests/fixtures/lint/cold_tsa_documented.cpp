@@ -1,0 +1,13 @@
+// Fixture: documented GRED_COLD_PATH / GRED_NO_THREAD_SAFETY_ANALYSIS
+// uses are clean. (Lint fixtures are text-scanned, never compiled.)
+
+namespace fixture {
+
+// cold: failure-path reporting; never reached in the steady state.
+GRED_COLD_PATH void documented_cold_boundary() {}
+
+// tsa: callback invoked with the registry lock already held by the
+// dispatcher; the analysis cannot see through the function pointer.
+void documented_escape() GRED_NO_THREAD_SAFETY_ANALYSIS {}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: GRED_COLD_PATH and GRED_NO_THREAD_SAFETY_ANALYSIS uses
+// without their `cold:` / `tsa:` justification comments must both be
+// flagged. (Lint fixtures are text-scanned, never compiled, so the
+// macros need no definitions here.)
+// EXPECT-LINT: cold-doc
+// EXPECT-LINT: tsa-doc
+
+namespace fixture {
+
+GRED_COLD_PATH void undocumented_cold_boundary() {}
+
+void undocumented_escape() GRED_NO_THREAD_SAFETY_ANALYSIS {}
+
+}  // namespace fixture

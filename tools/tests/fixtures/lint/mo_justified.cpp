@@ -1,0 +1,22 @@
+// Fixture: justified memory orders are clean — same-line comments,
+// comments directly above, and one comment covering a merge loop
+// within the lookback window.
+
+#include <atomic>
+#include <cstddef>
+
+namespace fixture {
+
+std::atomic<int> cells[4];
+
+int justified_uses() {
+  // relaxed: independent tallies, read after the writers quiesced.
+  int sum = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    sum += cells[i].load(std::memory_order_relaxed);
+  }
+  cells[0].store(0, std::memory_order_relaxed);  // relaxed: reset by contract
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: a weakened memory order with no justification comment must
+// be flagged.
+// EXPECT-LINT: memory-order
+
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> counter{0};
+
+int naked_relaxed_load() {
+  return counter.load(std::memory_order_relaxed);
+}
+
+}  // namespace fixture

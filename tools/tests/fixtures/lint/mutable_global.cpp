@@ -1,0 +1,11 @@
+// Fixture: a namespace-scope mutable (g_-named) variable that is not
+// atomic, guarded, thread_local, or const must be flagged.
+// EXPECT-LINT: mutable-global
+
+namespace fixture {
+
+int g_request_count = 0;
+
+void bump() { ++g_request_count; }
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: library code sleeping instead of blocking on a condition
+// variable must be flagged.
+// EXPECT-LINT: sleep
+
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+void busy_wait_badly(const bool& done) {
+  while (!done) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace fixture

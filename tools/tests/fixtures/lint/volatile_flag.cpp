@@ -1,0 +1,15 @@
+// Fixture: volatile used as a cross-thread flag must be flagged.
+// EXPECT-LINT: volatile-sync
+
+namespace fixture {
+
+volatile bool stop_requested = false;
+
+void spin() {
+  while (!stop_requested) {
+  }
+}
+
+void request_stop() { stop_requested = true; }
+
+}  // namespace fixture

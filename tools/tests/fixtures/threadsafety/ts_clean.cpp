@@ -1,0 +1,23 @@
+// Fixture: the blessed patterns are clean — guarded members, a
+// deliberate lock-free read waived with a `tsa:` comment, and
+// expression-shaped annotation arguments (Clang's job, not ours).
+
+namespace fixture {
+
+class Guarded {
+ public:
+  void bump() GRED_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  int value_ GRED_GUARDED_BY(mu_) = 0;
+};
+
+struct Published {
+  // tsa: double-checked publication — readers load `plan` lock-free
+  // after an acquire of the dirty flag; only rebuilds lock.
+  Mutex rebuild_mutex;
+  int plan = 0;
+};
+
+}  // namespace fixture

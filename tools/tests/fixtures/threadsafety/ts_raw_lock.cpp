@@ -1,0 +1,22 @@
+// Fixture: raw std:: lock primitives in library code must be flagged
+// (one finding per offending line).
+// EXPECT-TS: raw-lock
+// EXPECT-TS: raw-lock
+
+#include <mutex>
+
+namespace fixture {
+
+class Queue {
+ public:
+  void push() {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++depth_;
+  }
+
+ private:
+  std::mutex mu_;
+  int depth_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: a Mutex that guards nothing the analysis can see — no
+// GRED_GUARDED_BY anywhere in the file and no `tsa:` waiver comment —
+// must be flagged.
+// EXPECT-TS: unguarded-mutex
+
+namespace fixture {
+
+class Registry {
+ public:
+  void refresh();
+
+ private:
+  Mutex mu_;
+
+  int entries_ = 0;
+  double last_refresh_s_ = 0.0;
+  bool dirty_ = true;
+  int epoch_ = 0;
+  long generation_ = 0;
+  unsigned pending_ = 0;
+  int spare_ = 0;
+};
+
+}  // namespace fixture

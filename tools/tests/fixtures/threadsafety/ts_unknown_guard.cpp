@@ -1,0 +1,16 @@
+// Fixture: an annotation naming a mutex that is not declared in the
+// file (here a typo: mu_ vs m_) must be flagged.
+// EXPECT-TS: unknown-guard
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() GRED_EXCLUDES(m_);
+
+ private:
+  Mutex mu_;
+  int value_ GRED_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,271 @@
+#!/usr/bin/env python3
+"""Thread-safety discipline gate (registered as ctest `lint.threadsafety`).
+
+Clang's -Wthread-safety does the real interprocedural-free capability
+analysis, but it only runs on Clang and only sees what is annotated.
+This checker enforces — on any toolchain — the textual discipline that
+makes the Clang analysis sound when it does run:
+
+  raw-lock         library code (src/) takes locks ONLY through the
+                   annotated gred::Mutex / gred::MutexLock /
+                   gred::CondVar wrappers (common/mutex.hpp). A raw
+                   std::mutex / std::lock_guard / std::unique_lock /
+                   std::condition_variable anywhere else is invisible
+                   to the capability analysis, so it is an error.
+  unknown-guard    a GRED_GUARDED_BY/GRED_REQUIRES/GRED_EXCLUDES/
+                   GRED_ACQUIRE/GRED_RELEASE annotation naming a plain
+                   identifier that is not declared as a Mutex in the
+                   same file — usually a typo that silently annotates
+                   nothing.
+  unguarded-mutex  a declared Mutex whose name appears in no
+                   annotation argument anywhere in the file: the lock
+                   protects nothing the analysis can check. Waive
+                   deliberate patterns (e.g. double-checked
+                   publication) with a `tsa:` comment within 8 lines
+                   of the declaration.
+
+Optionally (`--clang-compile <compile_commands.json>`) the checker also
+runs the real Clang analysis: every src/ TU is re-frontended with
+`clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety`. When no
+clang++ is on PATH this phase is skipped with a notice (the CI
+static-analysis job provides one; the GCC-only dev container cannot).
+
+Usage:
+  threadsafety_check.py <repo-root> [--clang-compile <compile_commands>]
+  threadsafety_check.py <repo-root> --self-test
+Exit 0 clean, 1 findings, 2 usage/setup errors.
+"""
+
+import json
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+RE_LINE_COMMENT = re.compile(r"//.*$")
+RE_STRING = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+RE_RAW_LOCK = re.compile(
+    r"std::(mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|condition_variable(_any)?|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+# `mutable gred::Mutex mu_;`, `Mutex m;`, ...
+RE_MUTEX_DECL = re.compile(r"(?:^|[\s(])(?:gred::)?Mutex\s+(\w+)\s*[;{]")
+RE_ANNOTATION = re.compile(
+    r"GRED_(?:PT_)?(?:GUARDED_BY|REQUIRES|EXCLUDES|ACQUIRE|RELEASE|"
+    r"TRY_ACQUIRE|ASSERT_CAPABILITY)\s*\(([^)]*)\)")
+RE_IDENT = re.compile(r"^\w+$")
+RE_TSA_WAIVER = re.compile(r"\btsa\s*:", re.IGNORECASE)
+
+# The annotated wrapper itself and the macro definitions: the one place
+# raw primitives and parameter-annotations legitimately live.
+EXEMPT = ("src/common/mutex.hpp", "src/common/thread_annotations.hpp")
+
+TSA_WINDOW = 8
+
+
+def strip_code(text: str) -> list:
+    """Comment/string-stripped lines (block and line comments removed)."""
+    out = []
+    in_block = False
+    for raw in text.splitlines():
+        line = RE_STRING.sub('""', raw)
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                out.append("")
+                continue
+            line = line[end + 2:]
+            in_block = False
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + line[end + 2:]
+        out.append(RE_LINE_COMMENT.sub("", line))
+    return out
+
+
+def check_file(path: Path, rel: str, findings: list) -> None:
+    raw_lines = path.read_text(encoding="utf-8").splitlines()
+    code_lines = strip_code("\n".join(raw_lines))
+
+    declared = {}  # name -> first declaration line
+    annotated_args = []  # (line, arg) — one entry per comma-separated arg
+
+    for ln, code in enumerate(code_lines, start=1):
+        if not code.strip():
+            continue
+        if RE_RAW_LOCK.search(code):
+            findings.append((rel, ln, "raw-lock",
+                             "raw std:: lock primitive in library code; "
+                             "use gred::Mutex/MutexLock/CondVar "
+                             "(common/mutex.hpp) so the capability "
+                             "analysis can see it"))
+        for m in RE_MUTEX_DECL.finditer(code):
+            declared.setdefault(m.group(1), ln)
+        for m in RE_ANNOTATION.finditer(code):
+            for arg in m.group(1).split(","):
+                arg = arg.strip()
+                if arg:
+                    annotated_args.append((ln, arg))
+
+    referenced = set()
+    for ln, arg in annotated_args:
+        referenced.add(arg)
+        # Only bare identifiers are checkable textually; expressions
+        # (other objects' members, negations) are Clang's job.
+        if RE_IDENT.match(arg) and arg not in declared:
+            findings.append((rel, ln, "unknown-guard",
+                             f"annotation names '{arg}' but no Mutex "
+                             f"'{arg}' is declared in this file — "
+                             "typo'd capability annotations check "
+                             "nothing"))
+
+    for name, ln in sorted(declared.items(), key=lambda kv: kv[1]):
+        if name in referenced:
+            continue
+        lo = max(0, ln - 1 - TSA_WINDOW)
+        hi = min(len(raw_lines), ln + TSA_WINDOW)
+        window = "\n".join(raw_lines[lo:hi])
+        if RE_TSA_WAIVER.search(window):
+            continue
+        findings.append((rel, ln, "unguarded-mutex",
+                         f"Mutex '{name}' is named by no annotation in "
+                         "this file; GRED_GUARDED_BY the state it "
+                         "protects or waive with a `tsa:` comment"))
+
+
+def clang_compile_phase(root: Path, compile_commands: Path) -> int:
+    """Runs clang++ -fsyntax-only -Wthread-safety over every src/ TU."""
+    clangxx = shutil.which("clang++")
+    if clangxx is None:
+        print("threadsafety: clang++ not on PATH; skipping the Clang "
+              "-Wthread-safety phase (textual rules still enforced)")
+        return 0
+    try:
+        entries = json.loads(compile_commands.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"threadsafety: cannot read {compile_commands}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    keep = re.compile(r"^(-I|-isystem|-D|-U|-std=)")
+    failures = 0
+    checked = 0
+    for entry in entries:
+        src = Path(entry["file"])
+        try:
+            rel = src.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            continue
+        if not rel.startswith("src/"):
+            continue
+        argv = entry.get("arguments") or entry["command"].split()
+        flags = []
+        i = 1
+        while i < len(argv):
+            a = argv[i]
+            if keep.match(a):
+                flags.append(a)
+                if a in ("-I", "-isystem", "-D", "-U"):
+                    i += 1
+                    flags.append(argv[i])
+            i += 1
+        cmd = [clangxx, "-fsyntax-only", "-Wthread-safety",
+               "-Werror=thread-safety"] + flags + [str(src)]
+        proc = subprocess.run(cmd, cwd=entry.get("directory", str(root)),
+                              capture_output=True, text=True)
+        checked += 1
+        if proc.returncode != 0:
+            failures += 1
+            print(f"threadsafety: clang -Wthread-safety failed on {rel}:")
+            sys.stdout.write(proc.stderr)
+    print(f"threadsafety: clang phase checked {checked} TU(s), "
+          f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+RE_EXPECT = re.compile(r"EXPECT-TS:\s*([\w-]+)")
+
+
+def self_test(root: Path) -> int:
+    fixture_dir = root / "tools" / "tests" / "fixtures" / "threadsafety"
+    fixtures = sorted(fixture_dir.glob("*.cpp")) + sorted(
+        fixture_dir.glob("*.hpp"))
+    if not fixtures:
+        print(f"threadsafety --self-test: no fixtures in {fixture_dir}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    for path in fixtures:
+        expected = sorted(RE_EXPECT.findall(
+            path.read_text(encoding="utf-8")))
+        findings = []
+        check_file(path, "src/" + path.name, findings)
+        got = sorted(rule for _, _, rule, _ in findings)
+        if got == expected:
+            print(f"  PASS {path.name}: {expected or ['clean']}")
+        else:
+            failures += 1
+            print(f"  FAIL {path.name}: expected {expected}, got {got}")
+            for relf, ln, rule, msg in findings:
+                print(f"    {relf}:{ln}: [{rule}] {msg}")
+    print(f"threadsafety self-test: {len(fixtures)} fixtures, "
+          f"{failures} failure(s)")
+    return 1 if failures else 0
+
+
+def main(argv):
+    args = list(argv[1:])
+    compile_commands = None
+    if "--clang-compile" in args:
+        i = args.index("--clang-compile")
+        try:
+            compile_commands = Path(args[i + 1])
+        except IndexError:
+            print(__doc__, file=sys.stderr)
+            return 2
+        del args[i:i + 2]
+    selftest = "--self-test" in args
+    args = [a for a in args if a != "--self-test"]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    root = Path(args[0])
+    if not root.is_dir():
+        print(f"threadsafety: not a directory: {root}", file=sys.stderr)
+        return 2
+    if selftest:
+        return self_test(root)
+
+    findings = []
+    scanned = 0
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix not in (".cpp", ".hpp", ".h", ".cc"):
+            continue
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith(EXEMPT):
+            continue
+        scanned += 1
+        check_file(path, rel, findings)
+
+    for rel, ln, rule, msg in findings:
+        print(f"{rel}:{ln}: [{rule}] {msg}")
+    print(f"threadsafety: {scanned} files scanned, {len(findings)} "
+          f"finding(s)", file=sys.stderr)
+    if findings:
+        return 1
+    if compile_commands is not None:
+        return clang_compile_phase(root, compile_commands)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
