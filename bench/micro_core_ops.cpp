@@ -11,7 +11,9 @@
 #include "common/spsc_ring.hpp"
 #include "crypto/sha256.hpp"
 #include "geometry/delaunay.hpp"
+#include "graph/shortest_path.hpp"
 #include "linalg/mds.hpp"
+#include "sden/route_plan.hpp"
 
 using namespace gred;
 
@@ -251,6 +253,106 @@ void BM_SpscCrossThreadHandoff(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_SpscCrossThreadHandoff)->Arg(1)->Arg(64);
+
+void BM_ApspDeltaEdgeToggle(benchmark::State& state) {
+  // One incremental control-plane APSP update: add a link, delta-patch
+  // the distance matrix, remove it, delta-patch back. Two delta ops per
+  // iteration; the matrix provably returns to its original state.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const topology::EdgeNetwork net =
+      bench::make_waxman_network(n, 1, 3, 950 + n);
+  graph::Graph g = net.switches();
+  graph::ApspResult apsp = graph::all_pairs_shortest_paths(g, true);
+  Rng rng(13);
+  graph::NodeId u = 0;
+  graph::NodeId v = 0;
+  for (int tries = 0; tries < 256; ++tries) {
+    const graph::NodeId x = rng.next_below(n);
+    const graph::NodeId y = rng.next_below(n);
+    if (x != y && g.find_edge(x, y) == nullptr) {
+      u = x;
+      v = y;
+      break;
+    }
+  }
+  if (u == v) {
+    state.SkipWithError("no non-adjacent pair found");
+    return;
+  }
+  for (auto _ : state) {
+    if (!g.add_edge(u, v, 1.0).ok()) {
+      state.SkipWithError("add_edge failed");
+      break;
+    }
+    benchmark::DoNotOptimize(graph::apsp_add_edge(apsp, g, u, v));
+    g.remove_edge(u, v);
+    benchmark::DoNotOptimize(graph::apsp_remove_edge(apsp, g, u, v, 1.0));
+  }
+}
+BENCHMARK(BM_ApspDeltaEdgeToggle)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DtSiteInsertRemove(benchmark::State& state) {
+  // Localized Bowyer-Watson repair: insert a random site into an
+  // n-site DT, then remove it — the switch join/leave unit of work on
+  // the incremental path (no full rebuild).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(43);
+  std::vector<geometry::Point2D> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({rng.next_double(), rng.next_double()});
+  }
+  auto built = geometry::DelaunayTriangulation::build(pts);
+  if (!built.ok()) {
+    state.SkipWithError("DT build failed");
+    return;
+  }
+  geometry::DelaunayTriangulation dt = std::move(built).value();
+  for (auto _ : state) {
+    const geometry::Point2D p{rng.next_double(), rng.next_double()};
+    auto idx = dt.insert(p);
+    if (!idx.ok() || !dt.remove(idx.value()).ok()) {
+      state.SkipWithError("insert/remove failed");
+      break;
+    }
+  }
+}
+BENCHMARK(BM_DtSiteInsertRemove)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PlanPatchSwitch(benchmark::State& state) {
+  // Per-switch route-plan patch: prepare (cold, allocating) + commit
+  // (hot, index writes only) of one switch region against a compiled
+  // 100-switch plan — the plan-maintenance unit of churn.
+  const std::size_t n = 100;
+  const topology::EdgeNetwork net =
+      bench::make_waxman_network(n, 4, 3, 960);
+  auto sys = core::GredSystem::create(net, bench::gred_options(50));
+  if (!sys.ok()) {
+    state.SkipWithError("system creation failed");
+    return;
+  }
+  auto& network = sys.value().network();
+  std::vector<std::uint32_t> owned(n);
+  for (std::size_t i = 0; i < n; ++i) owned[i] = static_cast<std::uint32_t>(i);
+  sden::RoutePlan plan;
+  network.compile_plan_subset(plan, owned.data(), owned.size());
+  sden::PlanPatch patch;
+  Rng rng(9);
+  for (auto _ : state) {
+    const auto t = static_cast<std::uint32_t>(rng.next_below(n));
+    if (!network.prepare_plan_patch(plan, &t, 1, patch)) {
+      network.compile_plan_subset(plan, owned.data(), owned.size());
+      continue;
+    }
+    network.commit_plan_patch(plan, patch);
+  }
+}
+BENCHMARK(BM_PlanPatchSwitch);
 
 void BM_ChordLookup(benchmark::State& state) {
   const topology::EdgeNetwork net =

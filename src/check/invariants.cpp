@@ -353,12 +353,16 @@ CheckReport validate_graph(const graph::Graph& g,
   report.subject = "validate_graph+apsp";
   const std::size_t n = g.node_count();
   ++report.checked;
-  if (apsp.dist.rows() != n || apsp.dist.cols() != n ||
-      apsp.next.size() != n) {
+  if (apsp.dist.size() != n) {
     report.fail("APSP dimensions do not match the graph (" +
-                std::to_string(apsp.dist.rows()) + "x" +
-                std::to_string(apsp.dist.cols()) + " over " +
+                std::to_string(apsp.dist.size()) + "x" +
+                std::to_string(apsp.dist.size()) + " over " +
                 std::to_string(n) + " nodes)");
+    return report;
+  }
+  ++report.checked;
+  if (apsp.weighted != weighted) {
+    report.fail("APSP weighted flag does not match the validated mode");
     return report;
   }
 
@@ -393,25 +397,26 @@ CheckReport validate_graph(const graph::Graph& g,
                     ") disagrees with component structure");
         continue;
       }
-      if ((apsp.hop_count(i, j) == graph::kNoPath) != !reachable) {
+      if (!weighted &&
+          (apsp.hop_count(i, j) == graph::kNoPath) != !reachable) {
         report.fail("hop_count(" + std::to_string(i) + ", " +
                     std::to_string(j) +
                     ") kNoPath disagrees with component structure");
       }
-      const graph::NodeId nxt = apsp.next[i][j];
+      const graph::NodeId nxt = apsp.first_hop(i, j, g);
       if (!reachable) {
         if (nxt != graph::kNoNode) {
-          report.fail("next(" + std::to_string(i) + ", " + std::to_string(j) +
-                      ") set on an unreachable pair");
+          report.fail("first_hop(" + std::to_string(i) + ", " +
+                      std::to_string(j) + ") set on an unreachable pair");
         }
         continue;
       }
       if (nxt == graph::kNoNode || nxt >= n) {
-        report.fail("next(" + std::to_string(i) + ", " + std::to_string(j) +
-                    ") missing on a reachable pair");
+        report.fail("first_hop(" + std::to_string(i) + ", " +
+                    std::to_string(j) + ") missing on a reachable pair");
         continue;
       }
-      // The stored first hop must be a real neighbor lying on a
+      // The derived first hop must be a real neighbor lying on a
       // shortest path: dist(i, j) = w(i, nxt) + dist(nxt, j).
       double step = graph::kUnreachable;
       for (const graph::EdgeTo& e : g.neighbors(i)) {
@@ -421,14 +426,14 @@ CheckReport validate_graph(const graph::Graph& g,
         }
       }
       if (step == graph::kUnreachable) {
-        report.fail("next(" + std::to_string(i) + ", " + std::to_string(j) +
-                    ") = " + std::to_string(nxt) + " is not a neighbor of " +
-                    std::to_string(i));
+        report.fail("first_hop(" + std::to_string(i) + ", " +
+                    std::to_string(j) + ") = " + std::to_string(nxt) +
+                    " is not a neighbor of " + std::to_string(i));
         continue;
       }
       if (std::abs(step + apsp.dist(nxt, j) - d) > kEps) {
-        report.fail("next(" + std::to_string(i) + ", " + std::to_string(j) +
-                    ") does not lie on a shortest path");
+        report.fail("first_hop(" + std::to_string(i) + ", " +
+                    std::to_string(j) + ") does not lie on a shortest path");
       }
     }
   }

@@ -69,6 +69,17 @@ class EventRecorder {
   std::chrono::steady_clock::time_point start_{};
 };
 
+/// Data-plane tail of an incremental dynamics event: patch the
+/// network's cached route plan for the affected switches — but only
+/// when the plan was fresh going into the event. A stale plan stays on
+/// the lazy full-rebuild path (there is nothing coherent to patch).
+void patch_plan_if_fresh(sden::SdenNetwork& net, bool was_fresh,
+                         const std::vector<SwitchId>& affected) {
+  if (!was_fresh) return;
+  std::vector<std::uint32_t> touched(affected.begin(), affected.end());
+  net.patch_plan(touched.data(), touched.size());
+}
+
 /// Switches that join the DT: those with at least one attached server.
 std::vector<SwitchId> find_participants(const topology::EdgeNetwork& desc) {
   std::vector<SwitchId> out;
@@ -387,6 +398,9 @@ Result<ServerId> Controller::resolve_store_target(
 
 Status Controller::extend_range_impl(sden::SdenNetwork& net,
                                      ServerId overloaded) {
+  const bool plan_fresh = !net.route_plan_stale();
+  last_affected_.clear();
+  last_event_incremental_ = false;
   if (overloaded >= net.server_count()) {
     return Status(ErrorCode::kOutOfRange, "extend_range: unknown server");
   }
@@ -424,11 +438,19 @@ Status Controller::extend_range_impl(sden::SdenNetwork& net,
   rewrite.replacement = best;
   rewrite.via_switch = best_via;
   net.switch_at(sw).table().add_rewrite(rewrite);
+  // A rewrite touches exactly one switch's region (its deliver-fallback
+  // flag), so the event is patchable without any recompute.
+  last_affected_.assign(1, sw);
+  last_event_incremental_ = incremental_;
+  if (incremental_) patch_plan_if_fresh(net, plan_fresh, last_affected_);
   return Status::Ok();
 }
 
 Status Controller::retract_range_impl(sden::SdenNetwork& net,
                                       ServerId overloaded) {
+  const bool plan_fresh = !net.route_plan_stale();
+  last_affected_.clear();
+  last_event_incremental_ = false;
   if (overloaded >= net.server_count()) {
     return Status(ErrorCode::kOutOfRange, "retract_range: unknown server");
   }
@@ -464,6 +486,9 @@ Status Controller::retract_range_impl(sden::SdenNetwork& net,
   }
 
   net.switch_at(sw).table().remove_rewrite(overloaded);
+  last_affected_.assign(1, sw);
+  last_event_incremental_ = incremental_;
+  if (incremental_) patch_plan_if_fresh(net, plan_fresh, last_affected_);
   return Status::Ok();
 }
 
@@ -698,13 +723,26 @@ Status Controller::add_link_impl(sden::SdenNetwork& net, SwitchId u,
     return Status(ErrorCode::kFailedPrecondition,
                   "Controller not initialized");
   }
+  // Captured before any mutating accessor flips the dirty flag.
+  const bool plan_fresh = !net.route_plan_stale();
   const Status added =
       net.description().switches().has_edge(u, v)
           ? Status(ErrorCode::kFailedPrecondition, "link already exists")
           : net.mutable_description().mutable_switches().add_edge(u, v,
                                                                   weight);
   if (!added.ok()) return added;
-  return rebuild_and_install(net);
+  if (!incremental_) return rebuild_and_install(net);
+
+  GraphDelta delta;
+  delta.kind = GraphDelta::Kind::kLinkAdd;
+  delta.u = u;
+  delta.v = v;
+  const Status rebuilt = rebuild_and_install_incremental(net, delta);
+  if (!rebuilt.ok()) return rebuilt;
+  if (last_event_incremental_) {
+    patch_plan_if_fresh(net, plan_fresh, last_affected_);
+  }
+  return Status::Ok();
 }
 
 Status Controller::remove_link_impl(sden::SdenNetwork& net, SwitchId u,
@@ -716,6 +754,7 @@ Status Controller::remove_link_impl(sden::SdenNetwork& net, SwitchId u,
   if (!net.description().switches().has_edge(u, v)) {
     return Status(ErrorCode::kNotFound, "remove_link: no such link");
   }
+  const bool plan_fresh = !net.route_plan_stale();
   // Pre-check: participants must stay mutually reachable without it.
   {
     graph::Graph probe = net.description().switches();
@@ -741,7 +780,17 @@ Status Controller::remove_link_impl(sden::SdenNetwork& net, SwitchId u,
   }
 
   net.mutable_description().mutable_switches().remove_edge(u, v);
-  const Status rebuilt = rebuild_and_install(net);
+  Status rebuilt = Status::Ok();
+  if (incremental_) {
+    GraphDelta delta;
+    delta.kind = GraphDelta::Kind::kLinkRemove;
+    delta.u = u;
+    delta.v = v;
+    delta.weight = weight;
+    rebuilt = rebuild_and_install_incremental(net, delta);
+  } else {
+    rebuilt = rebuild_and_install(net);
+  }
   if (!rebuilt.ok()) return rebuilt;
   // Losing the link may have invalidated a range extension whose
   // handoff ran over it (install drops such rewrites). Items already
@@ -763,16 +812,286 @@ Status Controller::remove_link_impl(sden::SdenNetwork& net, SwitchId u,
     return migrated.error();
   }
   last_migration_ = migrated.value();
-  return repair_replication_after_dynamics(net);
+  const Status repaired = repair_replication_after_dynamics(net);
+  if (!repaired.ok()) return repaired;
+  if (last_event_incremental_) {
+    patch_plan_if_fresh(net, plan_fresh, last_affected_);
+  }
+  return Status::Ok();
 }
 
 Status Controller::rebuild_and_install(sden::SdenNetwork& net) {
+  // Full rebuild: every switch's state is replaced, so there is no
+  // meaningful "affected subset" to report.
+  last_affected_.clear();
+  last_event_incremental_ = false;
   recompute_apsp(net);
   auto dt = MultiHopDT::build(space_.participants(), space_.positions(),
                               net.description().switches(), routing_apsp());
   if (!dt.ok()) return dt.error();
   dt_ = std::move(dt).value();
   return install(net);
+}
+
+Status Controller::rebuild_and_install_incremental(sden::SdenNetwork& net,
+                                                   const GraphDelta& delta) {
+  const obs::ScopedPhaseTimer timer("incremental_rebuild");
+  const graph::Graph& g = net.description().switches();
+  ThreadPool& pool = global_pool();
+
+  // 1. Delta-APSP on both tables (independent, like recompute_apsp).
+  graph::ApspDelta hop;
+  graph::ApspDelta wgt;
+  switch (delta.kind) {
+    case GraphDelta::Kind::kLinkAdd:
+      pool.run_all({
+          [&] { hop = graph::apsp_add_edge(apsp_, g, delta.u, delta.v,
+                                           &pool); },
+          [&] { wgt = graph::apsp_add_edge(apsp_weighted_, g, delta.u,
+                                           delta.v, &pool); },
+      });
+      break;
+    case GraphDelta::Kind::kLinkRemove:
+      pool.run_all({
+          [&] { hop = graph::apsp_remove_edge(apsp_, g, delta.u, delta.v,
+                                              1.0, &pool); },
+          [&] { wgt = graph::apsp_remove_edge(apsp_weighted_, g, delta.u,
+                                              delta.v, delta.weight,
+                                              &pool); },
+      });
+      break;
+    case GraphDelta::Kind::kSwitchAdd:
+      pool.run_all({
+          [&] { hop = graph::apsp_add_node(apsp_, g, delta.u, &pool); },
+          [&] { wgt = graph::apsp_add_node(apsp_weighted_, g, delta.u,
+                                           &pool); },
+      });
+      break;
+    case GraphDelta::Kind::kSwitchRemove:
+      pool.run_all({
+          [&] { hop = graph::apsp_remove_node_edges(
+                    apsp_, g, delta.u, delta.removed_edges, &pool); },
+          [&] { wgt = graph::apsp_remove_node_edges(
+                    apsp_weighted_, g, delta.u, delta.removed_edges,
+                    &pool); },
+      });
+      break;
+  }
+
+  // The routing table drives the affected set; when its delta crossed
+  // the staleness threshold the changed-row list is unavailable, so
+  // finish the event as a full rebuild (the tables themselves are
+  // already correct either way).
+  const graph::ApspDelta& routing_delta =
+      options_.weighted_embedding ? wgt : hop;
+  if (routing_delta.full_recompute) return rebuild_and_install(net);
+
+  // 2. Localized DT repair for switch join/leave. The repair rebuilds
+  // the rim participants itself; `touched` accumulates every switch
+  // whose installable state changed.
+  std::vector<std::size_t> repaired;
+  std::vector<SwitchId> touched;
+  if (delta.kind == GraphDelta::Kind::kSwitchAdd && delta.joined_dt) {
+    const Status added = dt_.add_participant(delta.u, delta.position, g,
+                                             routing_apsp(), &repaired,
+                                             &touched);
+    if (!added.ok()) return rebuild_and_install(net);
+  } else if (delta.kind == GraphDelta::Kind::kSwitchRemove &&
+             delta.joined_dt) {
+    const Status removed = dt_.remove_participant(delta.u, g, routing_apsp(),
+                                                  &repaired, &touched);
+    if (!removed.ok()) return rebuild_and_install(net);
+  }
+
+  // 3. The affected participants beyond the DT rim: those whose
+  // distance row moved, and those whose (unchanged-distance) virtual
+  // links canonically routed through the changed region — only a path
+  // that meets a node with changed adjacency can change while its
+  // endpoints' distances stay put.
+  const std::vector<SwitchId>& parts = dt_.participants();
+  std::vector<std::size_t> rebuild;
+  const std::vector<graph::NodeId>& rows = routing_delta.changed_rows;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (std::binary_search(rows.begin(), rows.end(),
+                           static_cast<graph::NodeId>(parts[i]))) {
+      rebuild.push_back(i);
+    }
+  }
+  switch (delta.kind) {
+    case GraphDelta::Kind::kLinkAdd:
+    case GraphDelta::Kind::kLinkRemove: {
+      for (const std::size_t i :
+           dt_.participants_with_vlinks_through({delta.u, delta.v})) {
+        rebuild.push_back(i);
+      }
+      // The endpoints' own candidate tables encode link-existence (a
+      // DT edge flips between physical and multi-hop with the link),
+      // which can change even when no distance moved.
+      for (const SwitchId end : {delta.u, delta.v}) {
+        const std::size_t i = space_.index_of(end);
+        if (i != VirtualSpace::kNoIndex) rebuild.push_back(i);
+      }
+      break;
+    }
+    case GraphDelta::Kind::kSwitchAdd:
+      // The new node has the largest id, so the smallest-id canonical
+      // predecessor rule never reroutes an unchanged-distance path
+      // through it; strictly better paths show up as changed rows. Its
+      // attach links are link-adds in disguise, though: each endpoint
+      // gains a physical-neighbor candidate even when its distance row
+      // and DT cell are untouched.
+      for (const graph::EdgeTo& e : g.neighbors(delta.u)) {
+        const std::size_t i = space_.index_of(e.to);
+        if (i != VirtualSpace::kNoIndex) rebuild.push_back(i);
+      }
+      break;
+    case GraphDelta::Kind::kSwitchRemove:
+      for (const SwitchId sw : delta.vlinks_through) {
+        const std::size_t i = space_.index_of(sw);
+        if (i != VirtualSpace::kNoIndex) rebuild.push_back(i);
+      }
+      // Symmetric to the join case: each torn-down link's surviving
+      // endpoint loses its physical-neighbor candidate.
+      for (const graph::EdgeTo& e : delta.removed_edges) {
+        const std::size_t i = space_.index_of(e.to);
+        if (i != VirtualSpace::kNoIndex) rebuild.push_back(i);
+      }
+      break;
+  }
+  std::sort(rebuild.begin(), rebuild.end());
+  rebuild.erase(std::unique(rebuild.begin(), rebuild.end()), rebuild.end());
+  std::sort(repaired.begin(), repaired.end());
+  for (const std::size_t i : rebuild) {
+    // The DT repair already rebuilt its rim; don't redo those.
+    if (std::binary_search(repaired.begin(), repaired.end(), i)) continue;
+    const Status rebuilt = dt_.rebuild_participant(i, g, routing_apsp(),
+                                                   &touched);
+    if (!rebuilt.ok()) return rebuild_and_install(net);
+    touched.push_back(parts[i]);
+  }
+
+  // The event's switch itself is always part of the patch: a joiner
+  // needs its (possibly empty transit) state installed and its plan
+  // region compiled; a leaver needs its region wiped in place. For
+  // link events the endpoints' plan regions embed the link weight, so
+  // they re-compile even when their tables did not change.
+  touched.push_back(delta.u);
+  if (delta.kind == GraphDelta::Kind::kLinkAdd ||
+      delta.kind == GraphDelta::Kind::kLinkRemove) {
+    touched.push_back(delta.v);
+  }
+
+  const Status patched = install_patch(net, touched);
+  if (!patched.ok()) return rebuild_and_install(net);
+  last_event_incremental_ = true;
+  return Status::Ok();
+}
+
+Status Controller::install_patch(sden::SdenNetwork& net,
+                                 std::vector<SwitchId>& touched) {
+  const obs::ScopedPhaseTimer timer("install_patch");
+  const topology::EdgeNetwork& desc = net.description();
+
+  // install() re-validates every rewrite network-wide on every event;
+  // the patch must match, so sweep all switches and pull any that lost
+  // a rewrite into the patch set. The sweep is O(switches + rewrites)
+  // — noise next to the rebuilt participants' path work.
+  const auto rewrite_valid = [&](SwitchId sw, const sden::RewriteEntry& rw) {
+    if (sw >= net.switch_count() || rw.via_switch >= net.switch_count() ||
+        rw.original >= net.server_count() ||
+        rw.replacement >= net.server_count()) {
+      return false;
+    }
+    const auto& own_servers = desc.servers_at(sw);
+    if (std::find(own_servers.begin(), own_servers.end(), rw.original) ==
+        own_servers.end()) {
+      return false;
+    }
+    const auto& via_servers = desc.servers_at(rw.via_switch);
+    if (std::find(via_servers.begin(), via_servers.end(), rw.replacement) ==
+        via_servers.end()) {
+      return false;
+    }
+    return desc.switches().find_edge(sw, rw.via_switch) != nullptr;
+  };
+  for (SwitchId sw = 0; sw < net.switch_count(); ++sw) {
+    for (const sden::RewriteEntry& rw :
+         std::as_const(net).switch_at(sw).table().rewrites()) {
+      if (!rewrite_valid(sw, rw)) {
+        touched.push_back(sw);
+        break;
+      }
+    }
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+
+  std::vector<sden::RewriteEntry> keep;
+  for (const SwitchId t : touched) {
+    if (t >= net.switch_count()) {
+      return Status(ErrorCode::kInternal,
+                    "install_patch: touched switch out of range");
+    }
+    keep.clear();
+    for (const sden::RewriteEntry& rw :
+         std::as_const(net).switch_at(t).table().rewrites()) {
+      if (rewrite_valid(t, rw)) keep.push_back(rw);
+    }
+    sden::Switch& sw = net.switch_at(t);
+    sw.reset();
+    const std::size_t i = space_.index_of(t);
+    if (i != VirtualSpace::kNoIndex) {
+      sw.set_position(space_.positions()[i]);
+      sw.set_local_servers(desc.servers_at(t));
+      for (const DtNeighborInfo& cand : dt_.candidates_of(t)) {
+        sden::NeighborEntry entry;
+        entry.neighbor = cand.neighbor;
+        entry.position = cand.position;
+        entry.physical = cand.physical;
+        entry.first_hop = cand.first_hop;
+        sw.table().add_neighbor(entry);
+      }
+    }
+    const auto relays = dt_.relay_entries().find(t);
+    if (relays != dt_.relay_entries().end()) {
+      for (const sden::RelayEntry& relay : relays->second) {
+        sw.table().add_relay(relay);
+      }
+    }
+    for (const sden::RewriteEntry& rw : keep) sw.table().add_rewrite(rw);
+  }
+
+  // Same machine-checked invariants as install(). They are global, so
+  // checked builds re-prove after every incremental event that the
+  // patched state equals what a full install would have produced.
+  GRED_CHECK(check::validate_delaunay(dt_.triangulation()));
+  GRED_CHECK(check::validate_graph(net.description().switches(), apsp_,
+                                   /*weighted=*/false));
+  GRED_CHECK(check::validate_graph(net.description().switches(),
+                                   apsp_weighted_, /*weighted=*/true));
+  GRED_CHECK(check::validate_flow_tables(net, space_.participants(),
+                                         space_.positions(),
+                                         &dt_.triangulation()));
+  last_affected_ = touched;
+  return Status::Ok();
+}
+
+Result<std::size_t> Controller::re_regulate(sden::SdenNetwork& net,
+                                            double energy_delta_tolerance) {
+  if (!initialized_) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "Controller not initialized");
+  }
+  const std::size_t iterations =
+      space_.refine_cvt(options_, energy_delta_tolerance);
+  const Status rebuilt = rebuild_and_install(net);
+  if (!rebuilt.ok()) return rebuilt.error();
+  auto migrated = migrate_items(net);
+  if (!migrated.ok()) return migrated.error();
+  last_migration_ = migrated.value();
+  const Status repaired = repair_replication_after_dynamics(net);
+  if (!repaired.ok()) return repaired.error();
+  return iterations;
 }
 
 Result<topology::SwitchId> Controller::add_switch_impl(
@@ -786,6 +1105,7 @@ Result<topology::SwitchId> Controller::add_switch_impl(
     return Error(ErrorCode::kInvalidArgument,
                  "add_switch: new switch must have at least one link");
   }
+  const bool plan_fresh = !net.route_plan_stale();
   // Join is all-or-nothing: remember the pre-call state and restore it
   // on any failure, so a half-joined switch never leaks into the
   // topology. Counts suffice for the network (add_switch/attach_server
@@ -815,12 +1135,30 @@ Result<topology::SwitchId> Controller::add_switch_impl(
     if (!attached.ok()) return rollback(attached.error()).error();
   }
 
+  bool use_incremental = incremental_;
+  GraphDelta delta;
+  delta.kind = GraphDelta::Kind::kSwitchAdd;
+  delta.u = sw;
   if (server_count > 0) {
     // The new node joins the DT; others keep their positions
     // (Section VI: a join "only affects its neighbors").
-    space_.add_participant(sw, fit_position(net, sw));
+    const Point2D pos = fit_position(net, sw);
+    // A position collision makes add_participant nudge OTHER sites
+    // apart (separate_duplicates), which the localized DT repair would
+    // not see — force the full path, which reads the nudged positions.
+    for (const Point2D& q : space_.positions()) {
+      if (q.x == pos.x && q.y == pos.y) {
+        use_incremental = false;
+        break;
+      }
+    }
+    delta.joined_dt = true;
+    delta.position = pos;
+    space_.add_participant(sw, pos);
   }
-  const Status rebuilt = rebuild_and_install(net);
+  const Status rebuilt = use_incremental
+                             ? rebuild_and_install_incremental(net, delta)
+                             : rebuild_and_install(net);
   if (!rebuilt.ok()) return rollback(rebuilt).error();
 
   // migrate_items is transactional: on failure every applied move has
@@ -831,6 +1169,9 @@ Result<topology::SwitchId> Controller::add_switch_impl(
   last_migration_ = migrated.value();
   const Status repaired = repair_replication_after_dynamics(net);
   if (!repaired.ok()) return rollback(repaired).error();
+  if (last_event_incremental_) {
+    patch_plan_if_fresh(net, plan_fresh, last_affected_);
+  }
   return sw;
 }
 
@@ -842,6 +1183,7 @@ Status Controller::remove_switch_impl(sden::SdenNetwork& net, SwitchId sw) {
   if (sw >= net.switch_count()) {
     return Status(ErrorCode::kOutOfRange, "remove_switch: unknown switch");
   }
+  const bool plan_fresh = !net.route_plan_stale();
 
   // Pre-check: remaining participants must stay mutually reachable.
   {
@@ -864,6 +1206,22 @@ Status Controller::remove_switch_impl(sden::SdenNetwork& net, SwitchId sw) {
     }
   }
 
+  // The incremental path's pre-capture: the leaving node's adjacency
+  // and the vlinks crossing it exist only before the teardown.
+  GraphDelta delta;
+  delta.kind = GraphDelta::Kind::kSwitchRemove;
+  delta.u = sw;
+  if (incremental_) {
+    delta.removed_edges = net.description().switches().neighbors(sw);
+    delta.joined_dt = space_.index_of(sw) != VirtualSpace::kNoIndex;
+    // Virtual links relay through transit switches too, so the
+    // crossing set matters whether or not `sw` was a participant.
+    for (const std::size_t i :
+         dt_.participants_with_vlinks_through({sw})) {
+      delta.vlinks_through.push_back(dt_.participants()[i]);
+    }
+  }
+
   // Collect the leaving switch's data for re-placement.
   std::vector<std::pair<std::string, std::string>> orphans;
   for (ServerId s : net.description().servers_at(sw)) {
@@ -876,7 +1234,9 @@ Status Controller::remove_switch_impl(sden::SdenNetwork& net, SwitchId sw) {
   net.remove_switch_links(sw);
   space_.remove_participant(sw);
 
-  const Status rebuilt = rebuild_and_install(net);
+  const Status rebuilt = incremental_
+                             ? rebuild_and_install_incremental(net, delta)
+                             : rebuild_and_install(net);
   if (!rebuilt.ok()) return rebuilt;
 
   // Existing items whose home changed migrate; orphans are re-placed.
@@ -896,7 +1256,12 @@ Status Controller::remove_switch_impl(sden::SdenNetwork& net, SwitchId sw) {
   }
   // With replication on, re-create the copies the removal destroyed
   // (the orphan pass restored only the primary copy of each item).
-  return repair_replication_after_dynamics(net);
+  const Status repaired = repair_replication_after_dynamics(net);
+  if (!repaired.ok()) return repaired;
+  if (last_event_incremental_) {
+    patch_plan_if_fresh(net, plan_fresh, last_affected_);
+  }
+  return Status::Ok();
 }
 
 // --- Observability wrappers -----------------------------------------

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "core/multihop_dt.hpp"
 #include "core/virtual_space.hpp"
@@ -165,6 +166,37 @@ class Controller {
   /// (diagnostics).
   std::size_t last_migration_count() const { return last_migration_; }
 
+  // --- Incremental recompute (GRED_INCREMENTAL) ---
+
+  /// Whether dynamics ops take the incremental path: delta-APSP,
+  /// localized DT repair, per-switch flow-table patching, and (when the
+  /// compiled plan was fresh going in) route-plan patching — instead of
+  /// the full recompute-and-reinstall. Results are bit-identical either
+  /// way; the toggle only trades event latency. Defaults to the
+  /// GRED_INCREMENTAL environment flag.
+  bool incremental() const { return incremental_; }
+  void set_incremental(bool on) { incremental_ = on; }
+
+  /// Switches whose installable state the last dynamics op changed,
+  /// sorted ascending — the patch set for ShardedDataPlane::
+  /// patch_plans. Empty after a full reinstall (everything changed).
+  const std::vector<topology::SwitchId>& last_affected_switches() const {
+    return last_affected_;
+  }
+  /// Whether the last dynamics op completed on the incremental path
+  /// (false: it ran — or fell back to — the full rebuild).
+  bool last_event_incremental() const { return last_event_incremental_; }
+
+  /// Warm-started C-regulation (Section IV-B maintenance): re-runs
+  /// Lloyd iterations seeded from the current positions until the CVT
+  /// energy moves by less than `energy_delta_tolerance` of itself,
+  /// then rebuilds the DT, reinstalls, and migrates items whose homes
+  /// moved. Positions shift globally, so this is a full reinstall by
+  /// design — call it between churn bursts, not per event. Returns the
+  /// number of Lloyd iterations executed.
+  Result<std::size_t> re_regulate(sden::SdenNetwork& net,
+                                  double energy_delta_tolerance);
+
  private:
   // The public dynamics/extension ops are thin observability wrappers
   // (dynamics event log, gred::obs) around these.
@@ -184,6 +216,42 @@ class Controller {
   /// Recomputes APSP + DT from current participants_/space_ and
   /// reinstalls all switch state.
   Status rebuild_and_install(sden::SdenNetwork& net);
+
+  /// One churn event's description for the incremental rebuild path.
+  /// Remove events carry state that must be captured BEFORE the graph
+  /// and space are mutated (the leaving node's adjacency, the vlinks
+  /// crossing it).
+  struct GraphDelta {
+    enum class Kind { kLinkAdd, kLinkRemove, kSwitchAdd, kSwitchRemove };
+    Kind kind = Kind::kLinkAdd;
+    topology::SwitchId u = 0;  ///< the switch, or one link endpoint
+    topology::SwitchId v = 0;  ///< other endpoint (link events)
+    double weight = 1.0;       ///< removed link's weight (kLinkRemove)
+    /// kSwitchRemove: u's adjacency, captured before removal.
+    std::vector<graph::EdgeTo> removed_edges;
+    /// kSwitchRemove: participants whose virtual-link paths crossed u,
+    /// captured (as switch ids) before the DT mutation.
+    std::vector<topology::SwitchId> vlinks_through;
+    bool joined_dt = false;      ///< switch events: u is a participant
+    geometry::Point2D position;  ///< kSwitchAdd: u's fitted position
+  };
+
+  /// Incremental counterpart of rebuild_and_install: delta-APSP on
+  /// both tables, localized DT repair, per-participant rebuild of the
+  /// affected set, and a per-switch flow-table patch. Falls back to
+  /// rebuild_and_install (bit-identical result) when any incremental
+  /// step declines — staleness threshold crossed, non-localized DT
+  /// repair, or any error.
+  Status rebuild_and_install_incremental(sden::SdenNetwork& net,
+                                         const GraphDelta& delta);
+
+  /// Patches the flow tables of exactly the switches in `touched`
+  /// (plus any switch holding a rewrite the event invalidated),
+  /// reproducing what a full install() would put there. Sorts and
+  /// dedupes `touched` in place and publishes it as
+  /// last_affected_switches().
+  Status install_patch(sden::SdenNetwork& net,
+                       std::vector<topology::SwitchId>& touched);
 
   /// Installs positions, server lists, greedy candidates and relay
   /// entries into every switch (wipes previous tables).
@@ -219,6 +287,9 @@ class Controller {
   graph::ApspResult apsp_;
   graph::ApspResult apsp_weighted_;
   bool initialized_ = false;
+  bool incremental_ = env_flag("GRED_INCREMENTAL", false);
+  std::vector<topology::SwitchId> last_affected_;
+  bool last_event_incremental_ = false;
   std::size_t last_migration_ = 0;
   ReplicationOptions replication_;
   bool replication_enabled_ = false;

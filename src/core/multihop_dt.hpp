@@ -5,10 +5,19 @@
 // controller installs: greedy candidate entries (with the first
 // physical hop of each virtual link) and the <sour, pred, succ, dest>
 // relay tuples at intermediate switches.
+//
+// Besides the one-shot build() the structure supports incremental
+// maintenance: participants can join/leave via localized Delaunay
+// repair, and individual participants' candidate/relay state can be
+// re-derived after a graph change. Relay vectors are kept in the
+// (sour, dest)-lexicographic order a fresh build produces (ascending
+// participant loop x ascending DT-neighbor loop), so a chain of
+// incremental updates yields bit-identical installable state.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -63,13 +72,80 @@ class MultiHopDT {
   /// diagnostics for the embedding quality.
   double mean_vlink_length() const;
 
+  // ----- incremental maintenance ------------------------------------
+
+  /// Joins `sw` at `position` via localized Delaunay repair (cavity
+  /// re-triangulation) and rebuilds the candidates/relays of every
+  /// participant whose DT adjacency changed. `affected` receives the
+  /// post-insert indices of those participants (the new one included);
+  /// `touched_switches` (optional) accumulates every switch whose
+  /// installable state changed — rebuilt participants plus old and new
+  /// virtual-link intermediates. The graph must already contain the
+  /// new switch's links and `apsp` must already be updated.
+  Status add_participant(topology::SwitchId sw,
+                         const geometry::Point2D& position,
+                         const graph::Graph& physical,
+                         const graph::ApspResult& apsp,
+                         std::vector<std::size_t>* affected,
+                         std::vector<topology::SwitchId>* touched_switches);
+
+  /// Removes `sw` via localized repair (full rebuild for hull sites)
+  /// and rebuilds the rim participants. `affected` receives the
+  /// post-removal indices of participants whose adjacency changed.
+  Status remove_participant(topology::SwitchId sw,
+                            const graph::Graph& physical,
+                            const graph::ApspResult& apsp,
+                            std::vector<std::size_t>* affected,
+                            std::vector<topology::SwitchId>* touched_switches);
+
+  /// Re-derives candidates_[i] plus the relays and cached paths of the
+  /// virtual links sourced at participants()[i], exactly as build()
+  /// would produce them. Used after a graph change invalidated the
+  /// participant's shortest paths (DT adjacency unchanged).
+  Status rebuild_participant(std::size_t i, const graph::Graph& physical,
+                             const graph::ApspResult& apsp,
+                             std::vector<topology::SwitchId>* touched_switches);
+
+  /// Participants whose cached virtual-link paths traverse any switch
+  /// in `nodes`. After those switches' adjacency changed, the canonical
+  /// paths of exactly these participants' virtual links may differ even
+  /// when their distance rows did not move.
+  std::vector<std::size_t> participants_with_vlinks_through(
+      const std::vector<topology::SwitchId>& nodes) const;
+
  private:
+  /// Fills candidates_[i] (cleared first) and registers the relays +
+  /// cached paths of i's multi-hop DT edges. Relay vectors are kept
+  /// sorted by (sour, dest); `touched_switches` gets the new
+  /// intermediates when given.
+  Status build_candidates_for(std::size_t i, const graph::Graph& physical,
+                              const graph::ApspResult& apsp,
+                              std::vector<topology::SwitchId>* touched);
+
+  /// Drops every relay + cached path sourced at `u`; old intermediates
+  /// go to `touched` when given.
+  void drop_vlinks_of(topology::SwitchId u,
+                      std::vector<topology::SwitchId>* touched);
+
+  /// Rebuilds every participant (after a non-localized DT repair).
+  Status rebuild_all(const graph::Graph& physical,
+                     const graph::ApspResult& apsp,
+                     std::vector<topology::SwitchId>* touched);
+
   std::vector<topology::SwitchId> participants_;
   geometry::DelaunayTriangulation dt_;
   /// candidates_[i] belongs to participants_[i].
   std::vector<std::vector<DtNeighborInfo>> candidates_;
   std::map<topology::SwitchId, std::vector<sden::RelayEntry>> relays_;
   std::map<topology::SwitchId, std::size_t> index_;
+  /// Physical path of every multi-hop DT edge, keyed by the DIRECTED
+  /// (sour, dest) switch pair — the canonical path u -> v is not the
+  /// reverse of v -> u in weighted mode, and relays are installed per
+  /// direction. This is both the repair footprint (which intermediates
+  /// hold relays to drop) and the path-change filter's input.
+  std::map<std::pair<topology::SwitchId, topology::SwitchId>,
+           std::vector<graph::NodeId>>
+      vlink_paths_;
 };
 
 }  // namespace gred::core

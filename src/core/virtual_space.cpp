@@ -234,6 +234,20 @@ void VirtualSpace::add_participant(topology::SwitchId sw,
   participants_.push_back(sw);
   positions_.push_back(p);
   mds_positions_.push_back(p);
+
+  // Fast path: a join at a fresh position extends the grid in place.
+  // Grid answers are layout-independent, so this is exactly the state
+  // a full rebuild would produce. A position collision (the join
+  // nudges other sites) or a refused insert (bounding-box growth,
+  // density drift) falls back to the rebuild.
+  bool collided = false;
+  for (std::size_t i = 0; i + 1 < positions_.size(); ++i) {
+    if (positions_[i] == p) {
+      collided = true;
+      break;
+    }
+  }
+  if (!collided && grid_.insert(p)) return;
   separate_duplicates(positions_);
   rebuild_grid();
 }
@@ -246,7 +260,32 @@ void VirtualSpace::remove_participant(topology::SwitchId sw) {
   positions_.erase(positions_.begin() + static_cast<std::ptrdiff_t>(idx));
   mds_positions_.erase(mds_positions_.begin() +
                        static_cast<std::ptrdiff_t>(idx));
+  if (grid_.erase(idx)) return;
   rebuild_grid();
+}
+
+std::size_t VirtualSpace::refine_cvt(const VirtualSpaceOptions& options,
+                                     double energy_delta_tolerance) {
+  if (!options.use_cvt || options.cvt_iterations == 0 ||
+      positions_.size() <= 1) {
+    return 0;
+  }
+  const obs::ScopedPhaseTimer cvt_timer("cvt_warm");
+  geometry::CvtOptions cvt;
+  cvt.samples_per_iteration = options.cvt_samples;
+  cvt.max_iterations = options.cvt_iterations;
+  cvt.energy_threshold = options.cvt_energy_threshold;
+  cvt.energy_delta_tolerance = energy_delta_tolerance;
+  cvt.domain = geometry::Rect{0.0, 0.0, 1.0, 1.0};
+  Rng rng(options.seed);
+  geometry::CvtResult refined = geometry::c_regulation(positions_, cvt, rng);
+  positions_ = std::move(refined.sites);
+  energy_history_.insert(energy_history_.end(),
+                         refined.energy_history.begin(),
+                         refined.energy_history.end());
+  separate_duplicates(positions_);
+  rebuild_grid();
+  return refined.iterations_run;
 }
 
 }  // namespace gred::core

@@ -132,6 +132,16 @@ class VirtualSpace {
   /// Removes a participant (node leave). No-op when absent.
   void remove_participant(topology::SwitchId sw);
 
+  /// Warm-started C-regulation: re-runs Lloyd iterations seeded from
+  /// the CURRENT positions (which a dynamics event perturbed only
+  /// locally) and stops once the energy moved by less than
+  /// `energy_delta_tolerance` of itself between iterations. Returns
+  /// the number of iterations executed. Cold-starting after every
+  /// event would redo the full T iterations; the warm start typically
+  /// converges in a handful.
+  std::size_t refine_cvt(const VirtualSpaceOptions& options,
+                         double energy_delta_tolerance);
+
  private:
   /// Re-indexes positions_ into grid_; call after every mutation.
   void rebuild_grid();

@@ -1,6 +1,7 @@
 #include "geometry/cvt.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/thread_pool.hpp"
 #include "geometry/site_grid.hpp"
@@ -143,6 +144,12 @@ CvtResult c_regulation(std::vector<Point2D> sites, const CvtOptions& options,
     if (options.energy_threshold > 0.0 &&
         energy < options.energy_threshold) {
       break;
+    }
+    if (options.energy_delta_tolerance > 0.0 && iter > 0) {
+      const double prev = result.energy_history[iter - 1];
+      if (std::abs(prev - energy) <= options.energy_delta_tolerance * energy) {
+        break;
+      }
     }
   }
 

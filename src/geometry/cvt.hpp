@@ -31,6 +31,11 @@ struct CvtOptions {
   /// Early stop when the discrete CVT energy estimate drops below this;
   /// 0 disables the energy termination (pure iteration count).
   double energy_threshold = 0.0;
+  /// Early stop when the energy moved by less than this fraction of
+  /// itself between consecutive iterations (|E_prev - E| <= tol * E);
+  /// 0 disables. Warm-started refinement after a dynamics event sets
+  /// this so a near-converged site set stops after a few iterations.
+  double energy_delta_tolerance = 0.0;
   /// Fractional step toward the sample centroid per iteration; 1.0 is
   /// the classic Lloyd/MacQueen full step.
   double step = 1.0;

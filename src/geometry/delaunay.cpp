@@ -51,8 +51,8 @@ static bool face_in_conflict(const std::vector<Point2D>& pts, std::size_t a,
 }
 
 Status DelaunayTriangulation::insert_into_faces(
-    const std::vector<Point2D>& pts, std::vector<Face>& faces,
-    std::size_t idx) {
+    const std::vector<Point2D>& pts, std::vector<Face>& faces, std::size_t idx,
+    std::vector<std::size_t>* cavity) {
   const Point2D& p = pts[idx];
 
   using Edge = std::pair<std::size_t, std::size_t>;  // undirected key
@@ -75,6 +75,11 @@ Status DelaunayTriangulation::insert_into_faces(
       continue;
     }
     any_conflict = true;
+    if (cavity != nullptr) {
+      if (t.a != kGhostVertex) cavity->push_back(t.a);
+      if (t.b != kGhostVertex) cavity->push_back(t.b);
+      if (t.c != kGhostVertex) cavity->push_back(t.c);
+    }
     ++edge_count[canon(t.a, t.b)];
     ++edge_count[canon(t.b, t.c)];
     ++edge_count[canon(t.c, t.a)];
@@ -222,7 +227,12 @@ Result<DelaunayTriangulation> DelaunayTriangulation::build(
   return dt;
 }
 
-Result<std::size_t> DelaunayTriangulation::insert(const Point2D& p) {
+Result<std::size_t> DelaunayTriangulation::insert(const Point2D& p,
+                                                  RepairInfo* repair) {
+  if (repair != nullptr) {
+    repair->localized = false;
+    repair->affected.clear();
+  }
   for (const Point2D& q : points_) {
     if (q == p) {
       return Error(ErrorCode::kInvalidArgument,
@@ -243,13 +253,171 @@ Result<std::size_t> DelaunayTriangulation::insert(const Point2D& p) {
 
   points_.push_back(p);
   const std::size_t idx = points_.size() - 1;
-  const Status inserted = insert_into_faces(points_, faces_, idx);
+  std::vector<std::size_t> cavity;
+  const Status inserted = insert_into_faces(
+      points_, faces_, idx, repair != nullptr ? &cavity : nullptr);
   if (!inserted.ok()) {
     points_.pop_back();
     return inserted.error();
   }
   refresh_from_faces();
+  if (repair != nullptr) {
+    cavity.push_back(idx);
+    std::sort(cavity.begin(), cavity.end());
+    cavity.erase(std::unique(cavity.begin(), cavity.end()), cavity.end());
+    repair->localized = true;
+    repair->affected = std::move(cavity);
+  }
   return idx;
+}
+
+Status DelaunayTriangulation::rebuild_without(std::size_t idx) {
+  std::vector<Point2D> pts = points_;
+  pts.erase(pts.begin() + static_cast<std::ptrdiff_t>(idx));
+  auto rebuilt = build(std::move(pts));
+  if (!rebuilt.ok()) return rebuilt.error();
+  *this = std::move(rebuilt).value();
+  return Status::Ok();
+}
+
+Status DelaunayTriangulation::remove(std::size_t idx, RepairInfo* repair) {
+  if (repair != nullptr) {
+    repair->localized = false;
+    repair->affected.clear();
+  }
+  if (idx >= points_.size()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "DelaunayTriangulation::remove: index out of range");
+  }
+
+  // Degenerate or tiny states: adjacency-only representation, rebuild.
+  if (!maintainable_ || points_.size() <= 4) return rebuild_without(idx);
+
+  // Hull sites (any ghost face mentions them) change the hull shape;
+  // repairing those locally needs the ghost ring rebuilt, which the
+  // ear-clipping below does not do. Fall back to a full rebuild.
+  for (const Face& f : faces_) {
+    if (f.c == kGhostVertex && (f.a == idx || f.b == idx)) {
+      return rebuild_without(idx);
+    }
+  }
+
+  // Interior site: delete the incident faces and re-triangulate the
+  // star polygon by Delaunay ear clipping. Collect the link ring in CCW
+  // order by chaining the directed opposite edges of incident faces.
+  std::map<std::size_t, std::size_t> ring_next;
+  for (const Face& f : faces_) {
+    if (f.c == kGhostVertex || !(f.a == idx || f.b == idx || f.c == idx)) {
+      continue;
+    }
+    // CCW face (v, a, b): a -> b is the opposite edge, directed CCW
+    // around v.
+    std::size_t a, b;
+    if (f.a == idx) {
+      a = f.b;
+      b = f.c;
+    } else if (f.b == idx) {
+      a = f.c;
+      b = f.a;
+    } else {
+      a = f.a;
+      b = f.b;
+    }
+    ring_next[a] = b;
+  }
+  if (ring_next.size() < 3) return rebuild_without(idx);
+
+  std::vector<std::size_t> ring;
+  ring.reserve(ring_next.size());
+  std::size_t cur = ring_next.begin()->first;
+  for (std::size_t step = 0; step < ring_next.size(); ++step) {
+    ring.push_back(cur);
+    const auto it = ring_next.find(cur);
+    if (it == ring_next.end()) return rebuild_without(idx);
+    cur = it->second;
+  }
+  // The walk must close into a single cycle covering every ring vertex.
+  if (cur != ring.front()) return rebuild_without(idx);
+
+  // Ear clipping: repeatedly clip a convex corner whose circumdisk is
+  // empty of the remaining ring vertices. The hole filling of a deleted
+  // Delaunay vertex has every triangle's circumdisk empty of ALL ring
+  // vertices, so a final verification pass against the full ring
+  // certifies the result; any failure (degenerate ring) falls back.
+  const std::vector<std::size_t> full_ring = ring;
+  std::vector<Face> ears;
+  ears.reserve(ring.size() - 2);
+  while (ring.size() > 3) {
+    bool clipped = false;
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const std::size_t a = ring[(i + ring.size() - 1) % ring.size()];
+      const std::size_t b = ring[i];
+      const std::size_t c = ring[(i + 1) % ring.size()];
+      if (orient2d(points_[a], points_[b], points_[c]) !=
+          Orientation::kCounterClockwise) {
+        continue;
+      }
+      bool empty = true;
+      for (const std::size_t r : ring) {
+        if (r == a || r == b || r == c) continue;
+        if (in_circumcircle(points_[a], points_[b], points_[c], points_[r])) {
+          empty = false;
+          break;
+        }
+      }
+      if (!empty) continue;
+      ears.push_back({a, b, c});
+      ring.erase(ring.begin() + static_cast<std::ptrdiff_t>(i));
+      clipped = true;
+      break;
+    }
+    if (!clipped) return rebuild_without(idx);
+  }
+  if (orient2d(points_[ring[0]], points_[ring[1]], points_[ring[2]]) !=
+      Orientation::kCounterClockwise) {
+    return rebuild_without(idx);
+  }
+  ears.push_back({ring[0], ring[1], ring[2]});
+  for (const Face& e : ears) {
+    for (const std::size_t r : full_ring) {
+      if (r == e.a || r == e.b || r == e.c) continue;
+      if (in_circumcircle(points_[e.a], points_[e.b], points_[e.c],
+                          points_[r])) {
+        return rebuild_without(idx);
+      }
+    }
+  }
+
+  // Commit: drop the incident faces, add the ears, erase the site and
+  // shift the indices above it down by one (ghost markers excluded).
+  std::vector<Face> next_faces;
+  next_faces.reserve(faces_.size());
+  for (const Face& f : faces_) {
+    if (f.c != kGhostVertex && (f.a == idx || f.b == idx || f.c == idx)) {
+      continue;
+    }
+    next_faces.push_back(f);
+  }
+  next_faces.insert(next_faces.end(), ears.begin(), ears.end());
+  const auto compact = [idx](std::size_t v) {
+    return (v != kGhostVertex && v > idx) ? v - 1 : v;
+  };
+  for (Face& f : next_faces) {
+    f.a = compact(f.a);
+    f.b = compact(f.b);
+    f.c = compact(f.c);
+  }
+  faces_ = std::move(next_faces);
+  points_.erase(points_.begin() + static_cast<std::ptrdiff_t>(idx));
+  refresh_from_faces();
+
+  if (repair != nullptr) {
+    repair->localized = true;
+    repair->affected = full_ring;
+    for (std::size_t& v : repair->affected) v = compact(v);
+    std::sort(repair->affected.begin(), repair->affected.end());
+  }
+  return Status::Ok();
 }
 
 void DelaunayTriangulation::refresh_from_faces() {

@@ -29,6 +29,17 @@ struct Triangle {
   }
 };
 
+/// What an incremental insert/remove touched. When `localized` the
+/// repair was a cavity re-triangulation and `affected` lists the
+/// post-operation site indices whose DT adjacency may have changed
+/// (sorted, deduplicated; the inserted site included). When the
+/// structure fell back to a full rebuild, `localized` is false and
+/// `affected` is empty — every site must be treated as changed.
+struct RepairInfo {
+  bool localized = false;
+  std::vector<std::size_t> affected;
+};
+
 class DelaunayTriangulation {
  public:
   /// An empty triangulation (no sites); fill via build().
@@ -81,7 +92,16 @@ class DelaunayTriangulation {
   /// update cost is local. Returns the new site's index. Fails on
   /// duplicates. Degenerate triangulations (fewer than 3 sites or a
   /// collinear chain) fall back to a full rebuild internally.
-  Result<std::size_t> insert(const Point2D& p);
+  /// `repair` (optional) reports the touched sites.
+  Result<std::size_t> insert(const Point2D& p, RepairInfo* repair = nullptr);
+
+  /// Removes site `idx` (node leave). Interior sites are removed
+  /// locally: their incident faces are deleted and the star polygon is
+  /// re-triangulated by Delaunay ear clipping, so only the link ring is
+  /// touched. Hull sites and degenerate states fall back to a full
+  /// rebuild (reported via `repair`). Site indices above `idx` shift
+  /// down by one, exactly like erasing from the point vector.
+  Status remove(std::size_t idx, RepairInfo* repair = nullptr);
 
  private:
   /// Face record including ghost faces: finite faces are CCW triangles;
@@ -92,9 +112,17 @@ class DelaunayTriangulation {
   };
   static constexpr std::size_t kGhostVertex = static_cast<std::size_t>(-2);
 
-  /// Bowyer-Watson insertion of points_[idx] into `faces`.
+  /// Bowyer-Watson insertion of points_[idx] into `faces`. `cavity`
+  /// (optional) receives the distinct non-ghost vertices of the
+  /// conflict faces — the sites whose adjacency the insertion can
+  /// change.
   static Status insert_into_faces(const std::vector<Point2D>& pts,
-                                  std::vector<Face>& faces, std::size_t idx);
+                                  std::vector<Face>& faces, std::size_t idx,
+                                  std::vector<std::size_t>* cavity = nullptr);
+
+  /// Rebuilds from scratch over the current points with `idx` erased;
+  /// shared fallback for remove().
+  Status rebuild_without(std::size_t idx);
 
   /// Refreshes triangles_ and adjacency_ from faces_.
   void refresh_from_faces();

@@ -186,6 +186,37 @@ class SdenNetwork {
   void compile_plan_subset(RoutePlan& plan, const std::uint32_t* owned,
                            std::size_t count) const;
 
+  /// Incremental counterpart of compile_plan_subset: recompiles only
+  /// the regions of the `count` switches in `touched` (sorted, unique)
+  /// into an already-compiled `plan`, leaving every other region
+  /// untouched. Fills `patch` with the compiled blobs and grows the
+  /// plan's arrays to their final sizes (all allocation happens here);
+  /// commit_plan_patch then applies the writes. Returns false when the
+  /// patch is not worth applying — the plan was never compiled, or the
+  /// accumulated dead words would pass half the hot array — in which
+  /// case the caller should recompile the subset from scratch.
+  /// Read-only with respect to the flow tables; `plan` may be the
+  /// network's own cached plan or a shard-subset plan.
+  bool prepare_plan_patch(RoutePlan& plan, const std::uint32_t* touched,
+                          std::size_t count, PlanPatch& patch) const;
+
+  /// Applies a prepared patch: erases the touched switches' stale
+  /// relay keys, inserts the recompiled relays (capacity reserved by
+  /// prepare), writes the region words and server slices, and flips
+  /// the offsets. Alloc- and lock-free by construction — verified
+  /// statically as a hot-path root (tools/hotpath_check.py), because
+  /// this is the data-plane half of every incremental control-plane
+  /// event.
+  GRED_HOT_PATH void commit_plan_patch(RoutePlan& plan,
+                                       PlanPatch& patch) const;
+
+  /// Patches the network's own cached plan in place for the given
+  /// touched switches and marks it fresh. Falls back to a full
+  /// recompile when prepare_plan_patch declines (never-compiled plan
+  /// or compaction due). Must not run concurrently with routing, like
+  /// any control-plane mutation.
+  void patch_plan(const std::uint32_t* touched, std::size_t count);
+
   /// Hop bound of a single walk (relay hops included): exceeding it
   /// means a forwarding-table bug, classified as kRoutingLoop. Shared
   /// by route() and the sharded runtime so their bound trips at the
@@ -225,6 +256,16 @@ class SdenNetwork {
   // only after a control-plane mutation, never in the steady state.
   GRED_COLD_PATH void rebuild_plan_slow();
   void rebuild_plan(RoutePlan& plan) const;
+  /// Compiles switch `i`'s plan region, appending the region words
+  /// (header + four candidate columns) to `words`, the attached-server
+  /// ids to `servers`, and the first-wins-deduped relay actions to
+  /// `relays` with their dests to `dests`. `server_begin` is what the
+  /// header encodes as the server-slice start; callers that relocate
+  /// the slice afterwards re-pack words[2].
+  void compile_switch_region(
+      std::size_t i, std::uint32_t server_begin, std::vector<double>& words,
+      std::vector<std::uint32_t>& servers, std::vector<std::uint32_t>& dests,
+      std::vector<std::pair<Key2, PlanRelay>>& relays) const;
 
   topology::EdgeNetwork description_;
   std::vector<Switch> switches_;

@@ -85,13 +85,54 @@ struct RoutePlan {
   /// <switch, dest> -> relay action; first-installed entry wins,
   /// exactly like FlowTable::find_relay.
   FlatMap<Key2, PlanRelay> relays;
+  /// Per-switch list of the relay dests actually present in `relays`
+  /// (first-wins deduped). The FlatMap has no iteration, so this
+  /// sidecar is what lets a patch erase exactly one switch's stale
+  /// relay keys. Cold-side metadata: the walk never reads it.
+  std::vector<std::vector<std::uint32_t>> relay_dests;
+  /// Words in `hot` no longer referenced by any offset — left behind
+  /// when a patch moved a grown region to the tail or shrank one in
+  /// place. Patching compacts (recompiles) once this passes half the
+  /// array.
+  std::size_t dead_words = 0;
 
   void clear() {
     offset.clear();
     hot.clear();
     servers.clear();
     relays.clear();
+    relay_dests.clear();
+    dead_words = 0;
   }
+};
+
+/// One switch's recompiled state inside a PlanPatch.
+struct PlanPatchRegion {
+  std::uint32_t sw = 0;
+  /// Where the region words land in `hot`: the old offset when the new
+  /// region fits in place, else the (aligned) append position.
+  std::uint32_t new_offset = 0;
+  /// Start of the switch's server slice; points at the existing slice
+  /// when its content is unchanged (then `servers` below is empty).
+  std::uint32_t server_begin = 0;
+  std::vector<double> words;           ///< compiled region blob
+  std::vector<std::uint32_t> servers;  ///< slice to write at server_begin
+  std::vector<std::uint32_t> dests;    ///< new relay_dests[sw] value
+  /// Relay inserts, already first-wins deduped per dest.
+  std::vector<std::pair<Key2, PlanRelay>> relays;
+};
+
+/// A prepared two-phase route-plan patch (SdenNetwork::patch_plan).
+/// prepare_plan_patch performs every allocation — compiling the
+/// touched regions, growing hot/offset/servers/relay_dests to their
+/// final sizes, reserving FlatMap slack — so commit_plan_patch is a
+/// pure write pass that the hot-path verifier admits (no allocation,
+/// no locks, no I/O).
+struct PlanPatch {
+  std::vector<PlanPatchRegion> regions;
+  /// Words orphaned by moved or shrunk regions, added to
+  /// RoutePlan::dead_words at commit.
+  std::size_t dead_delta = 0;
 };
 
 /// The plan plus its rebuild coordination. Held behind a unique_ptr so

@@ -97,6 +97,41 @@ void ShardedDataPlane::recompile() {
   }
 }
 
+void ShardedDataPlane::patch_plans(const std::uint32_t* touched,
+                                   std::size_t count) {
+  // Switches that joined since the partition was built go to the
+  // least-loaded shard (ties to the lowest index). New ids are the
+  // largest, so push_back keeps each shard's owned list ascending.
+  const std::size_t n = net_.switch_count();
+  for (std::size_t i = owner_.size(); i < n; ++i) {
+    std::size_t best = 0;
+    for (std::size_t s = 1; s < shards_.size(); ++s) {
+      if (shards_[s]->owned.size() < shards_[best]->owned.size()) best = s;
+    }
+    owner_.push_back(static_cast<std::uint32_t>(best));
+    shards_[best]->owned.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  std::vector<std::uint32_t> mine;
+  sden::PlanPatch patch;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& sh = *shards_[s];
+    mine.clear();
+    for (std::size_t j = 0; j < count; ++j) {
+      if (touched[j] < n && owner_[touched[j]] == s) {
+        mine.push_back(touched[j]);
+      }
+    }
+    // Even with no touched switches of its own, a shard's offset table
+    // must cover new switch ids; prepare resizes it.
+    if (net_.prepare_plan_patch(sh.plan, mine.data(), mine.size(), patch)) {
+      net_.commit_plan_patch(sh.plan, patch);
+    } else {
+      net_.compile_plan_subset(sh.plan, sh.owned.data(), sh.owned.size());
+    }
+  }
+}
+
 void ShardedDataPlane::setup_round(const sden::Packet* pkts,
                                    const sden::SwitchId* ingresses,
                                    std::size_t count,

@@ -90,6 +90,17 @@ class ShardedDataPlane {
   /// changes (installs, dynamics); must not overlap a running round.
   void recompile();
 
+  /// Incremental counterpart of recompile() for the churn path: keeps
+  /// the existing Morton partition fixed (so plan regions stay put),
+  /// assigns any switches added since the last (re)compile to the
+  /// least-loaded shard, and patches only the `count` switches in
+  /// `touched` (sorted, unique) into their owning shards' plans via
+  /// SdenNetwork::prepare/commit_plan_patch, recompiling a shard from
+  /// scratch only when its patch is declined (compaction due). Torn
+  /// down switches keep their owner and stay patched in place as inert
+  /// transit regions. Must not overlap a running round.
+  void patch_plans(const std::uint32_t* touched, std::size_t count);
+
   /// Routes `count` packets, writing results[i] for pkts[i] injected at
   /// ingresses[i] — each bit-identical to SdenNetwork::route on the
   /// same input. Closed-loop: every packet is started as soon as its
