@@ -12,6 +12,7 @@
 #include "obs/events.hpp"
 #include "obs/obs.hpp"
 #include "obs/phase_timer.hpp"
+#include "obs/switch_load.hpp"
 
 namespace gred::core {
 namespace {
@@ -28,6 +29,17 @@ std::size_t total_flow_entries(const sden::SdenNetwork& net) {
     total += net.switch_at(sw).table().entry_count();
   }
   return total;
+}
+
+/// Drops all cached retrieval answers after a pass that moved items
+/// between servers without touching any flow table (replication
+/// repair, item migration). Table-touching ops invalidate implicitly
+/// through SdenNetwork::invalidate_plan; these passes must do it
+/// explicitly or the hot-key cache would serve moved/stale data.
+void drop_cached_answers(sden::SdenNetwork& net) {
+  if (sden::HotKeyCache* cache = net.hot_key_cache()) {
+    cache->invalidate_all();
+  }
 }
 
 /// Captures the before-state of a dynamics op at construction and
@@ -369,6 +381,9 @@ Result<std::size_t> Controller::restore_replication(sden::SdenNetwork& net) {
     }
     ++applied;
   }
+  // New copies change which servers hold an item; cached answers that
+  // name a holder must not outlive the change (stale-home rule).
+  if (!copies.empty()) drop_cached_answers(net);
   if (failure.ok()) return copies.size();
   for (std::size_t i = applied; i-- > 0;) {
     net.server(copies[i].to).erase(copies[i].id);
@@ -492,6 +507,93 @@ Status Controller::retract_range_impl(sden::SdenNetwork& net,
   return Status::Ok();
 }
 
+Result<std::size_t> Controller::extend_for_load(
+    sden::SdenNetwork& net, const obs::SwitchLoadTracker& loads,
+    const LoadExtensionOptions& opts) {
+  if (!initialized_) {
+    return Error(ErrorCode::kFailedPrecondition,
+                 "extend_for_load: Controller not initialized");
+  }
+  if (!(opts.hot_factor >= 1.0)) {  // also rejects NaN
+    return Error(ErrorCode::kInvalidArgument,
+                 "extend_for_load: hot_factor must be >= 1");
+  }
+  if (opts.max_extensions == 0) return std::size_t{0};
+
+  // Baseline: mean EWMA over the DT participants (transit switches
+  // never serve retrievals and would only drag the mean down).
+  const std::vector<SwitchId>& participants = space_.participants();
+  std::vector<std::size_t> over(participants.begin(), participants.end());
+  const double mean = loads.mean_ewma(over);
+  if (mean <= 0.0) return std::size_t{0};
+
+  std::vector<std::pair<double, SwitchId>> hot;
+  for (const SwitchId sw : participants) {
+    const double w = loads.ewma(sw);
+    if (w > opts.hot_factor * mean) hot.emplace_back(w, sw);
+  }
+  // Hottest first; ties by id for determinism.
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+
+  std::size_t performed = 0;
+  for (const auto& [w, sw] : hot) {
+    if (performed >= opts.max_extensions) break;
+    // The switch's busiest extension-free server carries the hot keys.
+    ServerId victim = topology::kNoServer;
+    std::size_t victim_served = 0;
+    for (const ServerId s : net.description().servers_at(sw)) {
+      if (std::as_const(net).switch_at(sw).table().find_rewrite(s) !=
+          nullptr) {
+        continue;
+      }
+      const std::size_t served = net.server(s).retrievals_served();
+      if (victim == topology::kNoServer || served > victim_served) {
+        victim = s;
+        victim_served = served;
+      }
+    }
+    if (victim == topology::kNoServer) continue;
+    // Event-recorded like any capacity-triggered extension; a switch
+    // with no eligible neighbor simply stays hot.
+    if (!extend_range(net, victim).ok()) continue;
+    ++performed;
+    if (!opts.migrate_hot_items) continue;
+
+    // Spread the existing hot set: move the (deterministic) digest-
+    // parity half of the victim's owned items onto the delegate. The
+    // data plane retrieves from both ends of a rewrite, and
+    // retract_range moves exactly these items back, so the extension
+    // stays reversible.
+    const auto rw =
+        std::as_const(net).switch_at(sw).table().match_rewrite(victim);
+    if (!rw.has_value()) continue;
+    sden::ServerNode& owner = net.server(victim);
+    sden::ServerNode& delegate = net.server(rw->replacement);
+    std::vector<std::string> to_move;
+    for (const auto& [id, payload] : owner.items()) {
+      const crypto::DataKey key(id);
+      if (key.mod(2) != 0) continue;
+      const auto placement = expected_placement(net, key);
+      if (placement.ok() && placement.value().server == victim) {
+        to_move.push_back(id);
+      }
+    }
+    std::size_t moved = 0;
+    for (const std::string& id : to_move) {
+      if (delegate.at_capacity()) break;
+      const std::string* payload = owner.find(id);
+      if (payload == nullptr) continue;
+      if (!delegate.store(id, *payload).ok()) break;
+      owner.erase(id);
+      ++moved;
+    }
+    if (moved > 0) drop_cached_answers(net);
+  }
+  return performed;
+}
+
 Result<std::size_t> Controller::migrate_items(sden::SdenNetwork& net) {
   if (replication_factor() > 1) return migrate_items_replicated(net);
   struct Move {
@@ -540,6 +642,8 @@ Result<std::size_t> Controller::migrate_items(sden::SdenNetwork& net) {
     net.server(m.from).erase(m.id);
     ++applied;
   }
+  // Moved items invalidate any cached answer naming the old holder.
+  if (!moves.empty()) drop_cached_answers(net);
   if (failure.ok()) return moves.size();
   for (std::size_t i = applied; i-- > 0;) {
     const Move& m = moves[i];
@@ -646,6 +750,8 @@ Result<std::size_t> Controller::migrate_items_replicated(
   for (const Drop& d : drops) {
     net.server(d.from).erase(d.id);
   }
+  // Moved or dropped copies invalidate cached answers naming them.
+  if (!moves.empty() || !drops.empty()) drop_cached_answers(net);
   return moves.size() + drops.size();
 }
 

@@ -16,6 +16,10 @@
 #include "graph/shortest_path.hpp"
 #include "sden/network.hpp"
 
+namespace gred::obs {
+class SwitchLoadTracker;
+}  // namespace gred::obs
+
 namespace gred::core {
 
 /// Replication policy of the fault-tolerance layer. Replication is
@@ -26,6 +30,20 @@ struct ReplicationOptions {
   /// Total copies per item, including the primary (clamped to the
   /// participant count when the space is smaller).
   std::size_t factor = 2;
+};
+
+/// Policy of Controller::extend_for_load.
+struct LoadExtensionOptions {
+  /// Threshold multiple over the mean EWMA (>= 1).
+  double hot_factor = 2.0;
+  /// Extensions per call (hottest switches first).
+  std::size_t max_extensions = 1;
+  /// Move half the overloaded server's owned items (by digest parity)
+  /// onto the delegate, so existing hot keys — not just future
+  /// placements — spread across the extension. retract_range remains
+  /// the exact inverse (it moves back everything whose expected
+  /// placement is the overloaded server).
+  bool migrate_hot_items = true;
 };
 
 class Controller {
@@ -131,6 +149,19 @@ class Controller {
   /// `overloaded` back (it has capacity again) and removes the rewrite.
   Status retract_range(sden::SdenNetwork& net,
                        topology::ServerId overloaded);
+
+  /// Load-driven range extension (ROADMAP "Hotspot traffic"): instead
+  /// of waiting for a server to fill up, extend when a switch's
+  /// *observed retrieval load* runs hot. A switch is hot when its
+  /// EWMA (tracker windows rolled by the caller) exceeds hot_factor ×
+  /// the participant mean. Extends the busiest extension-free server
+  /// of each hot switch (at most max_extensions) and returns the
+  /// number of extensions performed. Call between retrieval windows,
+  /// after loads.roll_window() — a control-plane op like any other
+  /// dynamics call.
+  Result<std::size_t> extend_for_load(sden::SdenNetwork& net,
+                                      const obs::SwitchLoadTracker& loads,
+                                      const LoadExtensionOptions& opts = {});
 
   // --- Network dynamics (Section VI) ---
 

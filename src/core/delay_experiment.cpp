@@ -26,6 +26,7 @@ struct RoutedRequest {
   std::size_t attempts = 1;
   std::size_t fallbacks = 0;
   bool recovered = false;
+  bool cached = false;
 };
 
 }  // namespace
@@ -81,6 +82,13 @@ Result<DelayExperimentResult> RetrievalDelayExperiment::run(
             }
             report = std::move(single).value();
           }
+          // A cache hit is answered at the ingress: no network legs,
+          // no server visit — phase 2 charges cache_service_ms only.
+          if (report.served_from_cache) {
+            slot.cached = true;
+            slot.outcome = RoutedRequest::Outcome::kOk;
+            continue;
+          }
           // Request leg: cost of the walked route (plus any client
           // backoff spent retrying); response leg: weighted shortest
           // path back from the responder's switch.
@@ -131,6 +139,12 @@ Result<DelayExperimentResult> RetrievalDelayExperiment::run(
       continue;
     }
     const double inject = requests[i].at_ms;
+    if (slot.cached) {
+      ++out.cache_hits;
+      queue.schedule_at(inject + options_.cache_service_ms,
+                        [&, inject] { delays.push_back(queue.now() - inject); });
+      continue;
+    }
     const double req_ms = slot.req_ms;
     const double resp_ms = slot.resp_ms;
     const topology::ServerId responder = slot.responder;

@@ -45,6 +45,13 @@ struct DelayModelOptions {
   /// request leg. Off by default (single attempt, the paper's model).
   bool use_fallback = false;
   RetryPolicy retry;
+  /// Service time charged to a retrieval answered by the ingress
+  /// switch's hot-key cache (served_from_cache reports): no network
+  /// legs, no server FIFO — the switch answers locally. Only relevant
+  /// when the network has its cache enabled; put the cache in kServe
+  /// mode first, since phase 1 routes requests concurrently and only
+  /// probes are concurrency-safe.
+  double cache_service_ms = 0.02;
 };
 
 struct DelayExperimentResult {
@@ -55,6 +62,7 @@ struct DelayExperimentResult {
   std::size_t attempts = 0;   ///< route attempts (= requests unless retrying)
   std::size_t fallbacks = 0;  ///< attempts re-targeted at a replica home
   std::size_t recovered = 0;  ///< requests that succeeded only via retry
+  std::size_t cache_hits = 0;  ///< requests served from a hot-key cache
 };
 
 /// One retrieval request to replay.

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/switch_load.hpp"
 
 namespace gred::core {
 namespace {
@@ -70,6 +71,12 @@ Result<OpReport> GredProtocol::place(const std::string& data_id,
   auto primary = run(
       make_packet(sden::PacketType::kPlacement, data_id, payload), ingress);
   if (!primary.ok()) return primary;
+  // A placement may overwrite an existing payload without touching any
+  // flow table: cached copies of this id must stop serving the old
+  // bytes.
+  if (sden::HotKeyCache* cache = net_->hot_key_cache()) {
+    cache->invalidate_id(crypto::DataKey(data_id).digest());
+  }
   if (controller_->replication_factor() > 1) {
     // k-replica placement: each additional copy keeps the same data_id
     // but re-targets the packet at the replica home's own virtual
@@ -91,13 +98,58 @@ Result<OpReport> GredProtocol::place(const std::string& data_id,
 
 Result<OpReport> GredProtocol::retrieve(const std::string& data_id,
                                         topology::SwitchId ingress) {
-  return run(make_packet(sden::PacketType::kRetrieval, data_id, {}),
-             ingress);
+  sden::Packet pkt = make_packet(sden::PacketType::kRetrieval, data_id, {});
+  const crypto::Digest digest = pkt.key_digest;
+  sden::HotKeyCache* cache = net_->hot_key_cache();
+  obs::SwitchLoadTracker* loads = net_->load_tracker();
+  if (cache != nullptr && cache->enabled()) {
+    if (!controller_->initialized()) {
+      return Error(ErrorCode::kFailedPrecondition,
+                   "GredProtocol: controller not initialized");
+    }
+    if (const sden::HotKeyCache::Entry* hit = cache->probe(ingress, digest)) {
+      // Served at the ingress: no routing, no server visit. The report
+      // mirrors a zero-hop retrieval (stretch 1 by definition);
+      // delivered_to stays empty because no delivery happened.
+      OpReport report;
+      report.ingress = ingress;
+      report.destination = ingress;
+      report.served_from_cache = true;
+      report.route.switch_path.push_back(ingress);
+      report.route.found = true;
+      report.route.responder = hit->responder;
+      report.route.payload = hit->payload;
+      if (loads != nullptr) loads->record(ingress);
+      return report;
+    }
+  }
+  auto r = run(std::move(pkt), ingress);
+  if (r.ok()) {
+    const OpReport& rep = r.value();
+    if (rep.route.found && cache != nullptr && cache->enabled() &&
+        cache->mode() == sden::HotKeyCache::Mode::kLearn) {
+      cache->insert(ingress, digest, rep.route.payload, rep.destination,
+                    rep.route.responder);
+    }
+    // Load lands on the switch whose server answered, which is where
+    // hotspot pressure concentrates (a cache hit above lands on the
+    // ingress instead).
+    if (loads != nullptr) loads->record(rep.destination);
+  }
+  return r;
 }
 
 Result<OpReport> GredProtocol::remove(const std::string& data_id,
                                       topology::SwitchId ingress) {
-  return run(make_packet(sden::PacketType::kRemoval, data_id, {}), ingress);
+  sden::Packet pkt = make_packet(sden::PacketType::kRemoval, data_id, {});
+  const crypto::Digest digest = pkt.key_digest;
+  auto r = run(std::move(pkt), ingress);
+  // Cached copies of a removed id must stop serving even though
+  // removal changes no flow table (so no plan invalidation fires).
+  if (sden::HotKeyCache* cache = net_->hot_key_cache()) {
+    cache->invalidate_id(digest);
+  }
+  return r;
 }
 
 Result<std::vector<OpReport>> GredProtocol::place_replicated(

@@ -46,6 +46,14 @@ struct OpReport {
   double selected_cost = 0.0;
   double shortest_cost = 0.0;
   double latency_stretch = 1.0;
+
+  /// True when the ingress switch's hot-key cache answered the
+  /// retrieval without routing: route.switch_path is just {ingress},
+  /// hops are 0, stretch is 1, and route.delivered_to stays empty
+  /// (no server was visited; route.responder names the original
+  /// filler). The delay model charges cache_service_ms instead of the
+  /// network round trip.
+  bool served_from_cache = false;
 };
 
 /// What a fallback retrieval did, attempt by attempt.
@@ -87,6 +95,16 @@ class GredProtocol {
 
   /// Retrieves `data_id` (Section V-C). `route.found` tells whether any
   /// delivered server held the data.
+  ///
+  /// When the network has its hot-key cache enabled, the ingress
+  /// switch's cache is consulted first: a hit returns a report with
+  /// served_from_cache set (identical payload/found/status by the
+  /// coherence rule in sden/hot_key_cache.hpp); a found miss fills the
+  /// cache when it is in kLearn mode. Cached retrieve() and
+  /// place()/remove() (which invalidate cached copies) must not run
+  /// concurrently with each other; concurrent cached retrievals are
+  /// safe in kServe mode. A load tracker installed on the network is
+  /// credited at the serving switch either way.
   Result<OpReport> retrieve(const std::string& data_id,
                             topology::SwitchId ingress);
 

@@ -69,6 +69,11 @@ class GredSystem {
   Status retract_range(topology::ServerId overloaded) {
     return controller_.retract_range(*net_, overloaded);
   }
+  /// Load-driven range extension (see Controller::extend_for_load).
+  Result<std::size_t> extend_for_load(const obs::SwitchLoadTracker& loads,
+                                      const LoadExtensionOptions& opts = {}) {
+    return controller_.extend_for_load(*net_, loads, opts);
+  }
   Result<topology::SwitchId> add_switch(
       const std::vector<topology::SwitchId>& links, std::size_t servers,
       std::size_t capacity = 0) {

@@ -134,6 +134,8 @@ Result<VirtualSpace> VirtualSpace::build(
     cvt.max_iterations = options.cvt_iterations;
     cvt.energy_threshold = options.cvt_energy_threshold;
     cvt.domain = geometry::Rect{0.0, 0.0, 1.0, 1.0};
+    cvt.density = options.cvt_density;
+    cvt.density_bound = options.cvt_density_bound;
     Rng rng(options.seed);
     geometry::CvtResult refined =
         geometry::c_regulation(vs.mds_positions_, cvt, rng);
@@ -277,6 +279,8 @@ std::size_t VirtualSpace::refine_cvt(const VirtualSpaceOptions& options,
   cvt.energy_threshold = options.cvt_energy_threshold;
   cvt.energy_delta_tolerance = energy_delta_tolerance;
   cvt.domain = geometry::Rect{0.0, 0.0, 1.0, 1.0};
+  cvt.density = options.cvt_density;
+  cvt.density_bound = options.cvt_density_bound;
   Rng rng(options.seed);
   geometry::CvtResult refined = geometry::c_regulation(positions_, cvt, rng);
   positions_ = std::move(refined.sites);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/error.hpp"
@@ -56,6 +57,15 @@ struct VirtualSpaceOptions {
   /// natural reading of the paper's "network distance" on topologies
   /// with heterogeneous link latencies.
   bool weighted_embedding = false;
+
+  /// Optional demand density rho(p) over the unit square for
+  /// C-regulation (default: uniform). With a popularity-weighted
+  /// density, CVT equalizes each switch's share of *expected demand*
+  /// instead of area, shrinking the cells around hotspot regions so
+  /// more switches share the hot keys (ROADMAP "Hotspot traffic").
+  /// Must be bounded above by cvt_density_bound (rejection sampling).
+  std::function<double(const geometry::Point2D&)> cvt_density;
+  double cvt_density_bound = 1.0;
 };
 
 class VirtualSpace {

@@ -1,0 +1,73 @@
+#include "obs/switch_load.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gred::obs {
+
+SwitchLoadTracker::SwitchLoadTracker(std::size_t switches, double alpha)
+    : count_(switches),
+      // Degenerate smoothing factors silently freeze (0) or explode
+      // (NaN) the EWMA; clamp into (0, 1].
+      alpha_(std::isfinite(alpha) ? std::clamp(alpha, 1e-3, 1.0) : 0.5),
+      window_(std::make_unique<std::atomic<std::uint64_t>[]>(switches)),
+      ewma_(switches, 0.0) {}
+
+std::uint64_t SwitchLoadTracker::roll_window() {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < count_; ++s) {
+    // relaxed: the data plane has quiesced when the control plane
+    // rolls the window (contract in the header).
+    const std::uint64_t n = window_[s].exchange(0, std::memory_order_relaxed);
+    total += n;
+    ewma_[s] = alpha_ * static_cast<double>(n) + (1.0 - alpha_) * ewma_[s];
+  }
+  return total;
+}
+
+double SwitchLoadTracker::mean_ewma(const std::vector<std::size_t>& over) const {
+  if (over.empty()) {
+    if (ewma_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : ewma_) sum += v;
+    return sum / static_cast<double>(ewma_.size());
+  }
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t s : over) {
+    if (s < ewma_.size()) {
+      sum += ewma_[s];
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double SwitchLoadTracker::max_ewma() const {
+  double best = 0.0;
+  for (double v : ewma_) best = std::max(best, v);
+  return best;
+}
+
+void SwitchLoadTracker::ensure_switches(std::size_t switches) {
+  if (switches <= count_) return;
+  auto grown = std::make_unique<std::atomic<std::uint64_t>[]>(switches);
+  for (std::size_t s = 0; s < count_; ++s) {
+    // relaxed: control-plane-side copy during growth.
+    grown[s].store(window_[s].load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  }
+  window_ = std::move(grown);
+  ewma_.resize(switches, 0.0);
+  count_ = switches;
+}
+
+void SwitchLoadTracker::reset() {
+  for (std::size_t s = 0; s < count_; ++s) {
+    // relaxed: control-plane-side reset.
+    window_[s].store(0, std::memory_order_relaxed);
+  }
+  std::fill(ewma_.begin(), ewma_.end(), 0.0);
+}
+
+}  // namespace gred::obs

@@ -1,0 +1,75 @@
+// Per-switch observed retrieval load (ROADMAP "Hotspot traffic"): the
+// signal that drives load-based range extension. The data plane bumps
+// a relaxed per-switch window counter on every served retrieval
+// (record(), hot path); the control plane periodically folds the
+// window into a per-switch EWMA (roll_window()) and compares hot
+// switches against the fleet mean (Controller::extend_for_load).
+//
+// Concurrency: record() is safe from concurrent retrievals (relaxed
+// atomic adds). roll_window()/ensure_switches()/the EWMA accessors are
+// control-plane-side and must not run concurrently with record(),
+// matching the network-wide control-vs-data-plane contract.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+
+namespace gred::obs {
+
+class SwitchLoadTracker {
+ public:
+  /// `alpha` is the EWMA smoothing factor in (0, 1]: 1 = only the
+  /// last window counts.
+  explicit SwitchLoadTracker(std::size_t switches, double alpha = 0.5);
+
+  std::size_t switch_count() const { return count_; }
+  double alpha() const { return alpha_; }
+
+  /// Records one served retrieval at switch `sw`. Out-of-range ids
+  /// (a switch added since construction) are dropped, not UB.
+  GRED_HOT_PATH void record(std::size_t sw) {
+    // relaxed: commutative per-switch tally shared only with other
+    // record() calls; roll_window() reads it after the data plane
+    // quiesces, so no ordering is needed.
+    if (sw < count_) window_[sw].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Current (un-rolled) window count of `sw`.
+  std::uint64_t window_count(std::size_t sw) const {
+    // relaxed: reporting read on the control-plane side.
+    return sw < count_ ? window_[sw].load(std::memory_order_relaxed) : 0;
+  }
+
+  /// Folds the current window into each switch's EWMA and zeroes the
+  /// window. Returns the total retrievals observed in the window.
+  std::uint64_t roll_window();
+
+  /// Smoothed per-window load of `sw` (0 for out-of-range).
+  double ewma(std::size_t sw) const {
+    return sw < ewma_.size() ? ewma_[sw] : 0.0;
+  }
+  /// Mean EWMA across the given switches (the extension baseline);
+  /// empty list = all switches.
+  double mean_ewma(const std::vector<std::size_t>& over = {}) const;
+  double max_ewma() const;
+
+  /// Grows to cover `switches` (dynamics add_switch); existing window
+  /// counts and EWMAs are kept.
+  void ensure_switches(std::size_t switches);
+
+  /// Zeroes both the window and the EWMAs.
+  void reset();
+
+ private:
+  std::size_t count_ = 0;
+  double alpha_ = 0.5;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> window_;
+  std::vector<double> ewma_;
+};
+
+}  // namespace gred::obs

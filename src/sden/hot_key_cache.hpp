@@ -1,0 +1,154 @@
+// Per-switch hot-key cache for the retrieval path (ROADMAP "Hotspot
+// traffic"). Zipf retrieval traffic concentrates on a few keys; a
+// small set-associative cache at each ingress switch answers repeats
+// of those keys without routing to the home switch, cutting both tail
+// delay and home-switch load.
+//
+// Coherence rule (the invariant the soak tests pin): a cached entry is
+// only served while nothing that could move, rewrite, or delete data
+// has happened since it was filled. Every control-plane mutation flows
+// through SdenNetwork::invalidate_plan(), which bumps the cache's
+// global epoch — the same conservative hook that invalidates the
+// compiled route plan — and GredProtocol::place/remove additionally
+// invalidate the single affected id (payload overwrite / deletion
+// without a plan change). An entry whose epoch is stale is a miss.
+//
+// Concurrency: probe() is safe concurrently with other probes (the
+// CLOCK reference bits and the hit/miss tallies are relaxed atomics);
+// insert()/invalidate_*()/ensure_switches() are control-plane-side and
+// must not run concurrently with probes, like any control-plane
+// mutation vs. routing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.hpp"
+#include "crypto/sha256.hpp"
+#include "topology/edge_network.hpp"
+
+namespace gred::sden {
+
+class HotKeyCache {
+ public:
+  /// One cached retrieval answer. The payload string keeps its
+  /// capacity across evictions and refills, so a warmed cache inserts
+  /// and serves without heap allocation for same-sized payloads.
+  struct Entry {
+    crypto::Digest digest{};  ///< full H(d): no false hits by design
+    std::string payload;
+    topology::SwitchId home = 0;  ///< switch that served the fill
+    topology::ServerId responder = topology::kNoServer;
+    std::uint64_t epoch = 0;  ///< valid iff == cache epoch
+    bool used = false;
+  };
+
+  /// How GredProtocol::retrieve uses the cache.
+  enum class Mode {
+    kLearn,  ///< probe, and insert on miss (single-threaded callers)
+    kServe,  ///< probe only — safe for concurrent retrievals
+  };
+
+  /// `switches` per-switch sets of `ways` entries each.
+  HotKeyCache(std::size_t switches, std::size_t ways);
+
+  std::size_t switch_count() const { return switch_count_; }
+  std::size_t ways() const { return ways_; }
+
+  /// Master switch: while false, probe() always misses (cheaply) and
+  /// insert() is a no-op. Lets differential tests compare cached vs.
+  /// uncached retrievals on the same network.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  Mode mode() const { return mode_; }
+  void set_mode(Mode m) { mode_ = m; }
+
+  /// Looks `digest` up in switch `sw`'s set. Returns the entry on a
+  /// hit (payload/home/responder readable until the next control-plane
+  /// mutation), nullptr on a miss. Allocation-free.
+  GRED_HOT_PATH const Entry* probe(topology::SwitchId sw,
+                                   const crypto::Digest& digest);
+
+  /// Fills switch `sw`'s set with a served retrieval, evicting by
+  /// CLOCK. Not on the hot path: a miss already routed the packet, and
+  /// the fill copies the payload string.
+  // cold: copies the payload into the entry — one call per cache miss,
+  // never in the steady served-from-cache state.
+  GRED_COLD_PATH void insert(topology::SwitchId sw,
+                             const crypto::Digest& digest,
+                             const std::string& payload,
+                             topology::SwitchId home,
+                             topology::ServerId responder);
+
+  /// Drops every cached entry (epoch bump, O(1)). Hooked into
+  /// SdenNetwork::invalidate_plan: any mutation conservative enough to
+  /// invalidate the route plan also invalidates cached answers.
+  void invalidate_all() {
+    // relaxed: control-plane mutations never run concurrently with
+    // probes (the network-wide contract), so the bump needs atomicity
+    // for the concurrent-probe readers only, not ordering.
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+    // relaxed: same single-writer control-plane tally as above.
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Drops every cached copy of one id (payload overwrite or removal
+  /// without a topology/table change). O(switches × ways).
+  void invalidate_id(const crypto::Digest& digest);
+
+  /// Grows to cover `switches` (dynamics add_switch). Existing entries
+  /// are kept; reference bits reset (they are only eviction hints).
+  void ensure_switches(std::size_t switches);
+
+  /// Empties the cache outright (epoch bump + slot reset), returning
+  /// payload capacity to the allocator.
+  void clear();
+
+  // --- statistics (test/bench plumbing; relaxed tallies) ---
+  std::uint64_t hits() const {
+    // relaxed: commutative tally, read for reporting only.
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    // relaxed: commutative tally, read for reporting only.
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t insertions() const { return insertions_; }
+  std::uint64_t invalidations() const {
+    // relaxed: commutative tally, read for reporting only.
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+  double hit_rate() const {
+    const double h = static_cast<double>(hits());
+    const double total = h + static_cast<double>(misses());
+    return total == 0.0 ? 0.0 : h / total;
+  }
+  void reset_stats();
+
+ private:
+  std::size_t slot_base(topology::SwitchId sw) const {
+    return static_cast<std::size_t>(sw) * ways_;
+  }
+
+  std::size_t switch_count_ = 0;
+  std::size_t ways_ = 0;
+  bool enabled_ = true;
+  Mode mode_ = Mode::kLearn;
+  std::vector<Entry> entries_;  ///< flattened [switch][way]
+  /// CLOCK reference bits, one per entry. Separate atomic array:
+  /// concurrent probes touch them, and Entry itself must stay movable.
+  std::unique_ptr<std::atomic<std::uint8_t>[]> ref_;
+  std::vector<std::uint8_t> hand_;  ///< per-switch CLOCK hand
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+  std::uint64_t insertions_ = 0;  ///< control-plane-side only
+};
+
+}  // namespace gred::sden

@@ -607,6 +607,7 @@ Result<SwitchId> SdenNetwork::add_switch(
   invalidate_plan();
   const SwitchId id = description_.add_switch();
   switches_.emplace_back(id);
+  if (hot_cache_) hot_cache_->ensure_switches(switches_.size());
   for (SwitchId v : links) {
     const Status s = description_.mutable_switches().add_edge(id, v);
     if (!s.ok()) return s.error();
@@ -654,6 +655,19 @@ void SdenNetwork::clear_storage() {
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     servers_[i] = ServerNode(servers_[i].info());
   }
+  // Every cached retrieval answer points at an item that no longer
+  // exists; the fresh-trial reset must not serve ghosts.
+  if (hot_cache_) hot_cache_->invalidate_all();
+}
+
+HotKeyCache& SdenNetwork::enable_hot_key_cache(std::size_t ways) {
+  if (!hot_cache_ || hot_cache_->ways() != ways) {
+    hot_cache_ = std::make_unique<HotKeyCache>(switches_.size(), ways);
+  } else {
+    hot_cache_->ensure_switches(switches_.size());
+    hot_cache_->set_enabled(true);
+  }
+  return *hot_cache_;
 }
 
 }  // namespace gred::sden

@@ -13,11 +13,16 @@
 #include "common/error.hpp"
 #include "common/thread_annotations.hpp"
 #include "sden/fault_state.hpp"
+#include "sden/hot_key_cache.hpp"
 #include "sden/packet.hpp"
 #include "sden/route_plan.hpp"
 #include "sden/server_node.hpp"
 #include "sden/switch.hpp"
 #include "topology/edge_network.hpp"
+
+namespace gred::obs {
+class SwitchLoadTracker;
+}  // namespace gred::obs
 
 namespace gred::sden {
 
@@ -159,11 +164,15 @@ class SdenNetwork {
                          std::size_t server_count);
 
   /// Marks the compiled route plan stale; the next route() rebuilds it.
+  /// Also the hot-key cache's conservative coherence hook: any
+  /// mutation that could move data or rewrite forwarding flows through
+  /// here, so cached retrieval answers are dropped alongside the plan.
   void invalidate_plan() {
     // release: not needed for publication (the REBUILDER's release
     // store of dirty=false publishes the plan), kept so a stale flag
     // observed by route_plan_stale() orders after the mutation.
     plan_->dirty.store(true, std::memory_order_release);
+    if (hot_cache_) hot_cache_->invalidate_all();
   }
 
   /// Whether the compiled plan is currently marked stale (diagnostics
@@ -244,6 +253,23 @@ class SdenNetwork {
   void set_fault_state(const FaultState* faults) { faults_ = faults; }
   const FaultState* fault_state() const { return faults_; }
 
+  /// Creates (or resizes) the per-switch hot-key cache with `ways`
+  /// entries per switch and returns it. The cache is owned by the
+  /// network so every component (protocol, controller hooks, tests)
+  /// sees the same instance; GredProtocol::retrieve consults it.
+  HotKeyCache& enable_hot_key_cache(std::size_t ways = 8);
+  /// The hot-key cache, or nullptr when never enabled.
+  HotKeyCache* hot_key_cache() { return hot_cache_.get(); }
+  const HotKeyCache* hot_key_cache() const { return hot_cache_.get(); }
+
+  /// Installs (or clears, with nullptr) the per-switch retrieval-load
+  /// tracker consulted by GredProtocol::retrieve. Not owned; must stay
+  /// valid while set (same idiom as set_fault_state).
+  void set_load_tracker(obs::SwitchLoadTracker* tracker) {
+    load_tracker_ = tracker;
+  }
+  obs::SwitchLoadTracker* load_tracker() const { return load_tracker_; }
+
  private:
   Status deliver_to_targets(const Decision& decision, Packet& pkt,
                             SwitchId terminal, RouteResult& result);
@@ -273,6 +299,8 @@ class SdenNetwork {
   std::size_t path_reserve_hint_ = 16;
   std::unique_ptr<PlanState> plan_;
   const FaultState* faults_ = nullptr;
+  std::unique_ptr<HotKeyCache> hot_cache_;
+  obs::SwitchLoadTracker* load_tracker_ = nullptr;
 };
 
 }  // namespace gred::sden

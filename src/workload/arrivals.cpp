@@ -1,13 +1,22 @@
 #include "workload/arrivals.hpp"
 
-#include <cassert>
 #include <cmath>
+#include <limits>
+
+#include "check/check.hpp"
 
 namespace gred::workload {
 
 std::vector<double> poisson_arrivals(std::size_t count, double rate_per_ms,
                                      Rng& rng) {
-  assert(rate_per_ms > 0.0);
+  // Hard validation, not assert: a Release-mode rate <= 0 (or NaN)
+  // silently yields negative/NaN/inf timestamps that poison every
+  // delay experiment consuming the stream.
+  if (!std::isfinite(rate_per_ms) || rate_per_ms <= 0.0) {
+    check::invariant_failure(__FILE__, __LINE__,
+                             "rate_per_ms finite && rate_per_ms > 0",
+                             "poisson_arrivals requires a positive rate");
+  }
   std::vector<double> times;
   times.reserve(count);
   double now = 0.0;
@@ -19,6 +28,11 @@ std::vector<double> poisson_arrivals(std::size_t count, double rate_per_ms,
 }
 
 std::vector<double> uniform_arrivals(std::size_t count, double spacing_ms) {
+  if (!std::isfinite(spacing_ms) || spacing_ms < 0.0) {
+    check::invariant_failure(__FILE__, __LINE__,
+                             "spacing_ms finite && spacing_ms >= 0",
+                             "uniform_arrivals requires non-negative spacing");
+  }
   std::vector<double> times;
   times.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -29,6 +43,20 @@ std::vector<double> uniform_arrivals(std::size_t count, double spacing_ms) {
 
 std::vector<double> bursty_arrivals(std::size_t batches,
                                     std::size_t per_batch, double gap_ms) {
+  if (!std::isfinite(gap_ms) || gap_ms < 0.0) {
+    check::invariant_failure(__FILE__, __LINE__,
+                             "gap_ms finite && gap_ms >= 0",
+                             "bursty_arrivals requires a non-negative gap");
+  }
+  // Overflow-checked total before reserve: hostile batches * per_batch
+  // wraps std::size_t and turns the reserve into either a tiny buffer
+  // or an OOM bomb (same class as the parse_snapshot fix).
+  if (per_batch != 0 &&
+      batches > std::numeric_limits<std::size_t>::max() / per_batch) {
+    check::invariant_failure(__FILE__, __LINE__,
+                             "batches * per_batch fits std::size_t",
+                             "bursty_arrivals count overflows");
+  }
   std::vector<double> times;
   times.reserve(batches * per_batch);
   for (std::size_t b = 0; b < batches; ++b) {

@@ -1,7 +1,8 @@
 #include "workload/generators.hpp"
 
-#include <cassert>
 #include <cmath>
+
+#include "check/check.hpp"
 
 namespace gred::workload {
 
@@ -17,7 +18,13 @@ std::vector<std::string> identifier_universe(const std::string& prefix,
 
 std::vector<Op> generate_trace(std::size_t ops, const TraceOptions& options,
                                Rng& rng) {
-  assert(options.switches >= 1 && options.universe >= 1);
+  // Hard validation, not assert: Release-mode zeros reach
+  // Rng::next_below(0) and an empty ZipfSampler universe (both UB).
+  if (options.switches == 0 || options.universe == 0) {
+    check::invariant_failure(__FILE__, __LINE__,
+                             "switches >= 1 && universe >= 1",
+                             "generate_trace requires switches and ids");
+  }
   const std::vector<std::string> ids =
       identifier_universe(options.prefix, options.universe);
   const ZipfSampler popularity(options.universe, options.zipf_exponent);

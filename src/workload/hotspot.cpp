@@ -1,0 +1,154 @@
+#include "workload/hotspot.hpp"
+
+#include <cmath>
+
+#include "check/check.hpp"
+#include "crypto/data_key.hpp"
+
+namespace gred::workload {
+namespace {
+
+bool unit_probability(double p) { return std::isfinite(p) && p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+HotspotWorkload::HotspotWorkload(HotspotOptions options,
+                                 std::vector<geometry::Point2D> positions)
+    : options_(std::move(options)),
+      switch_positions_(std::move(positions)),
+      // Constructed for real below; ZipfSampler has no default state.
+      global_zipf_(1, 0.0) {
+  // Hard validation (src/check conventions): every failure mode here
+  // is silent garbage in Release — empty Zipf universes, next_below(0),
+  // or a zero rotation period that folds all time into region 0.
+  if (options_.universe == 0 || options_.grid == 0 ||
+      switch_positions_.empty()) {
+    check::invariant_failure(__FILE__, __LINE__,
+                             "universe >= 1 && grid >= 1 && switches >= 1",
+                             "HotspotWorkload requires keys, regions, and "
+                             "switch positions");
+  }
+  if (!unit_probability(options_.locality) ||
+      !unit_probability(options_.ingress_locality)) {
+    check::invariant_failure(__FILE__, __LINE__,
+                             "locality, ingress_locality in [0, 1]",
+                             "HotspotWorkload locality probabilities");
+  }
+  if (!std::isfinite(options_.diurnal_period_ms) ||
+      options_.diurnal_period_ms <= 0.0 ||
+      !std::isfinite(options_.mean_interarrival_ms) ||
+      options_.mean_interarrival_ms <= 0.0) {
+    check::invariant_failure(__FILE__, __LINE__,
+                             "diurnal_period_ms > 0 && interarrival > 0",
+                             "HotspotWorkload time parameters");
+  }
+
+  ids_ = identifier_universe(options_.prefix, options_.universe);
+  global_zipf_ = ZipfSampler(options_.universe, options_.zipf_exponent);
+
+  // Bucket keys by the region their hashed position falls in.
+  const std::size_t regions = region_count();
+  std::vector<std::vector<std::size_t>> buckets(regions);
+  key_region_.resize(ids_.size());
+  for (std::size_t k = 0; k < ids_.size(); ++k) {
+    const crypto::SpacePoint p = crypto::DataKey(ids_[k]).position();
+    const std::size_t cell = region_of({p.x, p.y});
+    key_region_[k] = cell;
+    buckets[cell].push_back(k);
+  }
+
+  // Occupied regions in index order; global ranks are assigned
+  // region-by-region so the globally hottest keys share a region (the
+  // "hot keys cluster spatially" affinity).
+  region_slot_.assign(regions, kNoRegion);
+  rank_to_key_.reserve(ids_.size());
+  for (std::size_t cell = 0; cell < regions; ++cell) {
+    if (buckets[cell].empty()) continue;
+    region_slot_[cell] = occupied_.size();
+    occupied_.push_back(cell);
+    region_zipf_.emplace_back(buckets[cell].size(), options_.zipf_exponent);
+    for (std::size_t k : buckets[cell]) rank_to_key_.push_back(k);
+    region_keys_.push_back(std::move(buckets[cell]));
+  }
+
+  // Switches bucketed the same way for localized ingress.
+  region_switches_.assign(regions, {});
+  for (std::size_t s = 0; s < switch_positions_.size(); ++s) {
+    region_switches_[region_of(switch_positions_[s])].push_back(s);
+  }
+}
+
+std::size_t HotspotWorkload::region_of(const geometry::Point2D& p) const {
+  const std::size_t g = options_.grid;
+  const auto clamp_axis = [g](double v) {
+    if (!(v > 0.0)) return std::size_t{0};  // also catches NaN
+    const std::size_t cell =
+        static_cast<std::size_t>(v * static_cast<double>(g));
+    return cell >= g ? g - 1 : cell;
+  };
+  return clamp_axis(p.x) + g * clamp_axis(p.y);
+}
+
+std::size_t HotspotWorkload::active_region(double at_ms) const {
+  const double periods = at_ms / options_.diurnal_period_ms;
+  const std::size_t step =
+      periods <= 0.0 ? 0 : static_cast<std::size_t>(periods);
+  return occupied_[step % occupied_.size()];
+}
+
+std::vector<double> HotspotWorkload::region_demand() const {
+  std::vector<double> demand(region_count(), 0.0);
+  // Each occupied region is active for an equal share of event time;
+  // the remaining (1 - locality) mass follows the global Zipf, whose
+  // ranks are contiguous per region in rank_to_key_ order.
+  const double active_share =
+      options_.locality / static_cast<double>(occupied_.size());
+  std::size_t rank = 0;
+  for (std::size_t slot = 0; slot < occupied_.size(); ++slot) {
+    double mass = active_share;
+    for (std::size_t i = 0; i < region_keys_[slot].size(); ++i) {
+      mass += (1.0 - options_.locality) * global_zipf_.probability(rank++);
+    }
+    demand[occupied_[slot]] = mass;
+  }
+  return demand;
+}
+
+std::size_t HotspotWorkload::sample_key(double at_ms, Rng& rng) const {
+  if (rng.bernoulli(options_.locality)) {
+    const std::size_t slot = region_slot_[active_region(at_ms)];
+    return region_keys_[slot][region_zipf_[slot].sample(rng)];
+  }
+  return rank_to_key_[global_zipf_.sample(rng)];
+}
+
+std::size_t HotspotWorkload::sample_ingress(std::size_t key,
+                                            Rng& rng) const {
+  const std::vector<std::size_t>& local =
+      region_switches_[key_region_[key]];
+  if (!local.empty() && rng.bernoulli(options_.ingress_locality)) {
+    return local[rng.next_below(local.size())];
+  }
+  return rng.next_below(switch_positions_.size());
+}
+
+std::vector<Op> HotspotWorkload::retrieval_trace(std::size_t ops,
+                                                 Rng& rng) const {
+  std::vector<Op> trace;
+  trace.reserve(ops);
+  double now = 0.0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    now += -options_.mean_interarrival_ms *
+           std::log(1.0 - rng.next_double());
+    Op op;
+    op.kind = Op::Kind::kRetrieve;
+    op.at_ms = now;
+    const std::size_t key = sample_key(now, rng);
+    op.data_id = ids_[key];
+    op.access_switch = sample_ingress(key, rng);
+    trace.push_back(std::move(op));
+  }
+  return trace;
+}
+
+}  // namespace gred::workload

@@ -1,13 +1,24 @@
 #include "workload/zipf.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "check/check.hpp"
 
 namespace gred::workload {
 
 ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
-  assert(n >= 1);
+  // Hard validation, not assert: a Release-mode n == 0 would reach
+  // cdf_.back() on an empty vector (UB), and a non-finite exponent
+  // would fill the CDF with NaNs that lower_bound happily searches.
+  if (n == 0) {
+    check::invariant_failure(__FILE__, __LINE__, "n >= 1",
+                             "ZipfSampler requires a non-empty universe");
+  }
+  if (!std::isfinite(s) || s < 0.0) {
+    check::invariant_failure(__FILE__, __LINE__, "s finite && s >= 0",
+                             "ZipfSampler exponent must be finite and >= 0");
+  }
   cdf_.resize(n);
   double acc = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
@@ -21,6 +32,10 @@ ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
 std::size_t ZipfSampler::sample(Rng& rng) const {
   const double u = rng.next_double();
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  // u < 1 and cdf_.back() == 1 make end() unreachable; clamp anyway so
+  // a rounding surprise degrades to the last rank instead of indexing
+  // one past the CDF.
+  if (it == cdf_.end()) return cdf_.size() - 1;
   return static_cast<std::size_t>(it - cdf_.begin());
 }
 

@@ -20,6 +20,7 @@
 #include "fault/fault_plan.hpp"
 #include "fault/fault_session.hpp"
 #include "obs/obs.hpp"
+#include "sden/hot_key_cache.hpp"
 #include "topology/presets.hpp"
 
 namespace gred {
@@ -50,6 +51,12 @@ TEST_F(ChaosSoakTest, SeededFaultsChurnAndConcurrentRetrievals) {
   ASSERT_TRUE(built.ok()) << built.error().to_string();
   GredSystem sys = std::move(built).value();
   ASSERT_TRUE(sys.enable_replication().ok());
+  // The hot-key cache stays enabled through the whole chaos run. The
+  // concurrent fallback batches bypass it by design (only plain
+  // retrieve consults the cache, and learn-mode fills are
+  // single-threaded); the differential checks below pin that every
+  // fault/repair/churn event invalidated conservatively.
+  sden::HotKeyCache& cache = sys.network().enable_hot_key_cache();
 
   Rng rng(0xFA017u);
   std::vector<std::string> live;
@@ -182,6 +189,29 @@ TEST_F(ChaosSoakTest, SeededFaultsChurnAndConcurrentRetrievals) {
             << "t=" << t << " " << ids[i] << ": " << results[i].message;
       }
     }
+
+    // Healthy interludes: cached and uncached retrievals must agree
+    // exactly. (During an active fault a cache hit can legitimately
+    // answer while routing to the down home fails, so the comparison
+    // is only meaningful when no fault is installed.)
+    if (!session.state().any()) {
+      for (int i = 0; i < 4; ++i) {
+        const std::string& id = live[rng.next_below(live.size())];
+        const SwitchId ingress = alive_ingress(session.state());
+        auto warm = sys.retrieve(id, ingress);  // learn-mode fill
+        auto cached = sys.retrieve(id, ingress);
+        cache.set_enabled(false);
+        auto plain = sys.retrieve(id, ingress);
+        cache.set_enabled(true);
+        ASSERT_TRUE(warm.ok() && cached.ok() && plain.ok())
+            << "t=" << t << " " << id;
+        EXPECT_EQ(cached.value().route.found, plain.value().route.found)
+            << "t=" << t << " " << id;
+        EXPECT_EQ(cached.value().route.payload,
+                  plain.value().route.payload)
+            << "t=" << t << " " << id;
+      }
+    }
     ++step;
   }
 
@@ -209,6 +239,29 @@ TEST_F(ChaosSoakTest, SeededFaultsChurnAndConcurrentRetrievals) {
     ASSERT_TRUE(out.ok()) << out.error().to_string();
     EXPECT_TRUE(out.value().found) << id;
   }
+
+  // Post-heal differential sweep: after every crash wipe, replication
+  // repair, and topology change, a cached answer must be bit-identical
+  // to an uncached one for every surviving item.
+  std::size_t cache_served = 0;
+  for (const std::string& id : live) {
+    const SwitchId ingress = alive_ingress({});
+    auto warm = sys.retrieve(id, ingress);
+    auto cached = sys.retrieve(id, ingress);
+    cache.set_enabled(false);
+    auto plain = sys.retrieve(id, ingress);
+    cache.set_enabled(true);
+    ASSERT_TRUE(warm.ok() && cached.ok() && plain.ok()) << id;
+    cache_served += cached.value().served_from_cache ? 1 : 0;
+    EXPECT_EQ(cached.value().route.found, plain.value().route.found) << id;
+    EXPECT_EQ(cached.value().route.payload, plain.value().route.payload)
+        << id;
+    EXPECT_EQ(cached.value().route.responder,
+              plain.value().route.responder)
+        << id;
+  }
+  EXPECT_GT(cache_served, 0u);
+  EXPECT_GT(cache.hits(), 0u);
 
   // Under faults, the vast majority of mid-chaos retrievals still
   // succeed via fallback (the exact count is seed-deterministic).

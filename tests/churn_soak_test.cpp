@@ -14,6 +14,7 @@
 #include "core/protocol.hpp"
 #include "obs/events.hpp"
 #include "obs/obs.hpp"
+#include "sden/hot_key_cache.hpp"
 #include "topology/presets.hpp"
 
 namespace gred::core {
@@ -41,6 +42,10 @@ TEST_F(ChurnSoakTest, RandomChurnPreservesInvariantsAndData) {
   Controller ctrl;
   ASSERT_TRUE(ctrl.initialize(net).ok());
   GredProtocol proto(net, ctrl);
+  // The hot-key cache rides along for the whole soak: every dynamics
+  // event must invalidate conservatively, so cached and uncached
+  // retrievals stay identical at every step.
+  sden::HotKeyCache& cache = net.enable_hot_key_cache();
   Rng rng(0xC0FFEEu);
 
   std::vector<std::string> live;
@@ -67,10 +72,26 @@ TEST_F(ChurnSoakTest, RandomChurnPreservesInvariantsAndData) {
     EXPECT_TRUE(table_report.ok())
         << "step " << step << ": " << table_report.to_string();
     for (const std::string& id : live) {
-      auto r = proto.retrieve(id, random_participant());
+      const SwitchId ingress = random_participant();
+      auto r = proto.retrieve(id, ingress);
       ASSERT_TRUE(r.ok()) << "step " << step << ": " << id;
       EXPECT_TRUE(r.value().route.found)
           << "step " << step << ": lost " << id;
+      // Differential: the repeat may be served from the cache; the
+      // same retrieval with the cache off must agree bit-for-bit.
+      auto cached = proto.retrieve(id, ingress);
+      cache.set_enabled(false);
+      auto plain = proto.retrieve(id, ingress);
+      cache.set_enabled(true);
+      ASSERT_TRUE(cached.ok() && plain.ok())
+          << "step " << step << ": " << id;
+      EXPECT_EQ(cached.value().route.found, plain.value().route.found)
+          << "step " << step << ": " << id;
+      EXPECT_EQ(cached.value().route.payload, plain.value().route.payload)
+          << "step " << step << ": " << id;
+      EXPECT_EQ(cached.value().route.responder,
+                plain.value().route.responder)
+          << "step " << step << ": " << id;
       if (::testing::Test::HasFailure()) return;
     }
   };
@@ -137,6 +158,10 @@ TEST_F(ChurnSoakTest, RandomChurnPreservesInvariantsAndData) {
 
   // Audit trail: one dynamics event per attempted op, success or not.
   EXPECT_EQ(obs::event_log().size(), ops_attempted);
+
+  // The cache actually served repeats during the soak (the repeat
+  // retrieval in `verify` hits whenever no event intervened).
+  EXPECT_GT(cache.hits(), 0u);
 }
 
 }  // namespace

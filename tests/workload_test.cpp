@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/rng.hpp"
@@ -135,6 +136,89 @@ TEST(TraceTest, ZipfSkewShowsInRetrievals) {
     total += c;
   }
   EXPECT_GT(static_cast<double>(max_hits) / total, 0.15);
+}
+
+// Property sweep across (n, s) and seeds, including the degenerate
+// uniform (s = 0) and extreme-skew corners: probabilities form a
+// distribution, every sample is in range (the CDF boundary clamp), and
+// empirical frequency tracks theory.
+TEST(ZipfTest, PropertySweep) {
+  const std::size_t sizes[] = {1, 2, 17, 257};
+  const double exponents[] = {0.0, 0.5, 1.0, 2.5, 6.0};
+  std::uint64_t seed = 40;
+  for (std::size_t n : sizes) {
+    for (double s : exponents) {
+      const ZipfSampler z(n, s);
+      double total = 0.0;
+      for (std::size_t k = 0; k < n; ++k) total += z.probability(k);
+      EXPECT_NEAR(total, 1.0, 1e-9) << "n=" << n << " s=" << s;
+
+      Rng rng(seed++);
+      std::vector<int> counts(n, 0);
+      const int draws = 20000;
+      for (int i = 0; i < draws; ++i) {
+        const std::size_t k = z.sample(rng);
+        ASSERT_LT(k, n) << "n=" << n << " s=" << s;
+        ++counts[k];
+      }
+      for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_NEAR(static_cast<double>(counts[k]) / draws,
+                    z.probability(k), 0.02)
+            << "n=" << n << " s=" << s << " rank " << k;
+      }
+    }
+  }
+}
+
+// ---------- hardening guards (hard checks, active in Release) ----------
+
+TEST(WorkloadGuardDeathTest, ZipfEmptyUniverseAborts) {
+  EXPECT_DEATH(ZipfSampler(0, 1.0), "invariant violated");
+}
+
+TEST(WorkloadGuardDeathTest, ZipfBadExponentAborts) {
+  EXPECT_DEATH(ZipfSampler(5, -1.0), "invariant violated");
+  EXPECT_DEATH(ZipfSampler(5, std::nan("")), "invariant violated");
+}
+
+TEST(WorkloadGuardDeathTest, PoissonNonPositiveRateAborts) {
+  Rng rng(1);
+  EXPECT_DEATH(poisson_arrivals(3, 0.0, rng), "invariant violated");
+  EXPECT_DEATH(poisson_arrivals(3, -2.0, rng), "invariant violated");
+  EXPECT_DEATH(
+      poisson_arrivals(3, std::numeric_limits<double>::infinity(), rng),
+      "invariant violated");
+}
+
+TEST(WorkloadGuardDeathTest, UniformNegativeSpacingAborts) {
+  EXPECT_DEATH(uniform_arrivals(3, -1.0), "invariant violated");
+  EXPECT_DEATH(uniform_arrivals(3, std::nan("")), "invariant violated");
+}
+
+TEST(WorkloadGuardDeathTest, BurstyBadGapAborts) {
+  EXPECT_DEATH(bursty_arrivals(2, 2, -0.5), "invariant violated");
+}
+
+TEST(WorkloadGuardDeathTest, BurstyCountOverflowAborts) {
+  // batches * per_batch wraps std::size_t; the reserve must never see
+  // the wrapped value.
+  EXPECT_DEATH(
+      bursty_arrivals(std::numeric_limits<std::size_t>::max() / 2, 3, 1.0),
+      "invariant violated");
+}
+
+TEST(WorkloadGuardDeathTest, TraceZeroSwitchesAborts) {
+  Rng rng(2);
+  TraceOptions opt;
+  opt.switches = 0;
+  EXPECT_DEATH(generate_trace(10, opt, rng), "invariant violated");
+}
+
+TEST(WorkloadGuardDeathTest, TraceZeroUniverseAborts) {
+  Rng rng(3);
+  TraceOptions opt;
+  opt.universe = 0;
+  EXPECT_DEATH(generate_trace(10, opt, rng), "invariant violated");
 }
 
 // ---------- arrivals ----------
