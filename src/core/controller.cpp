@@ -276,6 +276,10 @@ Status Controller::enable_replication(sden::SdenNetwork& net,
     return Status(ErrorCode::kInvalidArgument,
                   "enable_replication: factor must be >= 1");
   }
+  if (opts.region_diverse && opts.region_grid < 1) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "enable_replication: region_grid must be >= 1");
+  }
   replication_ = opts;
   replication_enabled_ = true;
   // Bring pre-existing items up to the factor right away, so callers
@@ -289,10 +293,87 @@ Status Controller::enable_replication(sden::SdenNetwork& net,
   return Status::Ok();
 }
 
+std::size_t Controller::region_of(const geometry::Point2D& p) const {
+  const std::size_t g = replication_.region_grid;
+  const auto clamp_axis = [g](double v) {
+    if (!(v > 0.0)) return std::size_t{0};  // also catches NaN
+    const std::size_t cell =
+        static_cast<std::size_t>(v * static_cast<double>(g));
+    return cell >= g ? g - 1 : cell;
+  };
+  return clamp_axis(p.x) + g * clamp_axis(p.y);
+}
+
+std::size_t Controller::region_of_participant(topology::SwitchId sw) const {
+  const std::size_t idx = space_.index_of(sw);
+  if (idx >= space_.positions().size()) {
+    return replication_.region_grid * replication_.region_grid;
+  }
+  return region_of(space_.positions()[idx]);
+}
+
+std::size_t Controller::alive_region_count() const {
+  const std::size_t cells =
+      replication_.region_grid * replication_.region_grid;
+  std::vector<std::uint8_t> seen(cells, 0);
+  std::size_t distinct = 0;
+  for (const geometry::Point2D& p : space_.positions()) {
+    const std::size_t r = region_of(p);
+    if (seen[r] == 0) {
+      seen[r] = 1;
+      ++distinct;
+    }
+  }
+  return distinct;
+}
+
 std::vector<topology::SwitchId> Controller::replica_homes(
     const crypto::DataKey& key) const {
   const crypto::SpacePoint pos = key.position();
-  return space_.nearest_participants({pos.x, pos.y}, replication_factor());
+  const geometry::Point2D p{pos.x, pos.y};
+  const std::size_t k = replication_factor();
+  if (!replication_enabled_ || !replication_.region_diverse || k <= 1) {
+    return space_.nearest_participants(p, k);
+  }
+
+  // Region-diverse filter over the nearest order: walk the candidates
+  // ascending by distance, taking the first home of each fresh region.
+  // The nearest participant is taken unconditionally (element 0 stays
+  // home_switch(), so routing and expected placement never move), and
+  // when fewer than k regions are populated the remainder falls back
+  // to the nearest skipped candidates — plain nearest-k behaviour.
+  // Candidate fetches double until the filter is satisfied or the
+  // whole space has been scanned, keeping the common case O(k) homes
+  // from an O(4k) prefix instead of an O(n) scan.
+  const std::size_t n = space_.participants().size();
+  std::size_t fetch = std::min(n, std::max<std::size_t>(4 * k, 8));
+  for (;;) {
+    const std::vector<topology::SwitchId> cand =
+        space_.nearest_participants(p, fetch);
+    std::vector<topology::SwitchId> homes;
+    std::vector<std::size_t> used_regions;
+    homes.reserve(k);
+    for (const topology::SwitchId sw : cand) {
+      if (homes.size() == k) break;
+      const std::size_t r = region_of_participant(sw);
+      if (std::find(used_regions.begin(), used_regions.end(), r) !=
+          used_regions.end()) {
+        continue;
+      }
+      homes.push_back(sw);
+      used_regions.push_back(r);
+    }
+    if (homes.size() == k || fetch == n) {
+      for (const topology::SwitchId sw : cand) {
+        if (homes.size() == k) break;
+        if (std::find(homes.begin(), homes.end(), sw) == homes.end()) {
+          homes.push_back(sw);
+        }
+      }
+      return homes;
+    }
+    fetch = std::min(n, fetch * 2);
+  }
 }
 
 Result<std::vector<Controller::Placement>> Controller::replica_placements(

@@ -30,6 +30,17 @@ struct ReplicationOptions {
   /// Total copies per item, including the primary (clamped to the
   /// participant count when the space is smaller).
   std::size_t factor = 2;
+  /// Region-diverse placement (disaster tolerance): label each
+  /// participant with its cell of a region_grid x region_grid
+  /// partition of the virtual space and filter the nearest-k order so
+  /// the k replica homes land in k distinct regions whenever that many
+  /// regions are alive — a correlated regional outage then destroys at
+  /// most one copy. Falls back to plain nearest order for whatever
+  /// can't be diversified. The primary home (element 0) is never
+  /// moved, so single-copy routing is unchanged.
+  bool region_diverse = false;
+  /// G of the G x G region partition (>= 1).
+  std::size_t region_grid = 4;
 };
 
 /// Policy of Controller::extend_for_load.
@@ -114,8 +125,22 @@ class Controller {
 
   /// The replica home switches of `key`, ascending by virtual-space
   /// distance from the key's position (element 0 == home_switch()).
+  /// With region-diverse replication on, the tail homes are the
+  /// nearest participants in distinct regions (graceful fallback when
+  /// fewer regions than copies are alive).
   std::vector<topology::SwitchId> replica_homes(
       const crypto::DataKey& key) const;
+
+  /// Region label of `p` under the replication policy's G x G
+  /// partition of the virtual space (same cell formula as the hotspot
+  /// workload grid).
+  std::size_t region_of(const geometry::Point2D& p) const;
+  /// Region label of participant `sw`; the out-of-range sentinel
+  /// grid*grid when `sw` is not a participant.
+  std::size_t region_of_participant(topology::SwitchId sw) const;
+  /// Distinct region labels among the current participants — the
+  /// upper bound on achievable replica diversity.
+  std::size_t alive_region_count() const;
 
   /// Expected placement of every replica of `key`: one (switch,
   /// server) per replica home, H(d) mod s at each home.

@@ -234,6 +234,11 @@ Result<RetrievalOutcome> GredProtocol::retrieve_with_fallback(
     }
     const bool fallback = !homes.empty() && attempt % homes.size() != 0;
     sden::Packet pkt = make_packet(sden::PacketType::kRetrieval, data_id, {});
+    // Each attempt is a distinct send: salt the flaky-link drop hash
+    // with the ordinal so a retry of the same key along the same link
+    // gets a fresh drop decision (otherwise a flaky link that dropped
+    // attempt 0 drops every retry too, regardless of backoff).
+    pkt.retry_attempt = static_cast<std::uint32_t>(attempt);
     if (fallback) {
       pkt.target =
           net_->const_switch_at(homes[attempt % homes.size()]).position();

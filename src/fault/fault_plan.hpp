@@ -17,9 +17,11 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "geometry/point.hpp"
 #include "topology/edge_network.hpp"
 
 namespace gred::fault {
@@ -28,6 +30,10 @@ enum class FaultKind : std::uint8_t {
   kSwitchCrash,  ///< switch dies; its stored items are lost
   kLinkDown,     ///< permanent link failure (repaired by remove_link)
   kLinkFlaky,    ///< transient loss: link drops packets with probability p
+  kRegionKill,   ///< correlated disaster: every switch in a region of the
+                 ///< virtual space crashes in the same timeline step
+  kPartition,    ///< correlated disaster: every link crossing a sampled
+                 ///< cut line goes down, restored together later
 };
 
 const char* to_string(FaultKind kind);
@@ -45,6 +51,22 @@ struct FaultEvent {
   /// Event-clock index of the controller recompute
   /// (= at_event + stale_window).
   std::size_t repair_at = 0;
+
+  // --- correlated disasters only ---
+  /// kRegionKill: the switches dying together, pre-ordered so that
+  /// removing them one by one keeps the survivors connected after
+  /// every prefix (the repair replays exactly this order).
+  std::vector<topology::SwitchId> members;
+  /// kPartition: the links crossing the sampled cut, as drawn from the
+  /// probe topology at generation time.
+  std::vector<std::pair<topology::SwitchId, topology::SwitchId>> cut_links;
+  /// Disaster geometry (diagnostics): disc/box anchor for a region
+  /// kill; a point on the cut line for a partition.
+  geometry::Point2D center{};
+  /// Disc radius of a kRegionKill (0 for box kills).
+  double radius = 0.0;
+  /// Unit normal of a kPartition cut line.
+  geometry::Point2D normal{};
 };
 
 struct FaultPlanOptions {
@@ -64,6 +86,36 @@ struct FaultPlanOptions {
   std::uint64_t seed = 1;
 };
 
+/// Footprint of a region-kill disaster in the virtual space.
+enum class RegionShape : std::uint8_t {
+  kDisc,  ///< all switches within `region_radius` of a sampled anchor
+  kBox,   ///< all switches in the anchor's cell of a GxG grid
+};
+
+/// Options of FaultPlan::generate_disasters — a schedule of correlated
+/// events (region kills and partitions) instead of independent point
+/// faults. Disasters are drawn against the *virtual-space positions*
+/// of the participants, so a kill footprint matches the region labels
+/// replica placement diversifies over.
+struct DisasterPlanOptions {
+  std::size_t region_kills = 1;
+  std::size_t partitions = 0;
+  RegionShape region_shape = RegionShape::kDisc;
+  /// kDisc: kill radius in virtual-space units ([0,1]^2 space).
+  double region_radius = 0.15;
+  /// kBox: grid dimension; the kill wipes one whole G x G cell. Align
+  /// with ReplicationOptions::region_grid to model "a labelled region
+  /// dies" exactly.
+  std::size_t box_grid = 4;
+  std::size_t schedule_length = 1000;
+  /// Events between a region kill and its controller recompute.
+  std::size_t stale_window = 4;
+  /// Events a partition stays up before the cut heals (partitions are
+  /// restored, not repaired by topology surgery).
+  std::size_t partition_length = 8;
+  std::uint64_t seed = 1;
+};
+
 class FaultPlan {
  public:
   /// Builds a schedule against `net`'s switch topology. Fails on a
@@ -72,12 +124,33 @@ class FaultPlan {
   static Result<FaultPlan> generate(const topology::EdgeNetwork& net,
                                     const FaultPlanOptions& options = {});
 
-  /// Events ascending by at_event; repair_at is ascending too (the
-  /// stale window is constant), so repairs apply in the same order.
+  /// Builds a correlated-disaster schedule. `participants` /
+  /// `positions` are the controller's virtual-space embedding (parallel
+  /// vectors); links between switches without a position are never cut
+  /// and unpositioned switches never die in a region kill. Same
+  /// applicability guarantee as generate(): every region kill keeps
+  /// the survivors connected (validated against a sequential probe,
+  /// with a per-member removal order every prefix of which stays
+  /// connected), so the repair-time remove_switch calls always apply.
+  /// Partitions may disconnect the network — that is their point — but
+  /// they heal without a topology change. A disaster that finds no
+  /// valid footprint after bounded tries is skipped, so the plan can
+  /// carry fewer events than requested.
+  static Result<FaultPlan> generate_disasters(
+      const topology::EdgeNetwork& net,
+      const std::vector<topology::SwitchId>& participants,
+      const std::vector<geometry::Point2D>& positions,
+      const DisasterPlanOptions& options = {});
+
+  /// Events ascending by at_event; repair_at is non-decreasing too
+  /// (constant window for point faults; disaster generation clamps),
+  /// so repairs apply in the same order.
   const std::vector<FaultEvent>& events() const { return events_; }
   const FaultPlanOptions& options() const { return options_; }
 
   std::size_t switch_crashes() const;
+  /// Events of a given kind in the plan.
+  std::size_t count(FaultKind kind) const;
 
  private:
   std::vector<FaultEvent> events_;

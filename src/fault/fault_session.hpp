@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <string>
 
 #include "common/error.hpp"
 #include "core/system.hpp"
@@ -25,6 +27,24 @@
 #include "sden/fault_state.hpp"
 
 namespace gred::fault {
+
+/// Per-item recovery accounting (RPO/RTO inputs). Times are event-clock
+/// indices of the session scans that observed each transition.
+struct RecoveryRecord {
+  static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+  /// First scan at which zero copies were reachable (kNever = always
+  /// available). Items counted here are the recovery *point* exposure.
+  std::size_t first_unavailable = kNever;
+  /// First scan back at the full replication target after a
+  /// degradation; with first_unavailable, yields the recovery time.
+  std::size_t restored_at = kNever;
+  /// Zero copies reachable at the latest scan (a final true = the
+  /// disaster destroyed every copy; the item is gone).
+  bool lost = false;
+  /// Currently below the replication target (internal bookkeeping,
+  /// exposed for diagnostics).
+  bool degraded = false;
+};
 
 class FaultSession {
  public:
@@ -56,12 +76,33 @@ class FaultSession {
   /// fault genuinely destroyed; only replication can recover them.
   std::size_t items_wiped() const { return items_wiped_; }
 
+  /// Opt-in RPO/RTO accounting: scans item availability after every
+  /// applied action (and once now, as the baseline). A copy counts as
+  /// reachable when its server is attached to an up switch inside the
+  /// largest connected component of the up topology with hard-down
+  /// links removed — i.e. the network a surviving ingress can actually
+  /// route in. O(servers + items) per action; keep off on hot benches.
+  void enable_recovery_tracking();
+  bool recovery_tracking() const { return track_recovery_; }
+  const std::map<std::string, RecoveryRecord>& recovery() const {
+    return recovery_;
+  }
+  /// Items that at some scan had zero reachable copies (RPO exposure).
+  std::size_t items_ever_unavailable() const;
+  /// Items with zero copies at the latest scan (destroyed outright).
+  std::size_t items_lost() const;
+  /// Max event-clock span from first-unavailable to fully-restored
+  /// over recovered items (0 when nothing went unavailable and came
+  /// back) — the observed worst-case recovery time.
+  std::size_t max_recovery_time() const;
+
   const FaultPlan& plan() const { return plan_; }
   const sden::FaultState& state() const { return state_; }
 
  private:
   void inject(const FaultEvent& event);
   Status repair(const FaultEvent& event);
+  void scan_recovery(std::size_t now);
 
   core::GredSystem* system_;
   FaultPlan plan_;
@@ -69,6 +110,8 @@ class FaultSession {
   std::size_t next_inject_ = 0;
   std::size_t next_repair_ = 0;
   std::size_t items_wiped_ = 0;
+  bool track_recovery_ = false;
+  std::map<std::string, RecoveryRecord> recovery_;
 };
 
 }  // namespace gred::fault

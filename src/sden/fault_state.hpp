@@ -96,17 +96,24 @@ struct FaultState {
 /// Salt used by both routers for the drop hash: the low 64 bits of the
 /// cached key digest when present, else a hash of the identifier. The
 /// two derivations agree for any packet built through Packet::set_key.
+/// A non-zero retry ordinal is mixed in on top, so a retried request
+/// re-rolls every flaky-link drop decision instead of hashing to the
+/// identical drop forever; attempt 0 leaves the salt untouched, which
+/// keeps plain (non-retry) routing bit-identical to older seeds.
 inline std::uint64_t fault_packet_salt(const Packet& pkt) {
+  std::uint64_t h = 0;
   if (pkt.has_key_digest) {
-    std::uint64_t lo = 0;
     for (std::size_t i = 0; i < 8; ++i) {
-      lo = (lo << 8) | pkt.key_digest[24 + i];
+      h = (h << 8) | pkt.key_digest[24 + i];
     }
-    return lo;
+  } else {
+    h = 0x9e3779b97f4a7c15ULL;
+    for (const char c : pkt.data_id) {
+      h = mix64(h ^ static_cast<std::uint8_t>(c));
+    }
   }
-  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (const char c : pkt.data_id) {
-    h = mix64(h ^ static_cast<std::uint8_t>(c));
+  if (pkt.retry_attempt != 0) {
+    h = mix64(h ^ (0xd1b54a32d192ed03ULL + pkt.retry_attempt));
   }
   return h;
 }

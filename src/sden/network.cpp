@@ -9,6 +9,7 @@
 #include "common/mutex.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
+#include "obs/switch_load.hpp"
 #include "obs/trace.hpp"
 #include "sden/plan_walk.hpp"
 #include "sden/route_errors.hpp"
@@ -608,6 +609,10 @@ Result<SwitchId> SdenNetwork::add_switch(
   const SwitchId id = description_.add_switch();
   switches_.emplace_back(id);
   if (hot_cache_) hot_cache_->ensure_switches(switches_.size());
+  // Grow the load tracker too: record() silently ignores ids beyond
+  // its size, so without this a post-join switch would be invisible
+  // to extend_for_load no matter how hot it runs.
+  if (load_tracker_) load_tracker_->ensure_switches(switches_.size());
   for (SwitchId v : links) {
     const Status s = description_.mutable_switches().add_edge(id, v);
     if (!s.ok()) return s.error();

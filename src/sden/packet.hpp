@@ -58,6 +58,13 @@ struct Packet {
   bool has_key_digest = false;
   crypto::Digest key_digest{};
 
+  /// Retry ordinal of this packet (0 = first send). Not on the wire:
+  /// it only salts the deterministic flaky-link drop hash so a resend
+  /// of the same request rolls a fresh drop decision instead of
+  /// deterministically falling into the same hole forever. Zero keeps
+  /// the salt bit-identical to the pre-retry derivation.
+  std::uint32_t retry_attempt = 0;
+
   void set_key(const crypto::DataKey& key) {
     key_digest = key.digest();
     has_key_digest = true;

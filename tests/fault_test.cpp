@@ -346,5 +346,366 @@ TEST(FaultSessionTest, InjectsThenRepairsAndEndsClean) {
   EXPECT_EQ(lost, 0u);
 }
 
+// --- Bugfix regressions: hot-key cache vs. fault injection ---
+
+// A cached answer must never serve data whose holder has crashed: the
+// crash destroyed the copy, so serving from the cache masks the outage
+// (and corrupts any recovery accounting built on real retrievals).
+// Regression for the missing epoch bump on FaultSession::inject.
+TEST(FaultSessionTest, CrashInjectionInvalidatesCachedAnswers) {
+  GredSystem sys = make_system(4, 4);
+  sys.network().enable_hot_key_cache();
+
+  FaultPlanOptions opts;
+  opts.event_count = 1;
+  opts.schedule_length = 40;
+  opts.stale_window = 5;
+  opts.crash_weight = 1.0;
+  opts.link_down_weight = 0.0;
+  opts.flaky_weight = 0.0;
+  opts.seed = 11;
+  auto plan = FaultPlan::generate(sys.network().description(), opts);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().events().size(), 1u);
+  ASSERT_EQ(plan.value().events()[0].kind, FaultKind::kSwitchCrash);
+  const SwitchId doomed = plan.value().events()[0].subject;
+
+  // An item homed at the doomed switch, warmed into the cache from a
+  // healthy ingress.
+  std::string victim;
+  for (int i = 0; i < 400 && victim.empty(); ++i) {
+    const std::string id = "cache-crash-" + std::to_string(i);
+    const crypto::SpacePoint pos = crypto::DataKey(id).position();
+    if (sys.controller().home_switch({pos.x, pos.y}) == doomed) victim = id;
+  }
+  ASSERT_FALSE(victim.empty());
+  const SwitchId ingress = doomed == 0 ? 1 : 0;
+  ASSERT_TRUE(sys.place(victim, "doomed-payload", ingress).ok());
+  ASSERT_TRUE(sys.retrieve(victim, ingress).ok());  // learn-mode fill
+  auto warm = sys.retrieve(victim, ingress);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm.value().served_from_cache);
+
+  FaultSession session(sys, std::move(plan).value());
+  auto step = session.advance(session.plan().events()[0].at_event);
+  ASSERT_TRUE(step.ok());
+  ASSERT_EQ(session.injected(), 1u);
+  ASSERT_EQ(session.repaired(), 0u);
+
+  // The holder is down and its data is gone: the retrieval must fail
+  // through real routing, never answer from the pre-crash cache.
+  auto during = sys.retrieve(victim, ingress);
+  EXPECT_FALSE(during.ok() && during.value().served_from_cache)
+      << "cached answer served for a crashed holder";
+  EXPECT_FALSE(during.ok());
+
+  ASSERT_TRUE(session.finish().ok());
+}
+
+// --- Bugfix regression: flaky-link drops vs. retries ---
+
+// The drop hash used to depend only on (seed, link, key digest), so a
+// retry of the same packet along the same link hashed to the identical
+// drop decision forever — a 50% flaky link became a 100% black hole
+// for exactly the keys it first dropped, regardless of backoff. The
+// attempt ordinal now salts the hash.
+TEST(RetryFallback, FlakyLinkEventuallySucceeds) {
+  auto built = GredSystem::create(
+      topology::uniform_edge_network(topology::line(2), 1));
+  ASSERT_TRUE(built.ok());
+  GredSystem sys = std::move(built).value();
+
+  // Items homed at switch 1, retrieved from ingress 0: every request
+  // crosses the single (0, 1) link.
+  std::vector<std::string> candidates;
+  for (int i = 0; i < 200; ++i) {
+    const std::string id = "flaky-" + std::to_string(i);
+    const crypto::SpacePoint pos = crypto::DataKey(id).position();
+    if (sys.controller().home_switch({pos.x, pos.y}) == 1) {
+      ASSERT_TRUE(sys.place(id, "v-" + id, 0).ok());
+      candidates.push_back(id);
+    }
+  }
+  ASSERT_FALSE(candidates.empty());
+
+  sden::FaultState faults;
+  faults.seed = 77;
+  faults.set_link_drop(0, 1, 0.5);
+  sys.network().set_fault_state(&faults);
+
+  // A key whose first attempt deterministically drops.
+  std::string victim;
+  for (const std::string& id : candidates) {
+    if (!sys.retrieve(id, 0).ok()) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_FALSE(victim.empty()) << "no key dropped on first attempt";
+
+  RetryPolicy policy;
+  policy.max_attempts = 20;
+  auto out = sys.retrieve_with_fallback(victim, 0, policy);
+  sys.network().set_fault_state(nullptr);
+  ASSERT_TRUE(out.ok()) << out.error().to_string();
+  EXPECT_TRUE(out.value().found)
+      << "every retry hashed to the same drop decision";
+  EXPECT_GT(out.value().attempts, 1u);
+  EXPECT_TRUE(out.value().recovered);
+  EXPECT_EQ(out.value().report.route.payload, "v-" + victim);
+}
+
+// --- Region-diverse replication ---
+
+TEST(RegionDiverseReplication, HomesLandInDistinctRegions) {
+  GredSystem sys = make_system(5, 5);
+  ReplicationOptions opts;
+  opts.factor = 2;
+  opts.region_diverse = true;
+  opts.region_grid = 2;
+  ASSERT_TRUE(sys.enable_replication(opts).ok());
+  ASSERT_GE(sys.controller().alive_region_count(), 2u);
+  for (int i = 0; i < 40; ++i) {
+    const crypto::DataKey key("rd-" + std::to_string(i));
+    const auto homes = sys.controller().replica_homes(key);
+    ASSERT_EQ(homes.size(), 2u);
+    // Primary unchanged: element 0 is still the true nearest home.
+    const crypto::SpacePoint pos = key.position();
+    EXPECT_EQ(homes[0], sys.controller().home_switch({pos.x, pos.y}));
+    EXPECT_NE(sys.controller().region_of_participant(homes[0]),
+              sys.controller().region_of_participant(homes[1]))
+        << "replicas co-located in one region for key " << i;
+  }
+}
+
+TEST(RegionDiverseReplication, FallsBackToNearestOrderWhenOneRegion) {
+  GredSystem sys = make_system(4, 4);
+  ReplicationOptions opts;
+  opts.factor = 3;
+  opts.region_diverse = true;
+  opts.region_grid = 1;  // a single region: diversity is impossible
+  ASSERT_TRUE(sys.enable_replication(opts).ok());
+  EXPECT_EQ(sys.controller().alive_region_count(), 1u);
+  for (int i = 0; i < 20; ++i) {
+    const crypto::DataKey key("fb-" + std::to_string(i));
+    const crypto::SpacePoint pos = key.position();
+    const auto homes = sys.controller().replica_homes(key);
+    const auto plain =
+        sys.controller().space().nearest_participants({pos.x, pos.y}, 3);
+    EXPECT_EQ(homes, plain);
+  }
+}
+
+TEST(RegionDiverseReplication, InvariantHoldsAcrossChurn) {
+  GredSystem sys = make_system(5, 5);
+  ReplicationOptions opts;
+  opts.factor = 2;
+  opts.region_diverse = true;
+  opts.region_grid = 2;
+  ASSERT_TRUE(sys.enable_replication(opts).ok());
+  std::vector<std::string> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back("churn-rd-" + std::to_string(i));
+    ASSERT_TRUE(
+        sys.place(ids.back(), "v", static_cast<SwitchId>(i % 25)).ok());
+  }
+  ASSERT_TRUE(sys.remove_switch(7).ok());
+  auto added = sys.add_switch({3, 12}, /*servers=*/2);
+  ASSERT_TRUE(added.ok());
+  // Every dynamics repair re-derived placements through the filtered
+  // replica_homes, so the two holders of every item still sit in two
+  // distinct regions.
+  for (const std::string& id : ids) {
+    const auto held_by = holders(sys, id);
+    ASSERT_EQ(held_by.size(), 2u) << id;
+    std::set<std::size_t> regions;
+    for (const auto server : held_by) {
+      const auto sw = sys.network().description().server(server).attached_to;
+      regions.insert(sys.controller().region_of_participant(sw));
+    }
+    EXPECT_EQ(regions.size(), 2u) << id;
+  }
+}
+
+// --- Disaster plans ---
+
+fault::DisasterPlanOptions disaster_options() {
+  fault::DisasterPlanOptions d;
+  d.region_kills = 1;
+  d.partitions = 0;
+  d.region_shape = fault::RegionShape::kBox;
+  d.box_grid = 2;
+  d.schedule_length = 100;
+  d.stale_window = 5;
+  d.seed = 9;
+  return d;
+}
+
+TEST(DisasterPlanTest, DeterministicForSeed) {
+  GredSystem sys = make_system(5, 5);
+  const auto& parts = sys.controller().space().participants();
+  const auto& pos = sys.controller().space().positions();
+  auto d = disaster_options();
+  d.region_kills = 2;
+  d.partitions = 2;
+  auto a = FaultPlan::generate_disasters(sys.network().description(), parts,
+                                         pos, d);
+  auto b = FaultPlan::generate_disasters(sys.network().description(), parts,
+                                         pos, d);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a.value().events().size(), b.value().events().size());
+  for (std::size_t i = 0; i < a.value().events().size(); ++i) {
+    const auto& ea = a.value().events()[i];
+    const auto& eb = b.value().events()[i];
+    EXPECT_EQ(ea.kind, eb.kind);
+    EXPECT_EQ(ea.at_event, eb.at_event);
+    EXPECT_EQ(ea.repair_at, eb.repair_at);
+    EXPECT_EQ(ea.members, eb.members);
+    EXPECT_EQ(ea.cut_links, eb.cut_links);
+  }
+  // Repairs stay in event order even with mixed repair windows.
+  std::size_t last_repair = 0;
+  for (const auto& e : a.value().events()) {
+    EXPECT_GE(e.at_event + 1, 1u);
+    EXPECT_GE(e.repair_at, e.at_event);
+    EXPECT_GE(e.repair_at, last_repair);
+    last_repair = e.repair_at;
+  }
+}
+
+TEST(DisasterPlanTest, RegionKillReplaysCleanAndRestoresFactor) {
+  GredSystem sys = make_system(5, 5);
+  ReplicationOptions ropts;
+  ropts.factor = 2;
+  ropts.region_diverse = true;
+  ropts.region_grid = 2;
+  ASSERT_TRUE(sys.enable_replication(ropts).ok());
+  std::vector<std::string> ids;
+  for (int i = 0; i < 60; ++i) {
+    ids.push_back("disaster-" + std::to_string(i));
+    ASSERT_TRUE(
+        sys.place(ids.back(), "v", static_cast<SwitchId>(i % 25)).ok());
+  }
+
+  auto plan = FaultPlan::generate_disasters(
+      sys.network().description(), sys.controller().space().participants(),
+      sys.controller().space().positions(), disaster_options());
+  ASSERT_TRUE(plan.ok()) << plan.error().to_string();
+  ASSERT_EQ(plan.value().count(FaultKind::kRegionKill), 1u);
+  const auto members = plan.value().events()[0].members;
+  ASSERT_GE(members.size(), 2u) << "kill box too small to be correlated";
+
+  FaultSession session(sys, std::move(plan).value());
+  session.enable_recovery_tracking();
+  auto done = session.finish();
+  ASSERT_TRUE(done.ok()) << done.error().to_string();
+  EXPECT_TRUE(session.done());
+  EXPECT_FALSE(session.state().any());
+
+  // The whole region is gone from the topology...
+  for (const SwitchId m : members) {
+    EXPECT_TRUE(sys.network().description().servers_at(m).empty());
+  }
+  // ...yet region-diverse k=2 kept a copy of everything outside the
+  // box, and every repair restored the factor: zero items lost.
+  EXPECT_EQ(session.items_lost(), 0u);
+  for (const std::string& id : ids) {
+    EXPECT_EQ(holders(sys, id).size(), 2u) << id;
+  }
+  // Items that only degraded (lost one of two copies) were restored.
+  for (const auto& [id, rec] : session.recovery()) {
+    EXPECT_FALSE(rec.degraded) << id;
+  }
+}
+
+TEST(DisasterPlanTest, PartitionInjectsHealsAndDestroysNothing) {
+  GredSystem sys = make_system(5, 5);
+  ASSERT_TRUE(sys.enable_replication().ok());
+  std::vector<std::string> ids;
+  for (int i = 0; i < 40; ++i) {
+    ids.push_back("part-" + std::to_string(i));
+    ASSERT_TRUE(
+        sys.place(ids.back(), "v", static_cast<SwitchId>(i % 25)).ok());
+  }
+  const std::size_t switches_before = sys.network().switch_count();
+
+  auto d = disaster_options();
+  d.region_kills = 0;
+  d.partitions = 1;
+  d.partition_length = 10;
+  auto plan = FaultPlan::generate_disasters(
+      sys.network().description(), sys.controller().space().participants(),
+      sys.controller().space().positions(), d);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().count(FaultKind::kPartition), 1u);
+  const auto& event = plan.value().events()[0];
+  ASSERT_FALSE(event.cut_links.empty());
+
+  FaultSession session(sys, std::move(plan).value());
+  session.enable_recovery_tracking();
+  auto step = session.advance(event.at_event);
+  ASSERT_TRUE(step.ok());
+  EXPECT_TRUE(session.state().any());
+  // Mid-partition retrievals may fail, but always classified.
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  for (int i = 0; i < 10; ++i) {
+    auto out = sys.retrieve_with_fallback(ids[static_cast<std::size_t>(i)],
+                                          0, policy);
+    ASSERT_TRUE(out.ok()) << out.error().to_string();
+    if (!out.value().found) {
+      EXPECT_NE(out.value().final_status.error().code,
+                ErrorCode::kInternal);
+    }
+  }
+
+  auto done = session.finish();
+  ASSERT_TRUE(done.ok()) << done.error().to_string();
+  EXPECT_FALSE(session.state().any());
+  // A partition severs links without destroying anything: the healed
+  // network has the same topology and every copy of every item.
+  EXPECT_EQ(sys.network().switch_count(), switches_before);
+  EXPECT_EQ(session.items_wiped(), 0u);
+  EXPECT_EQ(session.items_lost(), 0u);
+  for (const std::string& id : ids) {
+    EXPECT_EQ(holders(sys, id).size(), 2u) << id;
+    auto out = sys.retrieve(id, 0);
+    ASSERT_TRUE(out.ok()) << id;
+    EXPECT_TRUE(out.value().route.found) << id;
+  }
+}
+
+TEST(DisasterPlanTest, RecoveryTrackingExposesRpoWithoutReplication) {
+  // Single-copy placement: a region kill genuinely destroys whatever
+  // lived inside the box, and recovery accounting must say so.
+  GredSystem sys = make_system(5, 5);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 60; ++i) {
+    ids.push_back("rpo-" + std::to_string(i));
+    ASSERT_TRUE(
+        sys.place(ids.back(), "v", static_cast<SwitchId>(i % 25)).ok());
+  }
+  auto plan = FaultPlan::generate_disasters(
+      sys.network().description(), sys.controller().space().participants(),
+      sys.controller().space().positions(), disaster_options());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.value().count(FaultKind::kRegionKill), 1u);
+  ASSERT_GE(plan.value().events()[0].members.size(), 2u);
+
+  FaultSession session(sys, std::move(plan).value());
+  session.enable_recovery_tracking();
+  ASSERT_TRUE(session.finish().ok());
+
+  EXPECT_GT(session.items_wiped(), 0u);
+  EXPECT_GT(session.items_ever_unavailable(), 0u);
+  EXPECT_EQ(session.items_lost(), session.items_ever_unavailable());
+  // Survivors never went unavailable and still hold their one copy.
+  std::size_t survivors = 0;
+  for (const std::string& id : ids) {
+    if (!holders(sys, id).empty()) ++survivors;
+  }
+  EXPECT_EQ(survivors + session.items_lost(), ids.size());
+}
+
 }  // namespace
 }  // namespace gred

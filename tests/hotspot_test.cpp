@@ -348,6 +348,56 @@ TEST(ExtendForLoadTest, TriggersOnHotSwitch) {
   }
 }
 
+// Regression: the tracker is sized at construction and record()
+// silently drops out-of-range ids, so a switch joining after the
+// tracker was attached used to be invisible to extend_for_load no
+// matter how hot it ran. SdenNetwork::add_switch now grows the
+// attached tracker alongside the hot-key cache.
+TEST(ExtendForLoadTest, PostJoinSwitchIsVisibleToLoadExtension) {
+  GredSystem sys = make_system(topology::grid(4, 4), 2);
+  obs::SwitchLoadTracker tracker(16);
+  sys.network().set_load_tracker(&tracker);
+
+  auto added = sys.add_switch({5, 10}, /*servers=*/2);
+  ASSERT_TRUE(added.ok()) << added.error().to_string();
+  const SwitchId joined = added.value();
+  // The join must grow the tracker, or every sample below is dropped.
+  ASSERT_EQ(tracker.switch_count(), sys.network().switch_count());
+
+  // Items homed at the joined switch, so routed retrievals record
+  // their load there.
+  std::vector<std::string> hot_ids;
+  for (int i = 0; i < 600 && hot_ids.size() < 4; ++i) {
+    const std::string id = "join-" + std::to_string(i);
+    const crypto::SpacePoint pos = crypto::DataKey(id).position();
+    if (sys.controller().home_switch({pos.x, pos.y}) == joined) {
+      ASSERT_TRUE(sys.place(id, "pl-" + id, 0).ok());
+      hot_ids.push_back(id);
+    }
+  }
+  ASSERT_FALSE(hot_ids.empty()) << "no key homed at the joined switch";
+  for (int i = 0; i < 200; ++i) {
+    const std::string& id = hot_ids[static_cast<std::size_t>(i) %
+                                    hot_ids.size()];
+    auto r = sys.retrieve(id, 1);
+    ASSERT_TRUE(r.ok() && r.value().route.found) << id;
+  }
+  // Mild uniform background load keeps the pre-join switches cold.
+  for (SwitchId s = 0; s < 16; ++s) {
+    for (int i = 0; i < 10; ++i) tracker.record(s);
+  }
+  tracker.roll_window();
+
+  LoadExtensionOptions opts;
+  opts.hot_factor = 2.0;
+  auto performed = sys.extend_for_load(tracker, opts);
+  ASSERT_TRUE(performed.ok()) << performed.error().to_string();
+  EXPECT_GE(performed.value(), 1u);
+  // The extension landed on the post-join switch.
+  EXPECT_FALSE(sys.network().switch_at(joined).table().rewrites().empty());
+  sys.network().set_load_tracker(nullptr);
+}
+
 TEST(ExtendForLoadTest, UniformLoadIsANoop) {
   GredSystem sys = make_system(topology::grid(3, 3), 2);
   obs::SwitchLoadTracker tracker(9);

@@ -4,6 +4,7 @@
 #include "common/rng.hpp"
 #include "core/snapshot.hpp"
 #include "core/system.hpp"
+#include "sden/hot_key_cache.hpp"
 #include "topology/presets.hpp"
 #include "topology/waxman.hpp"
 
@@ -216,6 +217,44 @@ TEST(SnapshotTest, RestoreRejectsInvalidRewrites) {
   no_edge.rewrites = {{0, rw}};
   Controller c2;
   EXPECT_FALSE(restore_snapshot(c2, line_net, no_edge).ok());
+}
+
+// A restore replaces the whole control-plane state: no answer cached
+// before the restore may be served afterwards, whatever path rebuilt
+// the plans. Pins the explicit hot-key-cache epoch bump at the end of
+// restore_snapshot (defense in depth over the per-mutation
+// invalidations riding on initialize_with_positions).
+TEST(SnapshotTest, RestoreDropsCachedRetrievalAnswers) {
+  auto built = GredSystem::create(
+      topology::uniform_edge_network(topology::grid(4, 4), 2));
+  ASSERT_TRUE(built.ok());
+  GredSystem sys = std::move(built).value();
+  sden::HotKeyCache& cache = sys.network().enable_hot_key_cache();
+
+  ASSERT_TRUE(sys.place("snap-item", "payload-v1", 0).ok());
+  ASSERT_TRUE(sys.retrieve("snap-item", 3).ok());  // learn-mode fill
+  auto warm = sys.retrieve("snap-item", 3);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(warm.value().served_from_cache);
+
+  auto snap = capture_snapshot(sys.controller(), sys.network());
+  ASSERT_TRUE(snap.ok());
+  const std::uint64_t invalidations_before = cache.invalidations();
+  ASSERT_TRUE(
+      restore_snapshot(sys.controller(), sys.network(), snap.value()).ok());
+  EXPECT_GT(cache.invalidations(), invalidations_before);
+
+  // First post-restore retrieval must route for real — and agree with
+  // the uncached answer bit for bit.
+  auto after = sys.retrieve("snap-item", 3);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().served_from_cache);
+  cache.set_enabled(false);
+  auto plain = sys.retrieve("snap-item", 3);
+  cache.set_enabled(true);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(after.value().route.payload, plain.value().route.payload);
+  EXPECT_EQ(after.value().route.responder, plain.value().route.responder);
 }
 
 }  // namespace
